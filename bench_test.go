@@ -1,0 +1,178 @@
+package redundancy_test
+
+// One benchmark per table/figure of the paper. Each benchmark regenerates
+// its figure through the same harness as cmd/redbench, at reduced scale so
+// `go test -bench=.` finishes in minutes. Increase -benchtime or run
+// `go run ./cmd/redbench -fig all` for full-scale numbers; EXPERIMENTS.md
+// records a full-scale paper-vs-measured comparison.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"redundancy"
+	"redundancy/internal/dist"
+	"redundancy/internal/exp"
+	"redundancy/internal/queueing"
+)
+
+// benchFig runs one experiment per iteration at the given scale.
+func benchFig(b *testing.B, name string, scale float64) {
+	b.Helper()
+	e, ok := exp.ByName(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(exp.Options{Scale: scale, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkFig1QueueingMeanAndCCDF(b *testing.B) { benchFig(b, "fig1", 0.1) }
+func BenchmarkFig2ThresholdFamilies(b *testing.B)   { benchFig(b, "fig2", 0.05) }
+func BenchmarkFig3RandomDistributions(b *testing.B) { benchFig(b, "fig3", 0.05) }
+func BenchmarkFig4ClientOverhead(b *testing.B)      { benchFig(b, "fig4", 0.05) }
+func BenchmarkTheorem1Exponential(b *testing.B)     { benchFig(b, "thm1", 0.1) }
+func BenchmarkFig5DiskDBBase(b *testing.B)          { benchFig(b, "fig5", 0.1) }
+func BenchmarkFig6DiskDBTinyFiles(b *testing.B)     { benchFig(b, "fig6", 0.1) }
+func BenchmarkFig7DiskDBParetoFiles(b *testing.B)   { benchFig(b, "fig7", 0.1) }
+func BenchmarkFig8DiskDBSmallCache(b *testing.B)    { benchFig(b, "fig8", 0.1) }
+func BenchmarkFig9DiskDBEC2(b *testing.B)           { benchFig(b, "fig9", 0.1) }
+func BenchmarkFig10DiskDBLargeFiles(b *testing.B)   { benchFig(b, "fig10", 0.1) }
+func BenchmarkFig11DiskDBInMemory(b *testing.B)     { benchFig(b, "fig11", 0.1) }
+func BenchmarkFig12Memcached(b *testing.B)          { benchFig(b, "fig12", 0.1) }
+func BenchmarkFig13MemcachedStub(b *testing.B)      { benchFig(b, "fig13", 0.1) }
+func BenchmarkFig14FatTree(b *testing.B)            { benchFig(b, "fig14", 0.05) }
+func BenchmarkFig15DNSCCDF(b *testing.B)            { benchFig(b, "fig15", 0.05) }
+func BenchmarkFig16DNSReduction(b *testing.B)       { benchFig(b, "fig16", 0.05) }
+func BenchmarkFig17DNSMarginalValue(b *testing.B)   { benchFig(b, "fig17", 0.05) }
+func BenchmarkHandshakeDuplication(b *testing.B)    { benchFig(b, "handshake", 0.05) }
+
+// --- Ablations for the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationCRN quantifies common random numbers in the threshold
+// search: it reports (as custom metrics) the spread of the
+// 2-copy-minus-1-copy mean difference across seeds, with paired vs
+// unpaired seeds. The honest finding: pairing helps only modestly here,
+// because the replicated arm runs at doubled utilization and its own
+// queueing noise dominates the difference.
+func BenchmarkAblationCRN(b *testing.B) {
+	svc := dist.Exponential{MeanV: 1}
+	run := func(seed1, seed2 int64) float64 {
+		m1, err := queueing.MeanResponse(queueing.Config{
+			Servers: 20, Copies: 1, Load: 0.3, Service: svc, Requests: 50000, Seed: seed1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, err := queueing.MeanResponse(queueing.Config{
+			Servers: 20, Copies: 2, Load: 0.3, Service: svc, Requests: 50000, Seed: seed2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m2 - m1
+	}
+	spread := func(paired bool) float64 {
+		lo, hi := 1e18, -1e18
+		for s := int64(0); s < 8; s++ {
+			var d float64
+			if paired {
+				d = run(s, s)
+			} else {
+				d = run(s, s+1000)
+			}
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		return hi - lo
+	}
+	for i := 0; i < b.N; i++ {
+		p := spread(true)
+		u := spread(false)
+		b.ReportMetric(p, "paired-spread")
+		b.ReportMetric(u, "unpaired-spread")
+	}
+}
+
+// BenchmarkAblationCancellation compares the queueing model's
+// no-cancellation worst case against what a cancelling client (package
+// core) achieves: with cancellation the loser stops consuming resources,
+// so the effective added load is far less than 2x. Reported metric:
+// realized mean with full-service copies at 2x load vs single copies.
+func BenchmarkAblationCancellation(b *testing.B) {
+	svc := dist.ParetoMean(2.1, 1)
+	for i := 0; i < b.N; i++ {
+		m1, err := queueing.MeanResponse(queueing.Config{
+			Servers: 20, Copies: 1, Load: 0.3, Service: svc, Requests: 100000, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m2, err := queueing.MeanResponse(queueing.Config{
+			Servers: 20, Copies: 2, Load: 0.3, Service: svc, Requests: 100000, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(m1, "mean-1copy")
+		b.ReportMetric(m2, "mean-2copy-nocancel")
+	}
+}
+
+// --- Microbenchmarks of the core library hot path. ---
+
+func BenchmarkCoreFirstOverhead(b *testing.B) {
+	instant := func(ctx context.Context) (int, error) { return 1, nil }
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redundancy.First(ctx, instant, instant); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreGroupDo(b *testing.B) {
+	g := redundancy.NewGroup[int](redundancy.Policy{Copies: 2, Selection: redundancy.SelectRandom},
+		redundancy.WithSeed[int](1))
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 2, nil })
+	g.Add("c", func(ctx context.Context) (int, error) { return 3, nil })
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Do(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreHedgedFastPrimary(b *testing.B) {
+	fast := func(ctx context.Context) (int, error) { return 1, nil }
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := redundancy.Hedged(ctx, time.Second, fast, fast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFatTree(b *testing.B)  { benchFig(b, "ablfattree", 0.05) }
+func BenchmarkAblationQueueing(b *testing.B) { benchFig(b, "ablqueueing", 0.05) }

@@ -1,0 +1,70 @@
+// Command dnsmock runs a mock DNS server answering A queries from a small
+// built-in zone, with optional injected latency and loss — a stand-in for
+// a public resolver when demonstrating replicated DNS queries (§3.2).
+//
+// Usage:
+//
+//	dnsmock -addr 127.0.0.1:5301
+//	dnsmock -addr 127.0.0.1:5302 -delay-ms 80 -loss 0.02
+//
+// Query it with any DNS client, or through the repository's replicated
+// resolver (see examples/dnsfirst).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"redundancy/internal/dnswire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5301", "UDP listen address")
+		delayMs = flag.Float64("delay-ms", 0, "artificial latency per query (milliseconds)")
+		loss    = flag.Float64("loss", 0, "probability of silently dropping a query")
+		seed    = flag.Int64("seed", 1, "seed for the loss process")
+	)
+	flag.Parse()
+
+	zone := dnswire.StaticHandler(map[string]net.IP{
+		"www.example.com": net.IPv4(192, 0, 2, 10),
+		"api.example.com": net.IPv4(192, 0, 2, 20),
+		"cdn.example.com": net.IPv4(192, 0, 2, 30),
+		"redundancy.test": net.IPv4(192, 0, 2, 99),
+		"quickstart.test": net.IPv4(192, 0, 2, 1),
+	})
+	srv := dnswire.NewServer(zone)
+	if *delayMs > 0 {
+		d := time.Duration(*delayMs * float64(time.Millisecond))
+		srv.Delay = func() time.Duration { return d }
+	}
+	if *loss > 0 {
+		r := rand.New(rand.NewSource(*seed))
+		var mu sync.Mutex
+		srv.DropProb = *loss
+		srv.Rand = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return r.Float64()
+		}
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnsmock: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dnsmock listening on %s (delay %.1f ms, loss %.1f%%)\n", bound, *delayMs, *loss*100)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("dnsmock: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,82 @@
+package redundancy_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"redundancy"
+)
+
+// The simplest use: race two replicas, keep the faster answer.
+func ExampleFirst() {
+	ctx := context.Background()
+	res, err := redundancy.First(ctx,
+		func(ctx context.Context) (string, error) {
+			select { // a slow replica that honors cancellation
+			case <-time.After(time.Second):
+				return "slow", nil
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		},
+		func(ctx context.Context) (string, error) { return "fast", nil },
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Value)
+	// Output: fast
+}
+
+// Hedged launches the second copy only if the first is slow, keeping the
+// added load near zero for well-behaved requests.
+func ExampleHedged() {
+	ctx := context.Background()
+	res, _ := redundancy.Hedged(ctx, 50*time.Millisecond,
+		func(ctx context.Context) (string, error) { return "primary", nil },
+		func(ctx context.Context) (string, error) { return "hedge", nil },
+	)
+	fmt.Println(res.Value, res.Launched)
+	// Output: primary 1
+}
+
+// Quorum waits for q successes — R-of-N reads in replicated storage.
+func ExampleQuorum() {
+	ctx := context.Background()
+	outs, _ := redundancy.Quorum(ctx, 2,
+		func(ctx context.Context) (int, error) { return 1, nil },
+		func(ctx context.Context) (int, error) { return 2, nil },
+		func(ctx context.Context) (int, error) {
+			select {
+			case <-time.After(time.Second):
+				return 3, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		},
+	)
+	fmt.Println(len(outs))
+	// Output: 2
+}
+
+// A Group tracks per-replica latency and replicates each operation to the
+// k best replicas, as the paper's DNS experiment does.
+func ExampleGroup() {
+	g := redundancy.NewGroup[string](redundancy.Policy{
+		Copies:    2,
+		Selection: redundancy.SelectRanked,
+	})
+	g.Add("replica-a", func(ctx context.Context) (string, error) { return "a", nil })
+	g.Add("replica-b", func(ctx context.Context) (string, error) { return "b", nil })
+	g.Add("replica-c", func(ctx context.Context) (string, error) { return "c", nil })
+
+	res, err := g.Do(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Launched, g.Len())
+	// Output: 2 3
+}

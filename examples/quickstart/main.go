@@ -1,0 +1,66 @@
+// Quickstart: the core idea of "Low Latency via Redundancy" in twenty
+// lines — issue the same operation against two backends, use whichever
+// responds first, cancel the other.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"redundancy"
+)
+
+// backend simulates a server whose latency is usually low but sometimes
+// spikes (cache miss, GC pause, congested path...).
+func backend(name string, r *rand.Rand) redundancy.Replica[string] {
+	base := 10 + r.Float64()*10 // 10-20 ms typical
+	return func(ctx context.Context) (string, error) {
+		d := time.Duration(base * float64(time.Millisecond))
+		if r.Float64() < 0.2 { // 20% of requests hit a 10x latency spike
+			d *= 10
+		}
+		select {
+		case <-time.After(d):
+			return fmt.Sprintf("answer from %s after %v", name, d.Round(time.Millisecond)), nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+}
+
+func main() {
+	r := rand.New(rand.NewSource(7))
+	east := backend("us-east", r)
+	west := backend("us-west", r)
+
+	ctx := context.Background()
+
+	fmt.Println("-- single backend (30 requests) --")
+	var single time.Duration
+	for i := 0; i < 30; i++ {
+		start := time.Now()
+		if _, err := east(ctx); err != nil {
+			panic(err)
+		}
+		single += time.Since(start)
+	}
+	fmt.Printf("total: %v\n\n", single.Round(time.Millisecond))
+
+	fmt.Println("-- redundancy.First over both backends (30 requests) --")
+	var replicated time.Duration
+	for i := 0; i < 30; i++ {
+		res, err := redundancy.First(ctx, east, west)
+		if err != nil {
+			panic(err)
+		}
+		replicated += res.Latency
+		fmt.Printf("  winner=%d  %s\n", res.Index, res.Value)
+	}
+	fmt.Printf("total: %v (vs %v single)\n", replicated.Round(time.Millisecond), single.Round(time.Millisecond))
+	fmt.Println("\nRedundancy wins exactly when one backend spikes — the paper's point:")
+	fmt.Println("it removes the tail without knowing where the tail comes from.")
+}

@@ -1,0 +1,163 @@
+// Package analytic provides the closed-form results from §2.1 and §3 of the
+// paper: the M/M/1 response-time analysis behind Theorem 1 (threshold load
+// is exactly 1/3 for exponential service), the Pollaczek-Khinchine mean for
+// M/G/1 queues, a two-moment response-time approximation in the spirit of
+// Myers & Vernon used to estimate threshold loads for light-tailed service
+// distributions, and the Vulimiri et al. cost-effectiveness benchmark
+// (reducing latency is worthwhile above ~16 ms saved per KB of extra
+// traffic).
+package analytic
+
+import (
+	"math"
+)
+
+// MM1MeanResponse returns the mean response time (wait + service) of an
+// M/M/1 queue with unit mean service time and utilization rho.
+// E[T] = 1 / (1 - rho).
+func MM1MeanResponse(rho float64) float64 {
+	if rho < 0 || rho >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - rho)
+}
+
+// MM1ResponseCCDF returns P(T > t) for an M/M/1 queue with unit mean
+// service time and utilization rho. The response time is exponential with
+// rate (1 - rho).
+func MM1ResponseCCDF(rho, t float64) float64 {
+	if rho < 0 || rho >= 1 {
+		return 1
+	}
+	return math.Exp(-(1 - rho) * t)
+}
+
+// MM1ReplicatedMeanResponse returns the mean response time when every
+// request is sent to k independent M/M/1 servers each operating at base
+// load rho (so realized utilization k*rho), taking the minimum of the k
+// responses. Each response is exponential with rate (1 - k*rho); the
+// minimum of k independent exponentials with rate r is exponential with
+// rate k*r, so E[T] = 1 / (k * (1 - k*rho)).
+func MM1ReplicatedMeanResponse(rho float64, k int) float64 {
+	kk := float64(k)
+	if rho < 0 || kk*rho >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (kk * (1 - kk*rho))
+}
+
+// ExponentialThreshold returns the threshold load from Theorem 1: with
+// i.i.d. exponential service times, duplication (k=2) reduces mean response
+// time iff rho < 1/3. For general k the same argument gives
+// 1/(2(1-2rho)) < 1/(1-rho) generalized to 1/(k(1-k rho)) < 1/(1-rho),
+// i.e. rho < (k-1) / (k^2 - 1) = 1 / (k + 1).
+func ExponentialThreshold(k int) float64 {
+	return 1 / float64(k+1)
+}
+
+// PKMeanResponse returns the exact M/G/1 mean response time via the
+// Pollaczek-Khinchine formula: E[T] = E[S] + lambda*E[S^2] / (2*(1-rho)),
+// where rho = lambda*E[S].
+func PKMeanResponse(lambda, meanS, meanS2 float64) float64 {
+	rho := lambda * meanS
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return meanS + lambda*meanS2/(2*(1-rho))
+}
+
+// TwoMomentThreshold estimates the threshold load for duplication from only
+// the first two moments of the service time, in the spirit of the
+// Myers-Vernon approximation the paper leans on for light-tailed laws.
+//
+// The M/G/1 response time T = S + W is fitted with a shifted exponential
+// matching its mean and variance, where E[W] is the exact
+// Pollaczek-Khinchine value and Var[W] comes from the standard
+// P(W>0) = rho exponential-mixture model of the waiting time. The mean of
+// the minimum of two independent shifted exponentials with mean m and
+// variance v is m - sqrt(v)/2, so the threshold solves
+//
+//	m(2 rho) - sqrt(v(2 rho))/2 = m(rho).
+//
+// cs2 is the squared coefficient of variation of the service time
+// (Var[S]/E[S]^2): 0 for deterministic, 1 for exponential. For cs2 = 1 the
+// fit is exact (M/M/1 response times are exponential) and this returns
+// exactly 1/3, recovering Theorem 1. For cs2 = 0 it returns ~0.31 — above
+// the ~0.2582 simulation ground truth (the fit overestimates how much a
+// minimum helps low-variance responses) but correctly below the
+// exponential threshold, consistent with Theorem 2's claim that
+// deterministic service minimizes the threshold. Like the approximation it
+// mirrors, it is inappropriate for heavy-tailed service times; use
+// RegularlyVaryingThresholdBound or simulation (internal/queueing) there.
+func TwoMomentThreshold(cs2 float64) float64 {
+	if cs2 < 0 {
+		panic("analytic: TwoMomentThreshold requires cs2 >= 0")
+	}
+	// Unit-mean service: E[S]=1, E[S^2] = 1 + cs2.
+	meanS2 := 1 + cs2
+	meanW := func(rho float64) float64 { return rho * meanS2 / (2 * (1 - rho)) }
+	// Exponential-mixture waiting time: W = 0 w.p. 1-rho, Exp(theta) w.p.
+	// rho with rho/theta = E[W], giving E[W^2] = 2 E[W]^2 / rho.
+	varT := func(rho float64) float64 {
+		w := meanW(rho)
+		return cs2 + w*w*(2/rho-1)
+	}
+	f := func(rho float64) float64 {
+		if 2*rho >= 1 {
+			return math.Inf(1)
+		}
+		m1 := 1 + meanW(rho)
+		m2 := 1 + meanW(2*rho)
+		v2 := varT(2 * rho)
+		return (m2 - math.Sqrt(v2)/2) - m1
+	}
+	lo, hi := 1e-6, 0.5-1e-9
+	if f(lo) > 0 {
+		return 0
+	}
+	if f(hi) < 0 {
+		return 0.5
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RegularlyVaryingThresholdBound reports the paper's Theorem 3 bound: for
+// regularly varying service times with tail index alpha < 1 + sqrt(2)
+// (i.e. heavier-tailed than exponential in coefficient of variation), the
+// threshold load exceeds 30% under the Olvera-Cravioto et al. heavy-traffic
+// approximation. It returns (0.30, true) when the bound applies and
+// (0, false) otherwise.
+func RegularlyVaryingThresholdBound(alpha float64) (float64, bool) {
+	if alpha < 1+math.Sqrt2 {
+		return 0.30, true
+	}
+	return 0, false
+}
+
+// Cost-effectiveness benchmark (§3, citing Vulimiri et al.'s cost-benefit
+// analysis): added traffic is worthwhile when it saves at least
+// BreakEvenMsPerKB milliseconds of latency per kilobyte of extra traffic.
+const BreakEvenMsPerKB = 16.0
+
+// MsPerKB converts a latency saving and traffic overhead into the paper's
+// cost-effectiveness metric (milliseconds saved per KB of added traffic).
+func MsPerKB(latencySavedSeconds float64, extraBytes float64) float64 {
+	if extraBytes <= 0 {
+		return math.Inf(1)
+	}
+	return latencySavedSeconds * 1000 / (extraBytes / 1024)
+}
+
+// CostEffective reports whether a latency saving clears the break-even
+// benchmark for the given traffic overhead.
+func CostEffective(latencySavedSeconds, extraBytes float64) bool {
+	return MsPerKB(latencySavedSeconds, extraBytes) >= BreakEvenMsPerKB
+}

@@ -1,0 +1,138 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1MeanResponse(t *testing.T) {
+	if got := MM1MeanResponse(0); got != 1 {
+		t.Errorf("rho=0: %g, want 1", got)
+	}
+	if got := MM1MeanResponse(0.5); got != 2 {
+		t.Errorf("rho=0.5: %g, want 2", got)
+	}
+	if got := MM1MeanResponse(1); !math.IsInf(got, 1) {
+		t.Errorf("rho=1: %g, want +Inf", got)
+	}
+}
+
+func TestMM1ResponseCCDF(t *testing.T) {
+	// At rho=0.2, T ~ Exp(0.8): P(T > 1/0.8) = 1/e.
+	got := MM1ResponseCCDF(0.2, 1/0.8)
+	if math.Abs(got-1/math.E) > 1e-12 {
+		t.Errorf("CCDF = %g, want 1/e", got)
+	}
+	if MM1ResponseCCDF(0.2, 0) != 1 {
+		t.Error("CCDF at 0 should be 1")
+	}
+}
+
+func TestTheorem1Algebra(t *testing.T) {
+	// At exactly rho = 1/3, both sides of Theorem 1's inequality are equal.
+	rho := 1.0 / 3
+	single := MM1MeanResponse(rho)
+	repl := MM1ReplicatedMeanResponse(rho, 2)
+	if math.Abs(single-repl) > 1e-12 {
+		t.Errorf("at rho=1/3: single %g != replicated %g", single, repl)
+	}
+	// Below: replication wins. Above: loses.
+	if MM1ReplicatedMeanResponse(0.3, 2) >= MM1MeanResponse(0.3) {
+		t.Error("replication should win below 1/3")
+	}
+	if MM1ReplicatedMeanResponse(0.36, 2) <= MM1MeanResponse(0.36) {
+		t.Error("replication should lose above 1/3")
+	}
+}
+
+func TestExponentialThresholdGeneralK(t *testing.T) {
+	if th := ExponentialThreshold(2); math.Abs(th-1.0/3) > 1e-12 {
+		t.Errorf("k=2: %g, want 1/3", th)
+	}
+	// Crossover for general k: means equal at rho = 1/(k+1).
+	for _, k := range []int{2, 3, 5, 10} {
+		rho := ExponentialThreshold(k)
+		single := MM1MeanResponse(rho)
+		repl := MM1ReplicatedMeanResponse(rho, k)
+		if math.Abs(single-repl) > 1e-9 {
+			t.Errorf("k=%d: means differ at threshold: %g vs %g", k, single, repl)
+		}
+	}
+}
+
+func TestPKMeanResponse(t *testing.T) {
+	// Exponential service, mean 1: E[S^2] = 2; P-K must equal M/M/1.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		got := PKMeanResponse(rho, 1, 2)
+		want := MM1MeanResponse(rho)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("rho=%g: P-K %g, M/M/1 %g", rho, got, want)
+		}
+	}
+	// Deterministic service: E[S^2]=1; M/D/1 mean = 1 + rho/(2(1-rho)).
+	got := PKMeanResponse(0.5, 1, 1)
+	want := 1 + 0.5/(2*0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("M/D/1 at 0.5: %g, want %g", got, want)
+	}
+	if !math.IsInf(PKMeanResponse(1.0, 1, 2), 1) {
+		t.Error("rho >= 1 should be +Inf")
+	}
+}
+
+func TestTwoMomentThreshold(t *testing.T) {
+	// cs2 = 1 (exponential) must recover Theorem 1 exactly.
+	if th := TwoMomentThreshold(1); math.Abs(th-1.0/3) > 1e-6 {
+		t.Errorf("cs2=1: %g, want 1/3", th)
+	}
+	// cs2 = 0 (deterministic) must be BELOW the exponential threshold
+	// (Theorem 2: deterministic minimizes the threshold among light-tailed
+	// laws) and within the conjectured [0.25, 0.5] band. The fit gives
+	// ~0.31 vs the ~0.2582 simulation ground truth.
+	th0 := TwoMomentThreshold(0)
+	if th0 >= 1.0/3 {
+		t.Errorf("cs2=0 threshold %g not below exponential 1/3", th0)
+	}
+	if th0 < 0.25 || th0 > 0.34 {
+		t.Errorf("cs2=0: %g outside plausible band", th0)
+	}
+	// All thresholds stay within the trivial (0, 0.5] bound.
+	for _, cs2 := range []float64{0, 0.5, 1, 2, 4} {
+		th := TwoMomentThreshold(cs2)
+		if th <= 0 || th > 0.5 {
+			t.Errorf("threshold out of (0, 0.5] at cs2=%g: %g", cs2, th)
+		}
+	}
+	// More variance helps through moderate cs2 (the light-tailed regime
+	// the approximation is built for).
+	if TwoMomentThreshold(1) <= TwoMomentThreshold(0) {
+		t.Error("exponential threshold should exceed deterministic")
+	}
+}
+
+func TestRegularlyVaryingThresholdBound(t *testing.T) {
+	if b, ok := RegularlyVaryingThresholdBound(2.0); !ok || b != 0.30 {
+		t.Errorf("alpha=2.0: (%g, %v), want (0.30, true)", b, ok)
+	}
+	if _, ok := RegularlyVaryingThresholdBound(2.5); ok {
+		t.Errorf("alpha=2.5 > 1+sqrt2: bound should not apply")
+	}
+}
+
+func TestMsPerKB(t *testing.T) {
+	// 25 ms saved for 150 bytes of extra traffic ~ 170 ms/KB (paper §3.1).
+	got := MsPerKB(0.025, 150)
+	if got < 165 || got > 175 {
+		t.Errorf("MsPerKB(25ms, 150B) = %g, want ~171", got)
+	}
+	if !CostEffective(0.025, 150) {
+		t.Error("TCP handshake replication should be cost-effective")
+	}
+	// 1 ms for 1 MB is clearly not worth it.
+	if CostEffective(0.001, 1<<20) {
+		t.Error("1ms per MB should not be cost-effective")
+	}
+	if !math.IsInf(MsPerKB(1, 0), 1) {
+		t.Error("zero extra bytes should be +Inf")
+	}
+}

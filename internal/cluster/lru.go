@@ -1,0 +1,62 @@
+package cluster
+
+import "container/list"
+
+// lru is a byte-capacity LRU cache over file IDs, modelling the OS page
+// cache on one server. It tracks only residency, not contents.
+type lru struct {
+	capacity float64
+	used     float64
+	order    *list.List // front = most recently used
+	items    map[int]*list.Element
+}
+
+type lruEntry struct {
+	id   int
+	size float64
+}
+
+func newLRU(capacity float64) *lru {
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[int]*list.Element),
+	}
+}
+
+// contains reports residency without updating recency.
+func (c *lru) contains(id int) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// touch marks id as just-used, inserting it (and evicting least-recently
+// used entries) if absent. Files larger than the whole cache are never
+// cached.
+func (c *lru) touch(id int, size float64) {
+	if e, ok := c.items[id]; ok {
+		c.order.MoveToFront(e)
+		return
+	}
+	if size > c.capacity {
+		return
+	}
+	for c.used+size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(lruEntry)
+		c.order.Remove(back)
+		delete(c.items, ent.id)
+		c.used -= ent.size
+	}
+	c.items[id] = c.order.PushFront(lruEntry{id: id, size: size})
+	c.used += size
+}
+
+// len returns the number of resident files.
+func (c *lru) len() int { return len(c.items) }
+
+// bytes returns the resident byte count.
+func (c *lru) bytes() float64 { return c.used }

@@ -1,0 +1,84 @@
+package cluster
+
+import "testing"
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(100)
+	c.touch(1, 40)
+	c.touch(2, 40)
+	c.touch(3, 40) // evicts 1
+	if c.contains(1) {
+		t.Error("1 should have been evicted")
+	}
+	if !c.contains(2) || !c.contains(3) {
+		t.Error("2 and 3 should be resident")
+	}
+}
+
+func TestLRUTouchRefreshesRecency(t *testing.T) {
+	c := newLRU(100)
+	c.touch(1, 40)
+	c.touch(2, 40)
+	c.touch(1, 40) // refresh 1
+	c.touch(3, 40) // evicts 2, not 1
+	if !c.contains(1) {
+		t.Error("1 was refreshed and should survive")
+	}
+	if c.contains(2) {
+		t.Error("2 should have been evicted")
+	}
+}
+
+func TestLRUOversizeNeverCached(t *testing.T) {
+	c := newLRU(100)
+	c.touch(1, 200)
+	if c.contains(1) {
+		t.Error("file larger than cache must not be cached")
+	}
+	if c.bytes() != 0 {
+		t.Errorf("bytes = %g", c.bytes())
+	}
+}
+
+func TestLRUByteAccounting(t *testing.T) {
+	c := newLRU(100)
+	c.touch(1, 30)
+	c.touch(2, 30)
+	if c.bytes() != 60 || c.len() != 2 {
+		t.Errorf("bytes=%g len=%d", c.bytes(), c.len())
+	}
+	c.touch(3, 50) // must evict 1 (30) to fit 50: 30+50=80
+	if c.bytes() != 80 || c.len() != 2 {
+		t.Errorf("after eviction bytes=%g len=%d", c.bytes(), c.len())
+	}
+	if c.contains(1) {
+		t.Error("1 should be evicted")
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := newLRU(0)
+	c.touch(1, 1)
+	if c.contains(1) {
+		t.Error("zero-capacity cache cached a file")
+	}
+}
+
+func TestLRUManyEvictions(t *testing.T) {
+	c := newLRU(1000)
+	for i := 0; i < 10000; i++ {
+		c.touch(i, 10)
+	}
+	if c.len() != 100 {
+		t.Errorf("len = %d, want 100", c.len())
+	}
+	// Exactly the last 100 should be resident.
+	for i := 9900; i < 10000; i++ {
+		if !c.contains(i) {
+			t.Fatalf("%d missing from cache", i)
+		}
+	}
+	if c.contains(9899) {
+		t.Error("9899 should have been evicted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package consistenthash implements a consistent-hashing ring with virtual
+// nodes, used by the cluster experiment to place files on servers the same
+// way the paper's storage service does ("files are partitioned across
+// servers via consistent hashing, and two copies are stored of every file:
+// if the primary is stored on server n, the (replicated) secondary goes to
+// server n+1").
+package consistenthash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring maps keys to an ordered sequence of distinct nodes.
+type Ring struct {
+	replicas int // virtual nodes per real node
+	hashes   []uint64
+	owner    map[uint64]string
+	nodes    []string
+}
+
+// New creates a ring with the given number of virtual nodes per real node.
+// More virtual nodes smooth the key distribution at the cost of memory;
+// 128 is a reasonable default.
+func New(virtualNodes int) *Ring {
+	if virtualNodes < 1 {
+		panic("consistenthash: virtualNodes must be >= 1")
+	}
+	return &Ring{replicas: virtualNodes, owner: make(map[uint64]string)}
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the MurmurHash3 64-bit finalizer. FNV-1a alone leaves nearly
+// identical hashes for strings that differ only in a trailing counter
+// (vnode suffixes), which would collapse each node's virtual points into
+// one arc of the ring; the finalizer restores full avalanche.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts nodes into the ring. Adding a node that already exists is a
+// no-op for placement (its virtual points are re-registered identically).
+func (r *Ring) Add(nodes ...string) {
+	for _, n := range nodes {
+		seen := false
+		for _, existing := range r.nodes {
+			if existing == n {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			r.nodes = append(r.nodes, n)
+		}
+		for v := 0; v < r.replicas; v++ {
+			h := hashKey(fmt.Sprintf("%s#%d", n, v))
+			if _, ok := r.owner[h]; !ok {
+				r.hashes = append(r.hashes, h)
+			}
+			r.owner[h] = n
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Nodes returns the distinct real nodes in insertion order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of distinct real nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Get returns the node owning key, or "" if the ring is empty.
+func (r *Ring) Get(key string) string {
+	seq := r.GetN(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// GetN returns the first n distinct nodes encountered walking the ring
+// clockwise from key's position: element 0 is the primary, element 1 the
+// secondary, and so on. If the ring has fewer than n nodes, all nodes are
+// returned in walk order.
+func (r *Ring) GetN(key string, n int) []string {
+	if len(r.hashes) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(out) < n && i < len(r.hashes); i++ {
+		node := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// NextAfter returns the node that follows the given node when walking the
+// distinct-node order from key (the paper's "primary on n, secondary on
+// n+1" placement): it is GetN(key, i+2)[i+1] where node is at position i.
+// It returns "" if node does not own key at any position or the ring has
+// fewer than 2 nodes.
+func (r *Ring) NextAfter(key, node string) string {
+	seq := r.GetN(key, len(r.nodes))
+	for i, nd := range seq {
+		if nd == node {
+			if i+1 < len(seq) {
+				return seq[i+1]
+			}
+			return seq[0]
+		}
+	}
+	return ""
+}

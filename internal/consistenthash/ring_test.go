@@ -1,0 +1,160 @@
+package consistenthash
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestEmptyRing(t *testing.T) {
+	r := New(8)
+	if got := r.Get("key"); got != "" {
+		t.Errorf("empty ring Get = %q", got)
+	}
+	if got := r.GetN("key", 2); got != nil {
+		t.Errorf("empty ring GetN = %v", got)
+	}
+}
+
+func TestGetNDistinctAndOrdered(t *testing.T) {
+	r := New(64)
+	r.Add("a", "b", "c", "d")
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.GetN(key, 4)
+		if len(seq) != 4 {
+			t.Fatalf("GetN returned %d nodes", len(seq))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("duplicate node %q in %v", n, seq)
+			}
+			seen[n] = true
+		}
+		if seq[0] != r.Get(key) {
+			t.Fatalf("GetN[0] != Get for %q", key)
+		}
+	}
+}
+
+func TestGetNClampedToRingSize(t *testing.T) {
+	r := New(8)
+	r.Add("a", "b")
+	if got := r.GetN("k", 5); len(got) != 2 {
+		t.Errorf("GetN(5) on 2-node ring returned %d nodes", len(got))
+	}
+}
+
+func TestBalance(t *testing.T) {
+	// With 128 vnodes and 4 servers, no server should own more than ~2x
+	// its fair share of keys. (This is the regression test for the FNV
+	// low-bit clustering bug: without the murmur finalizer one server
+	// owned 65% of the keyspace.)
+	r := New(128)
+	nodes := []string{"s0", "s1", "s2", "s3"}
+	r.Add(nodes...)
+	counts := map[string]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[r.Get(fmt.Sprintf("key-%d", i))]++
+	}
+	fair := n / len(nodes)
+	for _, node := range nodes {
+		if counts[node] < fair/2 || counts[node] > fair*2 {
+			t.Errorf("node %s owns %d keys, fair share %d", node, counts[node], fair)
+		}
+	}
+}
+
+func TestStabilityUnderAddition(t *testing.T) {
+	// Consistent hashing's defining property: adding a node moves only a
+	// ~1/n fraction of keys.
+	r1 := New(128)
+	r1.Add("a", "b", "c")
+	r2 := New(128)
+	r2.Add("a", "b", "c", "d")
+	moved := 0
+	n := 10000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r1.Get(key) != r2.Get(key) {
+			moved++
+		}
+	}
+	// Expect ~25% to move to the new node; fail above 40%.
+	if moved > n*4/10 {
+		t.Errorf("%d/%d keys moved on node addition, want ~25%%", moved, n)
+	}
+	// All moved keys must have moved TO the new node.
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if r1.Get(key) != r2.Get(key) && r2.Get(key) != "d" {
+			t.Fatalf("key %q moved to %q, not the new node", key, r2.Get(key))
+		}
+	}
+}
+
+func TestDeterministicPlacement(t *testing.T) {
+	build := func() *Ring {
+		r := New(32)
+		r.Add("x", "y", "z")
+		return r
+	}
+	a, b := build(), build()
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a.Get(key) != b.Get(key) {
+			t.Fatal("identical rings disagree on placement")
+		}
+	}
+}
+
+func TestNextAfter(t *testing.T) {
+	r := New(64)
+	r.Add("a", "b", "c")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.GetN(key, 3)
+		if got := r.NextAfter(key, seq[0]); got != seq[1] {
+			t.Errorf("NextAfter(%q, primary) = %q, want %q", key, got, seq[1])
+		}
+		// Walking past the last node wraps to the first.
+		if got := r.NextAfter(key, seq[2]); got != seq[0] {
+			t.Errorf("NextAfter(%q, last) = %q, want wrap to %q", key, got, seq[0])
+		}
+	}
+	if got := r.NextAfter("key", "nonexistent"); got != "" {
+		t.Errorf("NextAfter with unknown node = %q, want empty", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := New(16)
+	r.Add("a", "b")
+	before := r.Get("some-key")
+	r.Add("a") // re-adding must not change placement
+	if r.Get("some-key") != before {
+		t.Error("re-adding a node changed placement")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d after duplicate add", r.Len())
+	}
+}
+
+func TestNodesOrder(t *testing.T) {
+	r := New(8)
+	r.Add("b", "a", "c")
+	nodes := r.Nodes()
+	if len(nodes) != 3 || nodes[0] != "b" || nodes[1] != "a" || nodes[2] != "c" {
+		t.Errorf("Nodes() = %v, want insertion order", nodes)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Budget caps the extra load redundancy may add, in the spirit of gRPC's
+// hedging throttle. It is a token bucket over "extra copies": each
+// replicated operation acquires one token per copy beyond the first, and
+// tokens refill at a fixed rate. When the bucket is empty, operations
+// degrade gracefully to fewer copies (ultimately a single copy) instead of
+// failing. Tokens are consumed, not borrowed: a Group refunds (Release)
+// only tokens whose copies never launched, e.g. a hedge the primary beat.
+//
+// The paper's system-level result motivates the sizing: replication is a
+// win while base utilization stays under the threshold load (25-50%), so a
+// deployment running at base load rho can afford roughly
+// (threshold - rho) / rho extra copies per operation on average; set the
+// refill rate to that fraction of the operation rate.
+//
+// A nil *Budget is valid and imposes no limit. All methods are safe for
+// concurrent use.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	rate   float64 // tokens per second
+	last   time.Time
+	now    func() time.Time // test hook
+}
+
+// NewBudget creates a budget refilling at rate extra copies per second with
+// the given burst capacity. The bucket starts full.
+func NewBudget(rate float64, burst float64) *Budget {
+	if rate < 0 || burst <= 0 {
+		panic("redundancy: NewBudget requires rate >= 0 and burst > 0")
+	}
+	return &Budget{
+		tokens: burst,
+		burst:  burst,
+		rate:   rate,
+		last:   time.Now(),
+		now:    time.Now,
+	}
+}
+
+// setClock replaces the budget's clock; tests use this for determinism.
+func (b *Budget) setClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	b.last = now()
+}
+
+// Acquire requests n extra-copy tokens and returns how many were granted
+// (possibly 0). Partial grants let an operation run with fewer copies
+// rather than none.
+func (b *Budget) Acquire(n int) int {
+	if b == nil {
+		return n
+	}
+	if n <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	granted := 0
+	for granted < n && b.tokens >= 1 {
+		b.tokens--
+		granted++
+	}
+	return granted
+}
+
+// Release refunds n tokens to the bucket. A Group calls this only for
+// acquired copies that never launched (a hedge made unnecessary by a fast
+// primary); launched copies consume their tokens.
+func (b *Budget) Release(n int) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += float64(n)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Available returns the current number of whole tokens.
+func (b *Budget) Available() int {
+	if b == nil {
+		return int(^uint(0) >> 1)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return int(b.tokens)
+}
+
+func (b *Budget) refillLocked() {
+	now := b.now()
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += dt * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetNilAllowsEverything(t *testing.T) {
+	var b *Budget
+	if got := b.Acquire(5); got != 5 {
+		t.Errorf("nil budget Acquire(5) = %d", got)
+	}
+	b.Release(5) // must not panic
+	if b.Available() <= 0 {
+		t.Error("nil budget should report unlimited availability")
+	}
+}
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	b := NewBudget(0, 3)
+	if got := b.Acquire(2); got != 2 {
+		t.Fatalf("Acquire(2) = %d", got)
+	}
+	if got := b.Acquire(2); got != 1 {
+		t.Fatalf("partial Acquire(2) = %d, want 1", got)
+	}
+	if got := b.Acquire(1); got != 0 {
+		t.Fatalf("empty Acquire(1) = %d, want 0", got)
+	}
+	b.Release(3)
+	if got := b.Available(); got != 3 {
+		t.Fatalf("Available = %d after release, want 3", got)
+	}
+}
+
+func TestBudgetReleaseCapsAtBurst(t *testing.T) {
+	b := NewBudget(0, 2)
+	b.Release(100)
+	if got := b.Available(); got != 2 {
+		t.Errorf("Available = %d, want capped at burst 2", got)
+	}
+}
+
+func TestBudgetRefillOverTime(t *testing.T) {
+	b := NewBudget(10, 10) // 10 tokens/sec
+	var now time.Time
+	base := time.Unix(1000, 0)
+	now = base
+	b.setClock(func() time.Time { return now })
+	if got := b.Acquire(10); got != 10 {
+		t.Fatalf("drain: %d", got)
+	}
+	if got := b.Acquire(1); got != 0 {
+		t.Fatalf("should be empty, got %d", got)
+	}
+	now = base.Add(500 * time.Millisecond) // +5 tokens
+	if got := b.Acquire(10); got != 5 {
+		t.Errorf("after 0.5s refill Acquire(10) = %d, want 5", got)
+	}
+	now = base.Add(10 * time.Second)
+	if got := b.Available(); got != 10 {
+		t.Errorf("long refill Available = %d, want burst cap 10", got)
+	}
+}
+
+func TestBudgetZeroAndNegativeAcquire(t *testing.T) {
+	b := NewBudget(1, 1)
+	if got := b.Acquire(0); got != 0 {
+		t.Errorf("Acquire(0) = %d", got)
+	}
+	if got := b.Acquire(-3); got != 0 {
+		t.Errorf("Acquire(-3) = %d", got)
+	}
+}
+
+func TestNewBudgetValidation(t *testing.T) {
+	for _, tc := range []struct{ rate, burst float64 }{{-1, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBudget(%g, %g) did not panic", tc.rate, tc.burst)
+				}
+			}()
+			NewBudget(tc.rate, tc.burst)
+		}()
+	}
+}
+
+func TestBudgetConcurrentAccounting(t *testing.T) {
+	b := NewBudget(0, 100)
+	var wg sync.WaitGroup
+	granted := make(chan int, 200)
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			granted <- b.Acquire(1)
+		}()
+	}
+	wg.Wait()
+	close(granted)
+	total := 0
+	for g := range granted {
+		total += g
+	}
+	if total != 100 {
+		t.Errorf("granted %d tokens total, want exactly burst 100", total)
+	}
+}

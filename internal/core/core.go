@@ -1,0 +1,197 @@
+// Package core implements the paper's primary contribution as a reusable
+// client library: initiate an operation on several diverse replicas
+// concurrently (or after a hedging delay) and use the first result that
+// completes, cancelling the rest.
+//
+// The package is re-exported at the module root as package redundancy;
+// application code should import "redundancy" rather than this package.
+//
+// Design notes:
+//
+//   - Losing replicas are cancelled through context and their goroutines
+//     always run to completion against a buffered channel, so a call never
+//     leaks goroutines even when it returns early.
+//   - Replication is useful precisely when the extra load is affordable
+//     (§2 of the paper); Budget provides the affordability control, capping
+//     the fraction of operations that may issue extra copies, in the spirit
+//     of gRPC hedging throttles.
+//   - Group adds ranked replica selection (the paper's DNS experiment ranks
+//     resolvers by observed mean latency and replicates to the top k).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Replica is one way of performing an operation: typically one backend
+// server, one network path, or one independently-failing resource. A
+// Replica must honor ctx cancellation promptly; after the first sibling
+// completes, the remaining replicas' contexts are cancelled.
+type Replica[T any] func(ctx context.Context) (T, error)
+
+// Result describes a completed redundant operation.
+type Result[T any] struct {
+	// Value is the winning replica's result.
+	Value T
+	// Index is the position (within the launched copies) of the winner.
+	Index int
+	// Latency is the time from the start of the operation (not of the
+	// individual copy) to the winning response.
+	Latency time.Duration
+	// Launched is how many copies were actually started.
+	Launched int
+}
+
+// ErrNoReplicas is returned when an operation is attempted with zero
+// replicas.
+var ErrNoReplicas = errors.New("redundancy: no replicas")
+
+type indexed[T any] struct {
+	val T
+	err error
+	idx int
+}
+
+// First runs every replica concurrently and returns the first successful
+// result, cancelling the others. If every replica fails, it returns the
+// joined errors in launch order. First blocks until a winner emerges or all
+// replicas fail; it does NOT wait for cancelled losers to finish.
+//
+// This is the paper's "initiate an operation multiple times, use the first
+// result which completes" in its purest form (k-way full replication).
+func First[T any](ctx context.Context, replicas ...Replica[T]) (Result[T], error) {
+	return race(ctx, nil, replicas)
+}
+
+// FirstValue is First without the metadata, for call sites that only need
+// the value.
+func FirstValue[T any](ctx context.Context, replicas ...Replica[T]) (T, error) {
+	res, err := First(ctx, replicas...)
+	return res.Value, err
+}
+
+// race launches replicas (all immediately if delays is nil, otherwise
+// replica i after delays[i]) and returns the first success.
+func race[T any](ctx context.Context, delays []time.Duration, replicas []Replica[T]) (Result[T], error) {
+	var zero Result[T]
+	if len(replicas) == 0 {
+		return zero, ErrNoReplicas
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Buffered so losers can always deliver and exit: no goroutine leaks.
+	results := make(chan indexed[T], len(replicas))
+	launch := func(i int) {
+		go func() {
+			v, err := replicas[i](ctx)
+			results <- indexed[T]{val: v, err: err, idx: i}
+		}()
+	}
+
+	launched := 0
+	if delays == nil {
+		for i := range replicas {
+			launch(i)
+		}
+		launched = len(replicas)
+	} else {
+		launch(0)
+		launched = 1
+	}
+
+	errs := make([]error, 0, len(replicas))
+	done := 0
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if delays != nil && launched < len(replicas) {
+		timer = time.NewTimer(delays[launched])
+		timerC = timer.C
+	}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		select {
+		case r := <-results:
+			done++
+			if r.err == nil {
+				return Result[T]{
+					Value:    r.val,
+					Index:    r.idx,
+					Latency:  time.Since(start),
+					Launched: launched,
+				}, nil
+			}
+			errs = append(errs, fmt.Errorf("replica %d: %w", r.idx, r.err))
+			if done == launched && launched == len(replicas) {
+				return zero, errors.Join(errs...)
+			}
+			if done == launched && launched < len(replicas) {
+				// Every outstanding copy failed; hedge immediately rather
+				// than waiting out the delay.
+				if timer != nil {
+					timer.Stop()
+				}
+				launch(launched)
+				launched++
+				if launched < len(replicas) {
+					timer = time.NewTimer(delays[launched])
+					timerC = timer.C
+				} else {
+					timerC = nil
+				}
+			}
+		case <-timerC:
+			launch(launched)
+			launched++
+			if launched < len(replicas) {
+				timer = time.NewTimer(delays[launched])
+				timerC = timer.C
+			} else {
+				timerC = nil
+			}
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Hedged runs replicas with a staggered start: replica 0 immediately, and
+// each subsequent replica only if no response has arrived delay after the
+// previous launch. If an outstanding copy fails, the next copy is launched
+// immediately. This is the "hedged request" variant of redundancy: most of
+// the tail-latency benefit of full replication at a small fraction of the
+// added load (only operations slower than delay incur extra copies).
+func Hedged[T any](ctx context.Context, delay time.Duration, replicas ...Replica[T]) (Result[T], error) {
+	if len(replicas) == 0 {
+		var zero Result[T]
+		return zero, ErrNoReplicas
+	}
+	delays := make([]time.Duration, len(replicas))
+	for i := range delays {
+		delays[i] = delay
+	}
+	return race(ctx, delays, replicas)
+}
+
+// HedgedSchedule is Hedged with an explicit per-copy delay schedule:
+// replica i+1 launches delays[i+1] after replica i (delays[0] is ignored;
+// the first copy always starts immediately).
+func HedgedSchedule[T any](ctx context.Context, delays []time.Duration, replicas ...Replica[T]) (Result[T], error) {
+	if len(replicas) == 0 {
+		var zero Result[T]
+		return zero, ErrNoReplicas
+	}
+	if len(delays) != len(replicas) {
+		var zero Result[T]
+		return zero, fmt.Errorf("redundancy: %d delays for %d replicas", len(delays), len(replicas))
+	}
+	return race(ctx, delays, replicas)
+}

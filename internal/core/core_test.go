@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sleeper returns a replica that returns v after d, or ctx.Err() if
+// cancelled first.
+func sleeper[T any](v T, d time.Duration) Replica[T] {
+	return func(ctx context.Context) (T, error) {
+		select {
+		case <-time.After(d):
+			return v, nil
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}
+
+func failer[T any](err error, d time.Duration) Replica[T] {
+	return func(ctx context.Context) (T, error) {
+		var zero T
+		select {
+		case <-time.After(d):
+			return zero, err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+}
+
+func TestFirstReturnsFastest(t *testing.T) {
+	res, err := First(context.Background(),
+		sleeper("slow", 200*time.Millisecond),
+		sleeper("fast", 5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "fast" || res.Index != 1 {
+		t.Errorf("got %q from index %d, want fast/1", res.Value, res.Index)
+	}
+	if res.Launched != 2 {
+		t.Errorf("Launched = %d, want 2", res.Launched)
+	}
+	if res.Latency > 150*time.Millisecond {
+		t.Errorf("did not return at first response: latency %v", res.Latency)
+	}
+}
+
+func TestFirstCancelsLosers(t *testing.T) {
+	var cancelled atomic.Bool
+	loser := func(ctx context.Context) (string, error) {
+		select {
+		case <-ctx.Done():
+			cancelled.Store(true)
+			return "", ctx.Err()
+		case <-time.After(5 * time.Second):
+			return "too slow", nil
+		}
+	}
+	_, err := First(context.Background(), sleeper("win", time.Millisecond), loser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for !cancelled.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !cancelled.Load() {
+		t.Error("loser was not cancelled after winner returned")
+	}
+}
+
+func TestFirstSkipsFailuresAndUsesSlowerSuccess(t *testing.T) {
+	res, err := First(context.Background(),
+		failer[string](errors.New("boom"), time.Millisecond),
+		sleeper("ok", 20*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "ok" {
+		t.Errorf("got %q, want ok", res.Value)
+	}
+}
+
+func TestFirstAllFailJoinsErrors(t *testing.T) {
+	e1, e2 := errors.New("first bad"), errors.New("second bad")
+	_, err := First(context.Background(),
+		failer[int](e1, time.Millisecond),
+		failer[int](e2, 2*time.Millisecond),
+	)
+	if err == nil {
+		t.Fatal("want error when all replicas fail")
+	}
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Errorf("joined error missing causes: %v", err)
+	}
+	if !strings.Contains(err.Error(), "replica 0") || !strings.Contains(err.Error(), "replica 1") {
+		t.Errorf("error should identify replicas: %v", err)
+	}
+}
+
+func TestFirstNoReplicas(t *testing.T) {
+	_, err := First[int](context.Background())
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("got %v, want ErrNoReplicas", err)
+	}
+}
+
+func TestFirstParentContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := First(ctx, sleeper("never", 5*time.Second))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancel did not unblock First promptly")
+	}
+}
+
+func TestFirstValue(t *testing.T) {
+	v, err := FirstValue(context.Background(), sleeper(42, time.Millisecond))
+	if err != nil || v != 42 {
+		t.Errorf("FirstValue = (%v, %v), want (42, nil)", v, err)
+	}
+}
+
+func TestFirstNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		_, err := First(context.Background(),
+			sleeper("fast", time.Millisecond),
+			sleeper("slow", 30*time.Millisecond),
+			failer[string](errors.New("x"), 10*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give losers time to observe cancellation and exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	after := runtime.NumGoroutine()
+	if after > before+5 {
+		t.Errorf("goroutines grew from %d to %d: leak", before, after)
+	}
+}
+
+func TestHedgedSingleCopyWhenFast(t *testing.T) {
+	var launches atomic.Int32
+	mk := func(v string, d time.Duration) Replica[string] {
+		inner := sleeper(v, d)
+		return func(ctx context.Context) (string, error) {
+			launches.Add(1)
+			return inner(ctx)
+		}
+	}
+	res, err := Hedged(context.Background(), 100*time.Millisecond,
+		mk("primary", 5*time.Millisecond),
+		mk("hedge", 5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "primary" {
+		t.Errorf("got %q, want primary", res.Value)
+	}
+	if n := launches.Load(); n != 1 {
+		t.Errorf("launched %d copies, want 1 (hedge not needed)", n)
+	}
+	if res.Launched != 1 {
+		t.Errorf("Launched = %d, want 1", res.Launched)
+	}
+}
+
+func TestHedgedLaunchesSecondWhenSlow(t *testing.T) {
+	res, err := Hedged(context.Background(), 10*time.Millisecond,
+		sleeper("slow-primary", 500*time.Millisecond),
+		sleeper("hedge", 5*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "hedge" || res.Index != 1 {
+		t.Errorf("got %q from %d, want hedge/1", res.Value, res.Index)
+	}
+	if res.Latency > 200*time.Millisecond {
+		t.Errorf("hedge too slow: %v", res.Latency)
+	}
+}
+
+func TestHedgedImmediateOnFailure(t *testing.T) {
+	// If the primary fails fast, the hedge launches immediately rather
+	// than waiting out the delay.
+	start := time.Now()
+	res, err := Hedged(context.Background(), 5*time.Second,
+		failer[string](errors.New("down"), time.Millisecond),
+		sleeper("backup", time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "backup" {
+		t.Errorf("got %q, want backup", res.Value)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("hedge waited for delay after primary failure")
+	}
+}
+
+func TestHedgedAllFail(t *testing.T) {
+	_, err := Hedged(context.Background(), time.Millisecond,
+		failer[int](errors.New("a"), time.Millisecond),
+		failer[int](errors.New("b"), time.Millisecond),
+	)
+	if err == nil || !strings.Contains(err.Error(), "a") || !strings.Contains(err.Error(), "b") {
+		t.Errorf("want joined errors, got %v", err)
+	}
+}
+
+func TestHedgedScheduleLengthMismatch(t *testing.T) {
+	_, err := HedgedSchedule(context.Background(), []time.Duration{0},
+		sleeper(1, time.Millisecond), sleeper(2, time.Millisecond))
+	if err == nil {
+		t.Error("mismatched schedule accepted")
+	}
+}
+
+func TestHedgedScheduleStaggers(t *testing.T) {
+	var order []int
+	var mu chanLock
+	mk := func(i int, d time.Duration) Replica[int] {
+		return func(ctx context.Context) (int, error) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return sleeper(i, d)(ctx)
+		}
+	}
+	res, err := HedgedSchedule(context.Background(),
+		[]time.Duration{0, 5 * time.Millisecond, 5 * time.Millisecond},
+		mk(0, time.Hour), mk(1, time.Hour), mk(2, time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 {
+		t.Errorf("got %d, want 2", res.Value)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("launch order %v, want [0 1 2]", order)
+	}
+}
+
+// chanLock is a tiny mutex built on a channel so this test file has no
+// sync import beyond atomic.
+type chanLock struct{ ch chan struct{} }
+
+func (l *chanLock) Lock() {
+	if l.ch == nil {
+		l.ch = make(chan struct{}, 1)
+	}
+	l.ch <- struct{}{}
+}
+func (l *chanLock) Unlock() { <-l.ch }
+
+func TestFirstManyReplicas(t *testing.T) {
+	reps := make([]Replica[int], 64)
+	for i := range reps {
+		d := time.Duration(i+1) * 10 * time.Millisecond
+		if i == 17 {
+			d = time.Millisecond
+		}
+		reps[i] = sleeper(i, d)
+	}
+	res, err := First(context.Background(), reps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 17 {
+		t.Errorf("winner %d, want 17", res.Value)
+	}
+}
+
+func TestResultLatencyMeasured(t *testing.T) {
+	res, err := First(context.Background(), sleeper("x", 30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency < 20*time.Millisecond || res.Latency > 500*time.Millisecond {
+		t.Errorf("latency %v implausible for 30ms replica", res.Latency)
+	}
+}
+
+func ExampleFirst() {
+	ctx := context.Background()
+	res, err := First(ctx,
+		func(ctx context.Context) (string, error) {
+			time.Sleep(50 * time.Millisecond)
+			return "slow server", nil
+		},
+		func(ctx context.Context) (string, error) {
+			return "fast server", nil
+		},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Value)
+	// Output: fast server
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Policy controls how a Group replicates each operation.
+type Policy struct {
+	// Copies is the number of replicas to use per operation (k). Values
+	// below 1 are treated as 1. If the group has fewer replicas, every
+	// replica is used.
+	Copies int
+	// HedgeDelay, when non-zero, staggers copies: copy i+1 launches only
+	// if no response arrived HedgeDelay after copy i. Zero launches all
+	// copies immediately (full replication, as in §2 of the paper).
+	HedgeDelay time.Duration
+	// Selection chooses which k of the group's replicas serve an
+	// operation. The default is SelectRanked.
+	Selection Selection
+}
+
+// Selection is a replica-selection strategy.
+type Selection int
+
+const (
+	// SelectRanked picks the k replicas with the lowest observed
+	// exponentially-weighted mean latency — the paper's DNS strategy
+	// ("querying anywhere from 1 to 10 of the best servers in parallel").
+	// Unprobed replicas rank first so every replica gets measured.
+	SelectRanked Selection = iota
+	// SelectRandom picks k distinct replicas uniformly at random — the
+	// queueing model's strategy, which spreads replicated load evenly.
+	SelectRandom
+	// SelectRoundRobin rotates through replicas in order.
+	SelectRoundRobin
+)
+
+func (s Selection) String() string {
+	switch s {
+	case SelectRanked:
+		return "ranked"
+	case SelectRandom:
+		return "random"
+	case SelectRoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// Group manages a set of named replicas for repeated redundant operations,
+// tracking per-replica latency so ranked selection can prefer the fastest.
+// All methods are safe for concurrent use.
+type Group[T any] struct {
+	mu       sync.Mutex
+	replicas []member[T]
+	policy   Policy
+	budget   *Budget
+	observer Observer
+	rng      *rand.Rand
+	rr       int // round-robin cursor
+}
+
+type member[T any] struct {
+	name string
+	fn   Replica[T]
+	ewma ewma
+}
+
+// GroupOption configures a Group.
+type GroupOption[T any] func(*Group[T])
+
+// WithBudget attaches a hedging budget: operations consult the budget
+// before launching extra copies, degrading to a single copy when the
+// budget is exhausted.
+func WithBudget[T any](b *Budget) GroupOption[T] {
+	return func(g *Group[T]) { g.budget = b }
+}
+
+// WithObserver attaches an Observer for per-operation metrics.
+func WithObserver[T any](o Observer) GroupOption[T] {
+	return func(g *Group[T]) { g.observer = o }
+}
+
+// WithSeed fixes the seed of the group's random selection, for
+// reproducible tests and simulations.
+func WithSeed[T any](seed int64) GroupOption[T] {
+	return func(g *Group[T]) { g.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewGroup creates a Group with the given policy.
+func NewGroup[T any](policy Policy, opts ...GroupOption[T]) *Group[T] {
+	if policy.Copies < 1 {
+		policy.Copies = 1
+	}
+	g := &Group[T]{
+		policy: policy,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// Add registers a replica under a diagnostic name. Replicas cannot be
+// removed; real deployments roll a new Group on membership change, which
+// keeps the hot path lock cheap.
+func (g *Group[T]) Add(name string, fn Replica[T]) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.replicas = append(g.replicas, member[T]{name: name, fn: fn, ewma: newEWMA()})
+}
+
+// Len returns the number of registered replicas.
+func (g *Group[T]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.replicas)
+}
+
+// Names returns the replica names in registration order.
+func (g *Group[T]) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.replicas))
+	for i, m := range g.replicas {
+		out[i] = m.name
+	}
+	return out
+}
+
+// RankedNames returns the replica names ordered by current estimated
+// latency, fastest first (unprobed replicas first).
+func (g *Group[T]) RankedNames() []string {
+	g.mu.Lock()
+	idx := g.rankedLocked()
+	names := make([]string, len(idx))
+	for i, j := range idx {
+		names[i] = g.replicas[j].name
+	}
+	g.mu.Unlock()
+	return names
+}
+
+// EstimatedLatency returns the current latency estimate for a replica and
+// whether it has been observed at all.
+func (g *Group[T]) EstimatedLatency(name string) (time.Duration, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.replicas {
+		if g.replicas[i].name == name {
+			v, ok := g.replicas[i].ewma.value()
+			return time.Duration(v), ok
+		}
+	}
+	return 0, false
+}
+
+// Do performs one redundant operation under the group's policy.
+func (g *Group[T]) Do(ctx context.Context) (Result[T], error) {
+	picked, names := g.pick()
+	if len(picked) == 0 {
+		var zero Result[T]
+		return zero, ErrNoReplicas
+	}
+
+	copies := len(picked)
+	extra := copies - 1
+	granted := 0
+	if extra > 0 && g.budget != nil {
+		granted = g.budget.Acquire(extra)
+		if granted < extra {
+			copies = 1 + granted
+			picked = picked[:copies]
+			names = names[:copies]
+		}
+	}
+
+	// Wrap each replica to record per-copy latency into the ranker.
+	wrapped := make([]Replica[T], copies)
+	for i := range picked {
+		i := i
+		m := picked[i]
+		wrapped[i] = func(ctx context.Context) (T, error) {
+			t0 := time.Now()
+			v, err := m.fn(ctx)
+			if err == nil {
+				g.observe(m.name, time.Since(t0))
+			}
+			return v, err
+		}
+	}
+
+	var res Result[T]
+	var err error
+	if g.policy.HedgeDelay > 0 {
+		res, err = Hedged(ctx, g.policy.HedgeDelay, wrapped...)
+	} else {
+		res, err = First(ctx, wrapped...)
+	}
+	// Tokens pay for copies actually launched; refund hedge copies the
+	// primary's fast response made unnecessary.
+	if granted > 0 {
+		used := res.Launched - 1
+		if used < 0 {
+			used = 0
+		}
+		if unused := granted - used; unused > 0 {
+			g.budget.Release(unused)
+		}
+	}
+	if g.observer != nil {
+		name := ""
+		if err == nil && res.Index < len(names) {
+			name = names[res.Index]
+		}
+		g.observer.Observe(Observation{
+			Winner:   name,
+			Launched: res.Launched,
+			Latency:  res.Latency,
+			Err:      err,
+		})
+	}
+	return res, err
+}
+
+// ProbeAll runs every replica once, concurrently and to completion (no
+// racing, no cancellation on first response), recording each successful
+// replica's latency for ranked selection. It mirrors the measurement stage
+// of the paper's DNS experiment, which ranks all servers by mean response
+// time before replicating to the best k. It returns the number of replicas
+// that responded successfully.
+//
+// Use it to warm a ranked Group: racing alone cannot measure losers,
+// because their contexts are cancelled as soon as the winner returns.
+func (g *Group[T]) ProbeAll(ctx context.Context) int {
+	g.mu.Lock()
+	members := append([]member[T](nil), g.replicas...)
+	g.mu.Unlock()
+	type outcome struct {
+		name string
+		d    time.Duration
+		err  error
+	}
+	ch := make(chan outcome, len(members))
+	for _, m := range members {
+		m := m
+		go func() {
+			t0 := time.Now()
+			_, err := m.fn(ctx)
+			ch <- outcome{name: m.name, d: time.Since(t0), err: err}
+		}()
+	}
+	ok := 0
+	for range members {
+		o := <-ch
+		if o.err == nil {
+			g.observe(o.name, o.d)
+			ok++
+		}
+	}
+	return ok
+}
+
+// pick selects the policy's k replicas; it returns the members and their
+// names in launch order.
+func (g *Group[T]) pick() ([]member[T], []string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := len(g.replicas)
+	if n == 0 {
+		return nil, nil
+	}
+	k := g.policy.Copies
+	if k > n {
+		k = n
+	}
+	var idx []int
+	switch g.policy.Selection {
+	case SelectRandom:
+		idx = g.rng.Perm(n)[:k]
+	case SelectRoundRobin:
+		idx = make([]int, k)
+		for i := 0; i < k; i++ {
+			idx[i] = (g.rr + i) % n
+		}
+		g.rr = (g.rr + k) % n
+	default: // SelectRanked
+		idx = g.rankedLocked()[:k]
+	}
+	picked := make([]member[T], k)
+	names := make([]string, k)
+	for i, j := range idx {
+		picked[i] = g.replicas[j]
+		names[i] = g.replicas[j].name
+	}
+	return picked, names
+}
+
+// rankedLocked returns all replica indices ordered fastest-first, unprobed
+// replicas first (so they get probed). Caller holds g.mu.
+func (g *Group[T]) rankedLocked() []int {
+	idx := make([]int, len(g.replicas))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		va, oka := g.replicas[idx[a]].ewma.value()
+		vb, okb := g.replicas[idx[b]].ewma.value()
+		if oka != okb {
+			return !oka // unprobed first
+		}
+		return va < vb
+	})
+	return idx
+}
+
+func (g *Group[T]) observe(name string, d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.replicas {
+		if g.replicas[i].name == name {
+			g.replicas[i].ewma.add(float64(d))
+			return
+		}
+	}
+}
+
+// ewma is an exponentially weighted moving average of latencies.
+type ewma struct {
+	val   float64
+	n     int64
+	alpha float64
+}
+
+func newEWMA() ewma { return ewma{alpha: 0.2} }
+
+func (e *ewma) add(x float64) {
+	if e.n == 0 {
+		e.val = x
+	} else {
+		e.val = e.alpha*x + (1-e.alpha)*e.val
+	}
+	e.n++
+}
+
+func (e *ewma) value() (float64, bool) { return e.val, e.n > 0 }

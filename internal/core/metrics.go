@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Observation describes one completed redundant operation for metrics.
+type Observation struct {
+	// Winner is the name of the replica whose response was used; empty if
+	// the operation failed.
+	Winner string
+	// Launched is how many copies were started.
+	Launched int
+	// Latency is the end-to-end operation latency.
+	Latency time.Duration
+	// Err is the operation's error, nil on success.
+	Err error
+}
+
+// Observer receives per-operation metrics from a Group.
+type Observer interface {
+	Observe(Observation)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Observation)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(o Observation) { f(o) }
+
+// Counters is a ready-made Observer that aggregates wins per replica,
+// total copies launched, successes, and failures. All methods are safe
+// for concurrent use.
+type Counters struct {
+	mu       sync.Mutex
+	wins     map[string]int64
+	ops      int64
+	failures int64
+	launched int64
+	totalLat time.Duration
+}
+
+// NewCounters returns an empty Counters.
+func NewCounters() *Counters { return &Counters{wins: make(map[string]int64)} }
+
+// Observe implements Observer.
+func (c *Counters) Observe(o Observation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	c.launched += int64(o.Launched)
+	if o.Err != nil {
+		c.failures++
+		return
+	}
+	c.wins[o.Winner]++
+	c.totalLat += o.Latency
+}
+
+// Ops returns the number of operations observed.
+func (c *Counters) Ops() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Failures returns the number of failed operations.
+func (c *Counters) Failures() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failures
+}
+
+// Wins returns a copy of the per-replica win counts.
+func (c *Counters) Wins() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.wins))
+	for k, v := range c.wins {
+		out[k] = v
+	}
+	return out
+}
+
+// CopiesPerOp returns the average number of copies launched per operation —
+// the realized redundancy overhead (1.0 means no redundancy used).
+func (c *Counters) CopiesPerOp() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ops == 0 {
+		return 0
+	}
+	return float64(c.launched) / float64(c.ops)
+}
+
+// MeanLatency returns the mean latency of successful operations.
+func (c *Counters) MeanLatency() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	succ := c.ops - c.failures
+	if succ == 0 {
+		return 0
+	}
+	return c.totalLat / time.Duration(succ)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Outcome is one replica's result within a multi-result operation.
+type Outcome[T any] struct {
+	Value   T
+	Err     error
+	Index   int
+	Latency time.Duration
+}
+
+// Quorum runs every replica concurrently and returns as soon as q of them
+// succeed, cancelling the rest. It generalizes First (q = 1) to the
+// read-repair and consistency patterns of replicated storage systems:
+// R-of-N quorum reads are redundancy with a success threshold.
+//
+// The returned outcomes are the q winning results in completion order.
+// If fewer than q replicas can succeed, Quorum returns the joined errors.
+func Quorum[T any](ctx context.Context, q int, replicas ...Replica[T]) ([]Outcome[T], error) {
+	if len(replicas) == 0 {
+		return nil, ErrNoReplicas
+	}
+	if q < 1 || q > len(replicas) {
+		return nil, fmt.Errorf("redundancy: quorum %d of %d replicas", q, len(replicas))
+	}
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan indexed[T], len(replicas))
+	for i := range replicas {
+		i := i
+		go func() {
+			v, err := replicas[i](ctx)
+			results <- indexed[T]{val: v, err: err, idx: i}
+		}()
+	}
+
+	var wins []Outcome[T]
+	var errs []error
+	for done := 0; done < len(replicas); done++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				errs = append(errs, fmt.Errorf("replica %d: %w", r.idx, r.err))
+				if len(errs) > len(replicas)-q {
+					return nil, errors.Join(errs...)
+				}
+				continue
+			}
+			wins = append(wins, Outcome[T]{
+				Value: r.val, Index: r.idx, Latency: time.Since(start),
+			})
+			if len(wins) == q {
+				return wins, nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Unreachable: either q successes or > n-q failures occurs first.
+	return nil, errors.Join(errs...)
+}
+
+// All runs every replica to completion (no cancellation on success) and
+// returns every outcome in replica order. It is the measurement mode of
+// redundancy — the paper's DNS experiment stage 1 queries every server and
+// records each latency — and a building block for scatter-gather reads.
+func All[T any](ctx context.Context, replicas ...Replica[T]) []Outcome[T] {
+	out := make([]Outcome[T], len(replicas))
+	done := make(chan int, len(replicas))
+	start := time.Now()
+	for i := range replicas {
+		i := i
+		go func() {
+			v, err := replicas[i](ctx)
+			out[i] = Outcome[T]{Value: v, Err: err, Index: i, Latency: time.Since(start)}
+			done <- i
+		}()
+	}
+	for range replicas {
+		<-done
+	}
+	return out
+}
+
+// Fastest returns the successful outcomes of All, sorted by latency.
+func Fastest[T any](outcomes []Outcome[T]) []Outcome[T] {
+	ok := make([]Outcome[T], 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Err == nil {
+			ok = append(ok, o)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].Latency < ok[j].Latency })
+	return ok
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestQuorumFirstQSuccesses(t *testing.T) {
+	outs, err := Quorum(context.Background(), 2,
+		sleeper("a", 5*time.Millisecond),
+		sleeper("b", 10*time.Millisecond),
+		sleeper("c", 500*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	if outs[0].Value != "a" || outs[1].Value != "b" {
+		t.Errorf("quorum values %q, %q; want a, b (completion order)", outs[0].Value, outs[1].Value)
+	}
+	if outs[1].Latency > 300*time.Millisecond {
+		t.Error("quorum waited for the slow replica")
+	}
+}
+
+func TestQuorumOfOneIsFirst(t *testing.T) {
+	outs, err := Quorum(context.Background(), 1,
+		sleeper(1, 50*time.Millisecond),
+		sleeper(2, time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Value != 2 {
+		t.Errorf("outs = %+v", outs)
+	}
+}
+
+func TestQuorumToleratesFailuresUpToNMinusQ(t *testing.T) {
+	outs, err := Quorum(context.Background(), 2,
+		failer[int](errors.New("down"), time.Millisecond),
+		sleeper(1, 5*time.Millisecond),
+		sleeper(2, 10*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+}
+
+func TestQuorumFailsWhenImpossible(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	_, err := Quorum(context.Background(), 2,
+		failer[int](e1, time.Millisecond),
+		failer[int](e2, time.Millisecond),
+		sleeper(1, 5*time.Millisecond),
+	)
+	if err == nil {
+		t.Fatal("2-of-3 quorum with 2 failures should error")
+	}
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Errorf("joined error missing causes: %v", err)
+	}
+}
+
+func TestQuorumValidation(t *testing.T) {
+	if _, err := Quorum[int](context.Background(), 1); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Quorum(context.Background(), 0, sleeper(1, 0)); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := Quorum(context.Background(), 3, sleeper(1, 0), sleeper(2, 0)); err == nil {
+		t.Error("q > n accepted")
+	}
+}
+
+func TestQuorumContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := Quorum(ctx, 1, sleeper(1, 5*time.Second))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	outs := All(context.Background(),
+		sleeper("x", time.Millisecond),
+		failer[string](errors.New("bad"), time.Millisecond),
+		sleeper("z", 20*time.Millisecond),
+	)
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	if outs[0].Value != "x" || outs[0].Err != nil {
+		t.Errorf("outcome 0 = %+v", outs[0])
+	}
+	if outs[1].Err == nil {
+		t.Error("outcome 1 should carry the error")
+	}
+	if outs[2].Value != "z" || outs[2].Index != 2 {
+		t.Errorf("outcome 2 = %+v", outs[2])
+	}
+	// All preserves replica order regardless of completion order.
+	if outs[2].Latency < outs[0].Latency {
+		t.Error("latencies inconsistent with sleep durations")
+	}
+}
+
+func TestFastestSortsAndFilters(t *testing.T) {
+	outs := All(context.Background(),
+		sleeper("slow", 30*time.Millisecond),
+		failer[string](errors.New("x"), time.Millisecond),
+		sleeper("fast", time.Millisecond),
+	)
+	fastest := Fastest(outs)
+	if len(fastest) != 2 {
+		t.Fatalf("Fastest kept %d outcomes", len(fastest))
+	}
+	if fastest[0].Value != "fast" || fastest[1].Value != "slow" {
+		t.Errorf("order: %q then %q", fastest[0].Value, fastest[1].Value)
+	}
+}

@@ -1,0 +1,124 @@
+package dnslab
+
+import (
+	"testing"
+
+	"redundancy/internal/analytic"
+)
+
+func runSmall(t *testing.T, seed int64) *Result {
+	t.Helper()
+	r, err := Run(Config{Vantages: 8, Servers: 10, QueriesPerStage: 12000, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTailImprovementFactors(t *testing.T) {
+	// Figure 15: querying 10 servers cuts the fraction of queries slower
+	// than 500 ms by several-fold, and slower than 1.5 s dramatically
+	// (paper: 6.5x and 50x).
+	r := runSmall(t, 1)
+	f1 := r.PerK[0].FractionAbove(0.5)
+	f10 := r.PerK[9].FractionAbove(0.5)
+	if f1 == 0 {
+		t.Fatal("baseline has no 500ms tail; model too benign")
+	}
+	if f10 >= f1/3 {
+		t.Errorf("500ms tail: %g -> %g, want >= 3x reduction", f1, f10)
+	}
+	s1 := r.PerK[0].FractionAbove(1.5)
+	s10 := r.PerK[9].FractionAbove(1.5)
+	if s1 == 0 {
+		t.Fatal("baseline has no 1.5s tail")
+	}
+	if s10 >= s1/10 {
+		t.Errorf("1.5s tail: %g -> %g, want >= 10x reduction", s1, s10)
+	}
+}
+
+func TestReductionGrowsWithCopies(t *testing.T) {
+	// Figure 16: every metric improves substantially with 2 servers and
+	// keeps improving to 10 (50-62% there).
+	r := runSmall(t, 2)
+	metrics := map[string]func(int) float64{
+		"mean":   func(k int) float64 { return r.Reduction(k, Mean) },
+		"median": func(k int) float64 { return r.Reduction(k, Median) },
+		"p99":    func(k int) float64 { return r.Reduction(k, P99) },
+	}
+	for name, f := range metrics {
+		r2, r10 := f(2), f(10)
+		if r2 < 5 {
+			t.Errorf("%s reduction at k=2 is %.1f%%, want substantial", name, r2)
+		}
+		if r10 <= r2 {
+			t.Errorf("%s reduction did not grow: k=2 %.1f%% vs k=10 %.1f%%", name, r2, r10)
+		}
+	}
+	if r10 := r.Reduction(10, Mean); r10 < 30 || r10 > 80 {
+		t.Errorf("mean reduction at 10 servers = %.1f%%, paper reports 50-62%%", r10)
+	}
+}
+
+func TestMarginalValueCrossesBreakEven(t *testing.T) {
+	// Figure 17: the 2nd server is clearly worth 16 ms/KB in the mean;
+	// by the 10th the marginal mean value has fallen well below the 99th
+	// percentile's.
+	r := runSmall(t, 3)
+	m2 := r.MarginalMsPerKB(2, Mean)
+	if m2 < analytic.BreakEvenMsPerKB {
+		t.Errorf("2nd server marginal mean value %.1f ms/KB below break-even", m2)
+	}
+	m10 := r.MarginalMsPerKB(10, Mean)
+	if m10 >= m2 {
+		t.Errorf("marginal value should diminish: k=2 %.1f vs k=10 %.1f", m2, m10)
+	}
+	p2 := r.MarginalMsPerKB(2, P99)
+	if p2 < analytic.BreakEvenMsPerKB {
+		t.Errorf("2nd server marginal p99 value %.1f ms/KB below break-even", p2)
+	}
+}
+
+func TestTimeoutCapsResponses(t *testing.T) {
+	r := runSmall(t, 4)
+	for k := 1; k <= 10; k++ {
+		if max := r.PerK[k-1].Max(); max > 2.0 {
+			t.Errorf("k=%d: response %g exceeds the 2s cutoff", k, max)
+		}
+	}
+}
+
+func TestMonotoneInK(t *testing.T) {
+	// More copies can only help in this no-queueing wide-area model
+	// (min over a superset): means should be nonincreasing in k, modulo
+	// sampling noise.
+	r := runSmall(t, 5)
+	prev := r.PerK[0].Mean()
+	for k := 2; k <= 10; k++ {
+		cur := r.PerK[k-1].Mean()
+		if cur > prev*1.05 {
+			t.Errorf("mean increased at k=%d: %g -> %g", k, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := runSmall(t, 6)
+	b := runSmall(t, 6)
+	if a.PerK[4].Mean() != b.PerK[4].Mean() {
+		t.Error("same-seed runs diverged")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{Vantages: 1, Servers: 1, QueriesPerStage: 1000}); err == nil {
+		t.Error("1-server config accepted")
+	}
+	bad := DefaultParams()
+	bad.Timeout = 0
+	if _, err := Run(Config{Vantages: 2, Servers: 4, QueriesPerStage: 1000, Params: bad}); err == nil {
+		t.Error("zero timeout accepted")
+	}
+}

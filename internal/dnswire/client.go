@@ -1,0 +1,204 @@
+package dnswire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+// Client sends DNS queries over UDP. It is safe for concurrent use; each
+// query uses its own socket, which also gives each query an unpredictable
+// source port (query IDs alone are too guessable to rely on).
+type Client struct {
+	// Timeout bounds each query (default 2 seconds, the paper's loss
+	// cutoff).
+	Timeout time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a Client with the given timeout (0 means 2 s).
+func NewClient(timeout time.Duration) *Client {
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	return &Client{
+		Timeout: timeout,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (c *Client) newID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+// ErrIDMismatch is returned when a response's transaction ID does not match
+// the query (possible spoofing or a stale datagram).
+var ErrIDMismatch = errors.New("dnswire: response ID mismatch")
+
+// Exchange sends the query to server (a "host:port" UDP address) and waits
+// for a matching response.
+func (c *Client) Exchange(ctx context.Context, server string, query *Message) (*Message, error) {
+	wire, err := Encode(query)
+	if err != nil {
+		return nil, err
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(c.Timeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
+	conn.SetDeadline(deadline)
+
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := Decode(buf[:n])
+		if err != nil {
+			// Malformed datagram; keep waiting for a valid one until the
+			// deadline.
+			continue
+		}
+		if resp.Header.ID != query.Header.ID {
+			// Stale or spoofed; keep waiting.
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// Query is a convenience wrapper: build a recursive query for name/qtype
+// with a fresh ID and exchange it with server.
+func (c *Client) Query(ctx context.Context, server, name string, qtype Type) (*Message, error) {
+	return c.Exchange(ctx, server, NewQuery(c.newID(), name, qtype))
+}
+
+// Resolver queries a set of DNS servers redundantly: each lookup goes to
+// the k lowest-latency servers in parallel (or staggered by a hedge
+// delay), and the first well-formed response wins — the paper's §3.2
+// replicated-DNS strategy.
+type Resolver struct {
+	client *Client
+	group  *core.Group[*Message]
+}
+
+type resolverQuery struct {
+	name  string
+	qtype Type
+}
+
+type resolverKey struct{}
+
+// NewResolver builds a Resolver over the given server addresses.
+// policy.Copies controls how many servers each lookup contacts (the paper
+// evaluates 1-10); policy.Selection defaults to ranked (the paper ranks
+// servers by observed mean response time).
+func NewResolver(client *Client, policy core.Policy, servers ...string) *Resolver {
+	if client == nil {
+		client = NewClient(0)
+	}
+	r := &Resolver{client: client}
+	g := core.NewGroup[*Message](policy)
+	for _, srv := range servers {
+		srv := srv
+		g.Add(srv, func(ctx context.Context) (*Message, error) {
+			q, _ := ctx.Value(resolverKey{}).(resolverQuery)
+			resp, err := client.Query(ctx, srv, q.name, q.qtype)
+			if err != nil {
+				return nil, err
+			}
+			if resp.Header.RCode != RCodeSuccess && resp.Header.RCode != RCodeNameError {
+				return nil, fmt.Errorf("dnswire: %s from %s", resp.Header.RCode, srv)
+			}
+			return resp, nil
+		})
+	}
+	r.group = g
+	return r
+}
+
+// Lookup resolves name/qtype through the replicated server set.
+func (r *Resolver) Lookup(ctx context.Context, name string, qtype Type) (*Message, error) {
+	ctx = context.WithValue(ctx, resolverKey{}, resolverQuery{name: name, qtype: qtype})
+	res, err := r.group.Do(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// LookupResult is Lookup with redundancy metadata (winning server, latency,
+// copies sent).
+func (r *Resolver) LookupResult(ctx context.Context, name string, qtype Type) (core.Result[*Message], error) {
+	ctx = context.WithValue(ctx, resolverKey{}, resolverQuery{name: name, qtype: qtype})
+	return r.group.Do(ctx)
+}
+
+// RankedServers returns the resolver's servers ordered by estimated
+// latency, fastest first.
+func (r *Resolver) RankedServers() []string { return r.group.RankedNames() }
+
+// Probe queries every server once for name/qtype, concurrently and to
+// completion, to establish per-server latency estimates — the ranking
+// stage of the paper's DNS experiment. It returns the number of servers
+// that answered.
+func (r *Resolver) Probe(ctx context.Context, name string, qtype Type) int {
+	ctx = context.WithValue(ctx, resolverKey{}, resolverQuery{name: name, qtype: qtype})
+	return r.group.ProbeAll(ctx)
+}
+
+// LookupA resolves name to IPv4 addresses, following one level of CNAME
+// indirection within the same response.
+func (r *Resolver) LookupA(ctx context.Context, name string) ([]net.IP, error) {
+	resp, err := r.Lookup(ctx, name, TypeA)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.RCode == RCodeNameError {
+		return nil, &NotFoundError{Name: name}
+	}
+	want := normalizeName(name)
+	cnames := map[string]string{}
+	var ips []net.IP
+	for _, rr := range resp.Answers {
+		switch rr.Type {
+		case TypeCNAME:
+			cnames[normalizeName(rr.Name)] = normalizeName(rr.Target)
+		case TypeA:
+			ips = append(ips, net.IP(rr.IP))
+		}
+	}
+	if len(ips) > 0 {
+		return ips, nil
+	}
+	if target, ok := cnames[want]; ok {
+		_ = target // CNAME with no A in the same message: report not found here.
+	}
+	return nil, &NotFoundError{Name: name}
+}
+
+// NotFoundError reports a name with no usable answer.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string { return "dnswire: no answer for " + e.Name }

@@ -1,0 +1,381 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode serializes the message to wire format, applying name compression
+// to every name it writes (owner names and CNAME/NS/PTR/MX targets).
+func Encode(m *Message) ([]byte, error) {
+	e := &encoder{offsets: make(map[string]int)}
+	var flags uint16
+	h := m.Header
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode) & 0xF
+
+	e.u16(h.ID)
+	e.u16(flags)
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(len(m.Answers)))
+	e.u16(uint16(len(m.Authority)))
+	e.u16(uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		if err := e.name(q.Name); err != nil {
+			return nil, err
+		}
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			if err := e.rr(&sec[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+type encoder struct {
+	buf     []byte
+	offsets map[string]int // fully-qualified suffix -> offset of its encoding
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// name writes a possibly-compressed domain name.
+func (e *encoder) name(name string) error {
+	labels, err := splitLabels(normalizeName(name))
+	if err != nil {
+		return err
+	}
+	for i := range labels {
+		suffix := joinFrom(labels, i)
+		if off, ok := e.offsets[suffix]; ok && off < 0x4000 {
+			e.u16(0xC000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x4000 {
+			e.offsets[suffix] = len(e.buf)
+		}
+		e.u8(uint8(len(labels[i])))
+		e.buf = append(e.buf, labels[i]...)
+	}
+	e.u8(0) // root
+	return nil
+}
+
+func joinFrom(labels []string, i int) string {
+	s := labels[i]
+	for _, l := range labels[i+1:] {
+		s += "." + l
+	}
+	return s
+}
+
+func (e *encoder) rr(r *RR) error {
+	if err := e.name(r.Name); err != nil {
+		return err
+	}
+	e.u16(uint16(r.Type))
+	e.u16(uint16(r.Class))
+	e.u32(r.TTL)
+	// RDLENGTH placeholder; backpatch after writing RDATA.
+	lenAt := len(e.buf)
+	e.u16(0)
+	start := len(e.buf)
+	switch r.Type {
+	case TypeA:
+		if len(r.IP) != 4 {
+			return fmt.Errorf("dnswire: A record needs 4-byte IP, got %d", len(r.IP))
+		}
+		e.buf = append(e.buf, r.IP...)
+	case TypeAAAA:
+		if len(r.IP) != 16 {
+			return fmt.Errorf("dnswire: AAAA record needs 16-byte IP, got %d", len(r.IP))
+		}
+		e.buf = append(e.buf, r.IP...)
+	case TypeCNAME, TypeNS, TypePTR:
+		if err := e.name(r.Target); err != nil {
+			return err
+		}
+	case TypeMX:
+		e.u16(r.Pref)
+		if err := e.name(r.Target); err != nil {
+			return err
+		}
+	case TypeTXT:
+		for _, s := range r.TXT {
+			if len(s) > 255 {
+				return fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+			}
+			e.u8(uint8(len(s)))
+			e.buf = append(e.buf, s...)
+		}
+	default:
+		e.buf = append(e.buf, r.Data...)
+	}
+	rdlen := len(e.buf) - start
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("dnswire: RDATA too long (%d)", rdlen)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(rdlen))
+	return nil
+}
+
+// Decode parses a wire-format message.
+func Decode(data []byte) (*Message, error) {
+	d := &decoder{data: data}
+	m := &Message{}
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		Opcode:             uint8(flags >> 11 & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < int(counts[0]); i++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		qt, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		qc, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(qt), Class: Class(qc)})
+	}
+	for sec, dst := range []*[]RR{&m.Answers, &m.Authority, &m.Additional} {
+		for i := 0; i < int(counts[sec+1]); i++ {
+			rr, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, rr)
+		}
+	}
+	return m, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.pos+1 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := d.data[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(d.data[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.data) {
+		return nil, ErrTruncated
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// name reads a possibly-compressed name starting at the current position.
+func (d *decoder) name() (string, error) {
+	s, next, err := readName(d.data, d.pos)
+	if err != nil {
+		return "", err
+	}
+	d.pos = next
+	return s, nil
+}
+
+// readName parses a name at off, returning the name and the offset just
+// past its in-place encoding (compression pointers are followed without
+// advancing past them more than once).
+func readName(data []byte, off int) (string, int, error) {
+	var sb []byte
+	pos := off
+	next := -1 // position after the first pointer, i.e. where parsing resumes
+	hops := 0
+	for {
+		if pos >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		b := data[pos]
+		switch {
+		case b == 0:
+			pos++
+			if next == -1 {
+				next = pos
+			}
+			return string(sb), next, nil
+		case b&0xC0 == 0xC0:
+			if pos+2 > len(data) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(data[pos:]) & 0x3FFF)
+			if next == -1 {
+				next = pos + 2
+			}
+			if ptr >= pos {
+				return "", 0, ErrPointerLoop
+			}
+			pos = ptr
+			hops++
+			if hops > 64 {
+				return "", 0, ErrTooManyPointers
+			}
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xC0)
+		default:
+			l := int(b)
+			if pos+1+l > len(data) {
+				return "", 0, ErrTruncated
+			}
+			if len(sb) > 0 {
+				sb = append(sb, '.')
+			}
+			sb = append(sb, data[pos+1:pos+1+l]...)
+			if len(sb) > 253 {
+				return "", 0, ErrNameTooLong
+			}
+			pos += 1 + l
+		}
+	}
+}
+
+func (d *decoder) rr() (RR, error) {
+	var r RR
+	name, err := d.name()
+	if err != nil {
+		return r, err
+	}
+	r.Name = name
+	t, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	r.Type = Type(t)
+	c, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	r.Class = Class(c)
+	if r.TTL, err = d.u32(); err != nil {
+		return r, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return r, err
+	}
+	end := d.pos + int(rdlen)
+	if end > len(d.data) {
+		return r, ErrTruncated
+	}
+	switch r.Type {
+	case TypeA:
+		b, err := d.bytes(4)
+		if err != nil || int(rdlen) != 4 {
+			return r, fmt.Errorf("dnswire: bad A RDATA")
+		}
+		r.IP = append([]byte(nil), b...)
+	case TypeAAAA:
+		b, err := d.bytes(16)
+		if err != nil || int(rdlen) != 16 {
+			return r, fmt.Errorf("dnswire: bad AAAA RDATA")
+		}
+		r.IP = append([]byte(nil), b...)
+	case TypeCNAME, TypeNS, TypePTR:
+		if r.Target, err = d.name(); err != nil {
+			return r, err
+		}
+	case TypeMX:
+		if r.Pref, err = d.u16(); err != nil {
+			return r, err
+		}
+		if r.Target, err = d.name(); err != nil {
+			return r, err
+		}
+	case TypeTXT:
+		for d.pos < end {
+			l, err := d.u8()
+			if err != nil {
+				return r, err
+			}
+			s, err := d.bytes(int(l))
+			if err != nil {
+				return r, err
+			}
+			r.TXT = append(r.TXT, string(s))
+		}
+	default:
+		b, err := d.bytes(int(rdlen))
+		if err != nil {
+			return r, err
+		}
+		r.Data = append([]byte(nil), b...)
+	}
+	if d.pos != end {
+		return r, fmt.Errorf("dnswire: RDATA length mismatch for %s", r.Type)
+	}
+	return r, nil
+}

@@ -1,0 +1,258 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "www.example.com", TypeA)
+	got := roundTrip(t, q)
+	if got.Header.ID != 0x1234 || got.Header.Response || !got.Header.RecursionDesired {
+		t.Errorf("header mangled: %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "www.example.com" || got.Questions[0].Type != TypeA ||
+		got.Questions[0].Class != ClassIN {
+		t.Errorf("question mangled: %+v", got.Questions[0])
+	}
+}
+
+func TestResponseRoundTripAllTypes(t *testing.T) {
+	q := NewQuery(7, "multi.example.org", TypeANY)
+	resp := NewResponse(q, RCodeSuccess)
+	resp.Header.Authoritative = true
+	resp.Answers = []RR{
+		{Name: "multi.example.org", Type: TypeA, Class: ClassIN, TTL: 300, IP: []byte{192, 0, 2, 1}},
+		{Name: "multi.example.org", Type: TypeAAAA, Class: ClassIN, TTL: 300,
+			IP: bytes.Repeat([]byte{0x20, 0x01}, 8)},
+		{Name: "alias.example.org", Type: TypeCNAME, Class: ClassIN, TTL: 60, Target: "multi.example.org"},
+		{Name: "multi.example.org", Type: TypeMX, Class: ClassIN, TTL: 60, Pref: 10, Target: "mx.example.org"},
+		{Name: "multi.example.org", Type: TypeTXT, Class: ClassIN, TTL: 60, TXT: []string{"v=spf1 -all", "second"}},
+	}
+	resp.Authority = []RR{
+		{Name: "example.org", Type: TypeNS, Class: ClassIN, TTL: 86400, Target: "ns1.example.org"},
+	}
+	got := roundTrip(t, resp)
+	if !got.Header.Response || !got.Header.Authoritative || got.Header.RCode != RCodeSuccess {
+		t.Errorf("header mangled: %+v", got.Header)
+	}
+	if len(got.Answers) != 5 || len(got.Authority) != 1 {
+		t.Fatalf("section sizes %d/%d", len(got.Answers), len(got.Authority))
+	}
+	if !net.IP(got.Answers[0].IP).Equal(net.IPv4(192, 0, 2, 1)) {
+		t.Errorf("A RDATA %v", got.Answers[0].IP)
+	}
+	if got.Answers[2].Target != "multi.example.org" {
+		t.Errorf("CNAME target %q", got.Answers[2].Target)
+	}
+	if got.Answers[3].Pref != 10 || got.Answers[3].Target != "mx.example.org" {
+		t.Errorf("MX mangled: %+v", got.Answers[3])
+	}
+	if !reflect.DeepEqual(got.Answers[4].TXT, []string{"v=spf1 -all", "second"}) {
+		t.Errorf("TXT mangled: %v", got.Answers[4].TXT)
+	}
+	if got.Authority[0].Target != "ns1.example.org" {
+		t.Errorf("NS mangled: %+v", got.Authority[0])
+	}
+}
+
+func TestNameCompressionShrinksMessages(t *testing.T) {
+	q := NewQuery(1, "host.department.example.com", TypeA)
+	resp := NewResponse(q, RCodeSuccess)
+	for i := 0; i < 10; i++ {
+		resp.Answers = append(resp.Answers, RR{
+			Name: "host.department.example.com", Type: TypeA, Class: ClassIN,
+			TTL: 60, IP: []byte{10, 0, 0, byte(i)},
+		})
+	}
+	wire, err := Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without compression each answer would repeat the 29-byte name; with
+	// pointers each costs 2 bytes. 10 answers: name bytes saved >= 250.
+	uncompressedFloor := 12 + 33 + 10*(29+10)
+	if len(wire) >= uncompressedFloor {
+		t.Errorf("message %d bytes; compression should keep it well under %d",
+			len(wire), uncompressedFloor)
+	}
+	// And it must still decode correctly.
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range got.Answers {
+		if rr.Name != "host.department.example.com" {
+			t.Fatalf("compressed name decoded as %q", rr.Name)
+		}
+	}
+}
+
+func TestCompressionPointerIntoRDATA(t *testing.T) {
+	// CNAME target sharing a suffix with the owner must compress and
+	// decode.
+	q := NewQuery(2, "a.example.com", TypeCNAME)
+	resp := NewResponse(q, RCodeSuccess)
+	resp.Answers = []RR{{Name: "a.example.com", Type: TypeCNAME, Class: ClassIN,
+		TTL: 1, Target: "b.example.com"}}
+	got := roundTrip(t, resp)
+	if got.Answers[0].Target != "b.example.com" {
+		t.Errorf("target %q", got.Answers[0].Target)
+	}
+}
+
+func TestDecodeRejectsPointerLoops(t *testing.T) {
+	// Hand-craft a message whose question name is a self-pointer.
+	wire := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, // header: 1 question
+		0xC0, 12, // pointer to itself
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("self-pointing name accepted")
+	}
+}
+
+func TestDecodeRejectsForwardPointer(t *testing.T) {
+	wire := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xC0, 200, // forward/far pointer
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(wire); err == nil {
+		t.Fatal("forward pointer accepted")
+	}
+}
+
+func TestDecodeTruncatedInputs(t *testing.T) {
+	q := NewQuery(9, "truncate.example", TypeA)
+	wire, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(wire); n++ {
+		if _, err := Decode(wire[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, r.Intn(120))
+		r.Read(buf)
+		Decode(buf) // must not panic; errors are fine
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	// Label too long.
+	long := strings.Repeat("x", 64) + ".example"
+	if _, err := Encode(NewQuery(1, long, TypeA)); !errors.Is(err, ErrLabelTooLong) {
+		t.Errorf("64-byte label: %v", err)
+	}
+	// Name too long.
+	name := strings.Repeat("abcdefgh.", 32) + "com"
+	if _, err := Encode(NewQuery(1, name, TypeA)); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("long name: %v", err)
+	}
+	// Empty label.
+	if _, err := Encode(NewQuery(1, "a..b", TypeA)); err == nil {
+		t.Error("empty label accepted")
+	}
+	// Bad A RDATA length.
+	m := NewQuery(1, "x", TypeA)
+	m.Answers = []RR{{Name: "x", Type: TypeA, Class: ClassIN, IP: []byte{1, 2}}}
+	if _, err := Encode(m); err == nil {
+		t.Error("2-byte A RDATA accepted")
+	}
+}
+
+func TestRootAndCaseNames(t *testing.T) {
+	// Root name encodes as a single zero byte.
+	got := roundTrip(t, NewQuery(1, ".", TypeNS))
+	if got.Questions[0].Name != "" {
+		t.Errorf("root decoded as %q", got.Questions[0].Name)
+	}
+	// Names are normalized to lowercase.
+	got = roundTrip(t, NewQuery(1, "WwW.ExAmPle.COM", TypeA))
+	if got.Questions[0].Name != "www.example.com" {
+		t.Errorf("case not normalized: %q", got.Questions[0].Name)
+	}
+}
+
+func TestUnknownTypeOpaqueRoundTrip(t *testing.T) {
+	q := NewQuery(5, "svc.example", Type(65))
+	resp := NewResponse(q, RCodeSuccess)
+	resp.Answers = []RR{{Name: "svc.example", Type: Type(65), Class: ClassIN,
+		TTL: 60, Data: []byte{1, 2, 3, 4, 5}}}
+	got := roundTrip(t, resp)
+	if !bytes.Equal(got.Answers[0].Data, []byte{1, 2, 3, 4, 5}) {
+		t.Errorf("opaque RDATA mangled: %v", got.Answers[0].Data)
+	}
+}
+
+// Property: encoding a random valid query and decoding returns the same
+// question.
+func TestQueryRoundTripProperty(t *testing.T) {
+	labelChars := "abcdefghijklmnopqrstuvwxyz0123456789-"
+	f := func(id uint16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nlabels := 1 + r.Intn(4)
+		labels := make([]string, nlabels)
+		for i := range labels {
+			n := 1 + r.Intn(12)
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = labelChars[r.Intn(len(labelChars))]
+			}
+			labels[i] = string(b)
+		}
+		name := strings.Join(labels, ".")
+		m := NewQuery(id, name, TypeA)
+		wire, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.Header.ID == id && got.Questions[0].Name == name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeAndRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" || Type(999).String() != "TYPE999" {
+		t.Error("Type.String wrong")
+	}
+	if RCodeNameError.String() != "NXDOMAIN" || RCode(15).String() != "RCODE15" {
+		t.Error("RCode.String wrong")
+	}
+}

@@ -1,0 +1,202 @@
+// Package dnswire implements the DNS wire format (RFC 1035) on the Go
+// standard library: message encoding and decoding with name compression, a
+// UDP client with per-query timeouts, an embeddable UDP server, and a
+// replicated resolver built on the redundancy core — the paper's §3.2
+// strategy ("query multiple DNS servers in parallel and use the first
+// response") as working code.
+//
+// The codec supports the record types a stub resolver meets in practice
+// (A, AAAA, CNAME, NS, PTR, MX, TXT); unknown types round-trip as opaque
+// RDATA.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// Common RR types.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeANY   Type = 255
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class; in practice always IN.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess        RCode = 0
+	RCodeFormatError    RCode = 1
+	RCodeServerFailure  RCode = 2
+	RCodeNameError      RCode = 3 // NXDOMAIN
+	RCodeNotImplemented RCode = 4
+	RCodeRefused        RCode = 5
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeSuccess:
+		return "NOERROR"
+	case RCodeFormatError:
+		return "FORMERR"
+	case RCodeServerFailure:
+		return "SERVFAIL"
+	case RCodeNameError:
+		return "NXDOMAIN"
+	case RCodeNotImplemented:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Header is the fixed 12-byte DNS message header, decomposed.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a query for name/type/class.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is a resource record. Exactly one of the typed payload fields is
+// meaningful depending on Type; unknown types carry raw Data.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	// A / AAAA payload (4 or 16 bytes).
+	IP []byte
+	// CNAME / NS / PTR target.
+	Target string
+	// MX payload.
+	Pref uint16
+	// TXT strings.
+	TXT []string
+	// Raw RDATA for types the codec does not interpret.
+	Data []byte
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Common codec errors.
+var (
+	ErrNameTooLong     = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong    = errors.New("dnswire: label exceeds 63 octets")
+	ErrTruncated       = errors.New("dnswire: message truncated")
+	ErrPointerLoop     = errors.New("dnswire: compression pointer loop")
+	ErrTooManyPointers = errors.New("dnswire: too many compression pointers")
+)
+
+// NewQuery builds a standard recursive query for name/type with the given
+// transaction ID.
+func NewQuery(id uint16, name string, qtype Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing the query's ID and
+// question.
+func NewResponse(q *Message, rcode RCode) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:                 q.Header.ID,
+			Response:           true,
+			Opcode:             q.Header.Opcode,
+			RecursionDesired:   q.Header.RecursionDesired,
+			RecursionAvailable: true,
+			RCode:              rcode,
+		},
+	}
+	resp.Questions = append(resp.Questions, q.Questions...)
+	return resp
+}
+
+// normalizeName lower-cases and strips a trailing dot; the root name is "".
+func normalizeName(name string) string {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	return name
+}
+
+// splitLabels validates and splits a normalized name.
+func splitLabels(name string) ([]string, error) {
+	if name == "" {
+		return nil, nil
+	}
+	if len(name) > 253 {
+		return nil, ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for _, l := range labels {
+		if l == "" {
+			return nil, fmt.Errorf("dnswire: empty label in %q", name)
+		}
+		if len(l) > 63 {
+			return nil, ErrLabelTooLong
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,338 @@
+package dnswire
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+func startDNS(t *testing.T, h Handler) (*Server, string) {
+	t.Helper()
+	srv := NewServer(h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func staticZone() Handler {
+	return StaticHandler(map[string]net.IP{
+		"www.example.com":  net.IPv4(192, 0, 2, 10),
+		"mail.example.com": net.IPv4(192, 0, 2, 25),
+	})
+}
+
+func TestClientServerLookup(t *testing.T) {
+	_, addr := startDNS(t, staticZone())
+	cl := NewClient(time.Second)
+	resp, err := cl.Query(context.Background(), addr, "www.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("resp %+v", resp.Header)
+	}
+	if !net.IP(resp.Answers[0].IP).Equal(net.IPv4(192, 0, 2, 10)) {
+		t.Errorf("answer IP %v", resp.Answers[0].IP)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	_, addr := startDNS(t, staticZone())
+	cl := NewClient(time.Second)
+	resp, err := cl.Query(context.Background(), addr, "missing.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != RCodeNameError {
+		t.Errorf("RCode %v, want NXDOMAIN", resp.Header.RCode)
+	}
+}
+
+func TestClientTimeoutOnSilentServer(t *testing.T) {
+	// A server that never answers (handler nil answers SERVFAIL, so use a
+	// drop-everything server instead).
+	srv := NewServer(staticZone())
+	srv.DropProb = 1.0
+	srv.Rand = func() float64 { return 0 }
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(100 * time.Millisecond)
+	start := time.Now()
+	_, err = cl.Query(context.Background(), addr.String(), "www.example.com", TypeA)
+	if err == nil {
+		t.Fatal("query against black-hole server succeeded")
+	}
+	if el := time.Since(start); el < 50*time.Millisecond || el > 2*time.Second {
+		t.Errorf("timeout fired after %v, want ~100ms", el)
+	}
+}
+
+func TestClientIgnoresMismatchedID(t *testing.T) {
+	// A malicious/buggy server that answers with a wrong ID first, then
+	// never sends the right one: the client must not accept the bad reply.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		query, err := Decode(buf[:n])
+		if err != nil {
+			return
+		}
+		bad := NewResponse(query, RCodeSuccess)
+		bad.Header.ID ^= 0xFFFF
+		wire, _ := Encode(bad)
+		pc.WriteTo(wire, from)
+	}()
+	cl := NewClient(150 * time.Millisecond)
+	_, err = cl.Query(context.Background(), pc.LocalAddr().String(), "x.example", TypeA)
+	if err == nil {
+		t.Fatal("client accepted a response with mismatched ID")
+	}
+}
+
+func TestServerConcurrentQueries(t *testing.T) {
+	_, addr := startDNS(t, staticZone())
+	cl := NewClient(2 * time.Second)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cl.Query(context.Background(), addr, "www.example.com", TypeA); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestResolverFirstResponseWins(t *testing.T) {
+	slow, slowAddr := startDNS(t, staticZone())
+	slow.Delay = func() time.Duration { return 400 * time.Millisecond }
+	_, fastAddr := startDNS(t, staticZone())
+
+	cl := NewClient(2 * time.Second)
+	res := NewResolver(cl, core.Policy{Copies: 2, Selection: core.SelectRandom}, slowAddr, fastAddr)
+	start := time.Now()
+	result, err := res.LookupResult(context.Background(), "www.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 300*time.Millisecond {
+		t.Errorf("replicated lookup waited for the slow server: %v", time.Since(start))
+	}
+	if result.Launched != 2 {
+		t.Errorf("Launched = %d", result.Launched)
+	}
+}
+
+func TestResolverMasksLoss(t *testing.T) {
+	// One server drops every query; the replicated resolver still answers.
+	lossy := NewServer(staticZone())
+	lossy.DropProb = 1.0
+	lossy.Rand = func() float64 { return 0 }
+	lossyAddr, err := lossy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	_, okAddr := startDNS(t, staticZone())
+
+	cl := NewClient(300 * time.Millisecond)
+	res := NewResolver(cl, core.Policy{Copies: 2, Selection: core.SelectRandom},
+		lossyAddr.String(), okAddr)
+	ips, err := res.LookupA(context.Background(), "www.example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ips) != 1 || !ips[0].Equal(net.IPv4(192, 0, 2, 10)) {
+		t.Errorf("ips = %v", ips)
+	}
+}
+
+func TestResolverRanksServers(t *testing.T) {
+	slow, slowAddr := startDNS(t, staticZone())
+	slow.Delay = func() time.Duration { return 80 * time.Millisecond }
+	_, fastAddr := startDNS(t, staticZone())
+
+	cl := NewClient(2 * time.Second)
+	res := NewResolver(cl, core.Policy{Copies: 2}, slowAddr, fastAddr)
+	// Stage 1 of the paper's experiment: probe all servers to rank them.
+	if n := res.Probe(context.Background(), "www.example.com", TypeA); n != 2 {
+		t.Fatalf("Probe answered by %d servers, want 2", n)
+	}
+	ranked := res.RankedServers()
+	if ranked[0] != fastAddr {
+		t.Errorf("ranked %v, want fast server first", ranked)
+	}
+}
+
+func TestResolverNXDomainIsAnAnswer(t *testing.T) {
+	// NXDOMAIN is a valid (authoritative) answer, not an error to fail
+	// over from.
+	_, addr := startDNS(t, staticZone())
+	cl := NewClient(time.Second)
+	res := NewResolver(cl, core.Policy{Copies: 1}, addr)
+	_, err := res.LookupA(context.Background(), "nosuch.example.com")
+	var nf *NotFoundError
+	if err == nil || !isNotFound(err, &nf) {
+		t.Errorf("err = %v, want NotFoundError", err)
+	}
+}
+
+func isNotFound(err error, target **NotFoundError) bool {
+	nf, ok := err.(*NotFoundError)
+	if ok {
+		*target = nf
+	}
+	return ok
+}
+
+func TestServerDropProbabilistic(t *testing.T) {
+	srv := NewServer(staticZone())
+	r := rand.New(rand.NewSource(1))
+	var mu sync.Mutex
+	srv.DropProb = 0.5
+	srv.Rand = func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(100 * time.Millisecond)
+	ok, fail := 0, 0
+	for i := 0; i < 30; i++ {
+		if _, err := cl.Query(context.Background(), addr.String(), "www.example.com", TypeA); err != nil {
+			fail++
+		} else {
+			ok++
+		}
+	}
+	if ok == 0 || fail == 0 {
+		t.Errorf("50%% drop gave ok=%d fail=%d; both should be nonzero", ok, fail)
+	}
+}
+
+func TestTCPExchange(t *testing.T) {
+	srv := NewServer(staticZone())
+	addr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient(time.Second)
+	resp, err := cl.ExchangeTCP(context.Background(), addr.String(),
+		NewQuery(77, "www.example.com", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.ID != 77 || len(resp.Answers) != 1 {
+		t.Errorf("TCP response %+v", resp.Header)
+	}
+}
+
+func TestTCPMultipleQueriesPerConnection(t *testing.T) {
+	// RFC 1035 allows several sequential queries on one TCP connection.
+	srv := NewServer(staticZone())
+	addr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	for i := 0; i < 3; i++ {
+		q := NewQuery(uint16(100+i), "mail.example.com", TypeA)
+		wire, _ := Encode(q)
+		if err := writeTCPMessage(conn, wire); err != nil {
+			t.Fatal(err)
+		}
+		respWire, err := readTCPMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := Decode(respWire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.ID != uint16(100+i) {
+			t.Fatalf("query %d: response ID %d", i, resp.Header.ID)
+		}
+	}
+}
+
+func TestTruncationFallbackToTCP(t *testing.T) {
+	// A server that answers with TC=1 over UDP and fully over TCP: the
+	// fallback client must transparently retry over TCP.
+	full := staticZone()
+	truncating := func(q Question) *Message {
+		m := full(q)
+		m.Header.Truncated = true
+		m.Answers = nil // truncated responses carry no usable answers
+		return m
+	}
+	udpSrv := NewServer(truncating)
+	udpAddr, err := udpSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udpSrv.Close()
+	// TCP twin on the SAME port number is not possible with two Server
+	// objects bound separately; bind TCP on udpAddr's port via the same
+	// server but a full handler. For the test, run a second server for
+	// TCP and point the client at matching host:port strings.
+	tcpSrv := NewServer(full)
+	tcpAddr, err := tcpSrv.ListenTCP(udpAddr.String())
+	if err != nil {
+		t.Fatal(err) // same port, different protocol: fine on Linux
+	}
+	defer tcpSrv.Close()
+	if tcpAddr.String() != udpAddr.String() {
+		t.Fatalf("tcp %s != udp %s", tcpAddr, udpAddr)
+	}
+
+	cl := NewClient(time.Second)
+	resp, err := cl.ExchangeWithFallback(context.Background(), udpAddr.String(),
+		NewQuery(9, "www.example.com", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated {
+		t.Error("fallback returned the truncated response")
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("fallback answers = %d", len(resp.Answers))
+	}
+}

@@ -1,0 +1,158 @@
+package dnswire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"time"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2): each message is prefixed with a two-byte
+// big-endian length. Clients fall back to TCP when a UDP response arrives
+// with the TC (truncated) bit set.
+
+// ExchangeTCP sends the query over TCP and reads one response.
+func (c *Client) ExchangeTCP(ctx context.Context, server string, query *Message) (*Message, error) {
+	wire, err := Encode(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(wire) > 0xFFFF {
+		return nil, errors.New("dnswire: query exceeds 65535 bytes")
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(c.Timeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
+	conn.SetDeadline(deadline)
+
+	if err := writeTCPMessage(conn, wire); err != nil {
+		return nil, err
+	}
+	respWire, err := readTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := Decode(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != query.Header.ID {
+		return nil, ErrIDMismatch
+	}
+	return resp, nil
+}
+
+// ExchangeWithFallback sends the query over UDP and, if the response has
+// the TC bit set, retries once over TCP — the standard stub-resolver
+// behaviour for responses too large for a UDP datagram.
+func (c *Client) ExchangeWithFallback(ctx context.Context, server string, query *Message) (*Message, error) {
+	resp, err := c.Exchange(ctx, server, query)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Header.Truncated {
+		return resp, nil
+	}
+	return c.ExchangeTCP(ctx, server, query)
+}
+
+func writeTCPMessage(w io.Writer, wire []byte) error {
+	var lenbuf [2]byte
+	binary.BigEndian.PutUint16(lenbuf[:], uint16(len(wire)))
+	if _, err := w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(wire)
+	return err
+}
+
+func readTCPMessage(r io.Reader) ([]byte, error) {
+	var lenbuf [2]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenbuf[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ListenTCP starts serving the same handler over TCP on addr, alongside
+// (or instead of) the UDP listener. Each connection may carry multiple
+// sequential queries, per RFC 1035. It returns the bound address.
+func (s *Server) ListenTCP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("dnswire: server closed")
+	}
+	s.tcpLn = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.tcpLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) tcpLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.tcpConns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveTCPConn(conn)
+			s.mu.Lock()
+			delete(s.tcpConns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		wire, err := readTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		resp := s.respond(wire)
+		if resp == nil {
+			return
+		}
+		out, err := Encode(resp)
+		if err != nil {
+			return
+		}
+		if err := writeTCPMessage(conn, out); err != nil {
+			return
+		}
+	}
+}

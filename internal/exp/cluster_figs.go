@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"math/rand"
+
+	"redundancy/internal/cluster"
+	"redundancy/internal/dist"
+	"redundancy/internal/stats"
+)
+
+// newRand is a tiny helper for experiment-level sampling decisions.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// clusterBase is the paper's Figure 5 configuration.
+func clusterBase(o Options) cluster.Config {
+	return cluster.Config{
+		Servers: 4, Clients: 10, Files: 2000,
+		FileSize:   dist.Deterministic{V: 4096},
+		CacheRatio: 0.1,
+		Requests:   o.scale(60000),
+		Seed:       o.Seed,
+	}
+}
+
+// clusterFigure sweeps load for 1 and 2 copies and reports mean, 99.9th
+// percentile, and the CCDF at 20% load — the three panels of Figures 5-11.
+func clusterFigure(o Options, title, caption string, mutate func(*cluster.Config)) ([]*Table, error) {
+	cfg := clusterBase(o)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sweep := &Table{
+		Title:   title + ": mean and 99.9th percentile vs load",
+		Caption: caption,
+		Columns: []string{"load", "mean 1c (ms)", "mean 2c (ms)", "p99.9 1c (ms)", "p99.9 2c (ms)", "2c wins mean"},
+	}
+	var cdf1, cdf2 *stats.Sample
+	for _, load := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7} {
+		var res [3]*cluster.Result
+		for _, copies := range []int{1, 2} {
+			c := cfg
+			c.Copies = copies
+			c.Load = load
+			r, err := cluster.Run(c)
+			if err != nil {
+				return nil, err
+			}
+			res[copies] = r
+		}
+		sweep.Add(load,
+			res[1].Latency.Mean()*1e3, res[2].Latency.Mean()*1e3,
+			res[1].Latency.P999()*1e3, res[2].Latency.P999()*1e3,
+			res[2].Latency.Mean() < res[1].Latency.Mean())
+		if load == 0.2 {
+			cdf1, cdf2 = res[1].Latency, res[2].Latency
+		}
+	}
+	ccdf := &Table{
+		Title:   title + ": CCDF at load 0.2",
+		Columns: []string{"threshold (ms)", "frac later 1c", "frac later 2c"},
+	}
+	for _, th := range stats.LogSpace(1e-3, 1, 7) {
+		ccdf.Add(th*1e3, cdf1.FractionAbove(th), cdf2.FractionAbove(th))
+	}
+	return []*Table{sweep, ccdf}, nil
+}
+
+// Fig5 reproduces Figure 5 (base configuration).
+func Fig5(o Options) ([]*Table, error) {
+	return clusterFigure(o, "Figure 5 (disk DB, base config)",
+		"4 servers, 10 clients, 4 KB files, cache:disk 0.1; paper: threshold ~30%, p99.9 2.2x better at 20% load", nil)
+}
+
+// Fig6 reproduces Figure 6 (0.04 KB files).
+func Fig6(o Options) ([]*Table, error) {
+	return clusterFigure(o, "Figure 6 (0.04 KB files)",
+		"seek-dominated: same story as the base config",
+		func(c *cluster.Config) { c.FileSize = dist.Deterministic{V: 40} })
+}
+
+// Fig7 reproduces Figure 7 (Pareto file sizes, 4 KB mean).
+func Fig7(o Options) ([]*Table, error) {
+	return clusterFigure(o, "Figure 7 (Pareto file sizes)",
+		"file-size distribution does not matter while seeks dominate",
+		func(c *cluster.Config) { c.FileSize = dist.ParetoMean(2.5, 4096) })
+}
+
+// Fig8 reproduces Figure 8 (cache:disk ratio 0.01).
+func Fig8(o Options) ([]*Table, error) {
+	return clusterFigure(o, "Figure 8 (cache:disk 0.01)",
+		"more accesses hit disk => more variance => slightly larger tail win",
+		func(c *cluster.Config) { c.CacheRatio = 0.01 })
+}
+
+// Fig9 reproduces Figure 9 (EC2-style noise).
+func Fig9(o Options) ([]*Table, error) {
+	return clusterFigure(o, "Figure 9 (EC2-style noisy nodes)",
+		"heavy-tailed multi-tenant slowdowns; paper: mean halves, p99.9 improves ~8x",
+		func(c *cluster.Config) { c.EC2Noise = true })
+}
+
+// Fig10 reproduces Figure 10 (400 KB files).
+func Fig10(o Options) ([]*Table, error) {
+	return clusterFigure(o, "Figure 10 (400 KB files)",
+		"client-side transfer cost per copy is now significant: replication stops helping",
+		func(c *cluster.Config) {
+			c.FileSize = dist.Deterministic{V: 400 * 1024}
+			c.Files = 500
+		})
+}
+
+// Fig11 reproduces Figure 11 (cache:disk ratio 2 — fully resident).
+func Fig11(o Options) ([]*Table, error) {
+	return clusterFigure(o, "Figure 11 (cache holds everything)",
+		"sub-millisecond in-memory service: replication has no room to help",
+		func(c *cluster.Config) { c.CacheRatio = 2 })
+}

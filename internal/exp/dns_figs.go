@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"fmt"
+
+	"redundancy/internal/analytic"
+	"redundancy/internal/dnslab"
+	"redundancy/internal/handshake"
+)
+
+func dnsRun(o Options) (*dnslab.Result, error) {
+	return dnslab.Run(dnslab.Config{
+		Vantages:        15,
+		Servers:         10,
+		QueriesPerStage: o.scale(20000),
+		Seed:            o.Seed,
+	})
+}
+
+// Fig15 reproduces Figure 15: the DNS response-time CCDF for 1, 2, 5, and
+// 10 servers queried in parallel.
+func Fig15(o Options) ([]*Table, error) {
+	r, err := dnsRun(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 15: DNS response-time CCDF",
+		Caption: "paper: 10 servers cut the >500ms fraction 6.5x and the >1.5s fraction 50x",
+		Columns: []string{"threshold (s)", "1 server", "2 servers", "5 servers", "10 servers"},
+	}
+	for _, th := range []float64{0.1, 0.2, 0.3, 0.5, 0.8, 1.0, 1.5, 1.9} {
+		t.Add(th,
+			r.PerK[0].FractionAbove(th), r.PerK[1].FractionAbove(th),
+			r.PerK[4].FractionAbove(th), r.PerK[9].FractionAbove(th))
+	}
+	factors := &Table{
+		Title:   "Figure 15 headline factors",
+		Columns: []string{"threshold", "reduction factor (1 -> 10 servers)"},
+	}
+	for _, th := range []float64{0.5, 1.5} {
+		f1, f10 := r.PerK[0].FractionAbove(th), r.PerK[9].FractionAbove(th)
+		factor := "inf"
+		if f10 > 0 {
+			factor = fmt.Sprintf("%.1fx", f1/f10)
+		}
+		factors.Add(fmt.Sprintf("%.1fs", th), factor)
+	}
+	return []*Table{t, factors}, nil
+}
+
+// Fig16 reproduces Figure 16: percent reduction in DNS response time vs the
+// best single server, averaged over vantages, for k = 1..10.
+func Fig16(o Options) ([]*Table, error) {
+	r, err := dnsRun(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 16: % reduction in DNS response time vs best single server",
+		Caption: "paper: substantial with 2 servers, 50-62% with 10",
+		Columns: []string{"copies", "mean", "median", "p95", "p99"},
+	}
+	for k := 1; k <= 10; k++ {
+		t.Add(k,
+			fmt.Sprintf("%.1f%%", r.Reduction(k, dnslab.Mean)),
+			fmt.Sprintf("%.1f%%", r.Reduction(k, dnslab.Median)),
+			fmt.Sprintf("%.1f%%", r.Reduction(k, dnslab.P95)),
+			fmt.Sprintf("%.1f%%", r.Reduction(k, dnslab.P99)))
+	}
+	return []*Table{t}, nil
+}
+
+// Fig17 reproduces Figure 17: the marginal latency saving (ms per KB of
+// extra traffic) of each additional DNS server, against the paper's
+// 16 ms/KB break-even benchmark.
+func Fig17(o Options) ([]*Table, error) {
+	r, err := dnsRun(o)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Figure 17: marginal latency savings per extra DNS server",
+		Caption: fmt.Sprintf("break-even benchmark %.0f ms/KB; paper: mean crosses below around 5 servers, p99 stays above",
+			analytic.BreakEvenMsPerKB),
+		Columns: []string{"servers", "marginal mean (ms/KB)", "marginal p99 (ms/KB)", "mean still worth it"},
+	}
+	for k := 2; k <= 10; k++ {
+		mm := r.MarginalMsPerKB(k, dnslab.Mean)
+		mp := r.MarginalMsPerKB(k, dnslab.P99)
+		t.Add(k, mm, mp, mm >= analytic.BreakEvenMsPerKB)
+	}
+	total := &Table{
+		Title:   "Figure 17 absolute check",
+		Columns: []string{"quantity", "value"},
+	}
+	// Absolute (not marginal) savings at 10 copies, as the paper computes:
+	// ~23 ms/KB, above break-even.
+	saved := r.PerK[0].Mean() - r.PerK[9].Mean()
+	extra := 9 * r.Params.BytesPerCopy
+	total.Add("absolute mean savings, 10 copies (ms/KB)", saved*1000/(extra/1024))
+	total.Add("break-even (ms/KB)", analytic.BreakEvenMsPerKB)
+	return []*Table{t, total}, nil
+}
+
+// Handshake reproduces §3.1: TCP connection-establishment duplication.
+func Handshake(o Options) ([]*Table, error) {
+	trials := o.scale(2000000)
+	t := &Table{
+		Title:   "§3.1: TCP handshake duplication",
+		Caption: "paper: >= 25 ms mean saving, ~880 ms tail saving, 170-6000 ms/KB",
+		Columns: []string{"RTT (ms)", "mean single (s)", "mean dup (s)", "p99.5 single (s)", "p99.5 dup (s)", "mean ms/KB", "tail ms/KB"},
+	}
+	for _, rtt := range []float64{0.02, 0.1, 0.3} {
+		c, err := handshake.Compare(rtt, trials, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(rtt*1e3, c.MeanSingle, c.MeanDuplicated, c.P995Single, c.P995Duplicated,
+			c.MeanSavedMsPerKB, c.TailSavedMsPerKB)
+	}
+	cross := &Table{
+		Title:   "§3.1 analytic cross-check",
+		Columns: []string{"RTT (ms)", "first-order expected mean saving (s)"},
+	}
+	for _, rtt := range []float64{0.02, 0.1, 0.3} {
+		cross.Add(rtt*1e3, handshake.ExpectedSavings(rtt, 3.0))
+	}
+	return []*Table{t, cross}, nil
+}

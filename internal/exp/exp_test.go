@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtTinyScale smoke-tests every figure end to end:
+// each must produce non-empty tables that render.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			tables, err := e.Run(Options{Scale: MinScale, Seed: 3})
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.Name)
+			}
+			var sb strings.Builder
+			for _, tab := range tables {
+				if tab.Title == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+					t.Fatalf("%s: empty table %+v", e.Name, tab)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Columns) {
+						t.Fatalf("%s: row width %d != %d columns", e.Name, len(row), len(tab.Columns))
+					}
+				}
+				tab.Fprint(&sb)
+			}
+			if !strings.Contains(sb.String(), "==") {
+				t.Fatalf("%s: rendering produced no headers", e.Name)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("fig5"); !ok {
+		t.Error("fig5 missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name found")
+	}
+	if len(All()) < 19 {
+		t.Errorf("only %d experiments registered", len(All()))
+	}
+}
+
+func TestOptionsScale(t *testing.T) {
+	if got := (Options{Scale: 0.5}).scale(1000); got != 500 {
+		t.Errorf("scale(1000) at 0.5 = %d", got)
+	}
+	if got := (Options{}).scale(1000); got != 1000 {
+		t.Errorf("default scale = %d", got)
+	}
+	if got := (Options{Scale: 1e-9}).scale(1000); got < 100 {
+		t.Errorf("clamped scale produced %d", got)
+	}
+}
+
+func TestTableAddFormatsFloats(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.Add(1.23456789, "x")
+	if tab.Rows[0][0] != "1.235" {
+		t.Errorf("float formatted as %q", tab.Rows[0][0])
+	}
+}

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"redundancy/internal/memsim"
+	"redundancy/internal/stats"
+)
+
+// Fig12 reproduces Figure 12: memcached response time vs load, 1 vs 2
+// copies.
+func Fig12(o Options) ([]*Table, error) {
+	requests := o.scale(300000)
+	t := &Table{
+		Title:   "Figure 12: memcached, response time vs load",
+		Caption: "client-side overhead (>=9% of the 0.18 ms service time) cancels the benefit at all loads",
+		Columns: []string{"load", "mean 1c (ms)", "mean 2c (ms)", "p99.9 1c (ms)", "p99.9 2c (ms)"},
+	}
+	for _, load := range []float64{0.1, 0.2, 0.3, 0.4, 0.45} {
+		var m [3]*memsim.Result
+		for _, copies := range []int{1, 2} {
+			r, err := memsim.Run(memsim.Config{
+				Servers: 4, Copies: copies, Load: load,
+				Requests: requests, Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			m[copies] = r
+		}
+		t.Add(load,
+			m[1].Latency.Mean()*1e3, m[2].Latency.Mean()*1e3,
+			m[1].Latency.P999()*1e3, m[2].Latency.P999()*1e3)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig13 reproduces Figure 13: stub vs real response-time CCDFs at 0.1%
+// load, quantifying client-side overhead.
+func Fig13(o Options) ([]*Table, error) {
+	requests := o.scale(300000)
+	run := func(copies int, stub bool) (*stats.Sample, error) {
+		r, err := memsim.Run(memsim.Config{
+			Servers: 4, Copies: copies, Load: 0.001, Stub: stub,
+			Requests: requests, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return r.Latency, nil
+	}
+	real1, err := run(1, false)
+	if err != nil {
+		return nil, err
+	}
+	real2, err := run(2, false)
+	if err != nil {
+		return nil, err
+	}
+	stub1, err := run(1, true)
+	if err != nil {
+		return nil, err
+	}
+	stub2, err := run(2, true)
+	if err != nil {
+		return nil, err
+	}
+	ccdf := &Table{
+		Title:   "Figure 13: stub vs real CCDF at 0.1% load",
+		Caption: "the stub isolates client-side latency; its replicated-minus-single delta is the overhead",
+		Columns: []string{"threshold (ms)", "1c real", "2c real", "1c stub", "2c stub"},
+	}
+	for _, th := range stats.LogSpace(0.02e-3, 2e-3, 8) {
+		ccdf.Add(th*1e3,
+			real1.FractionAbove(th), real2.FractionAbove(th),
+			stub1.FractionAbove(th), stub2.FractionAbove(th))
+	}
+	summary := &Table{
+		Title:   "Figure 13 summary",
+		Columns: []string{"arm", "mean (ms)"},
+	}
+	summary.Add("1 copy, real", real1.Mean()*1e3)
+	summary.Add("2 copies, real", real2.Mean()*1e3)
+	summary.Add("1 copy, stub", stub1.Mean()*1e3)
+	summary.Add("2 copies, stub", stub2.Mean()*1e3)
+	summary.Add("stub delta (client overhead, ms)", (stub2.Mean()-stub1.Mean())*1e3)
+	summary.Add("overhead / mean service", (stub2.Mean()-stub1.Mean())/memsim.DefaultParams().ServiceMean)
+	return []*Table{ccdf, summary}, nil
+}

@@ -1,0 +1,239 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"redundancy/internal/analytic"
+	"redundancy/internal/dist"
+	"redundancy/internal/queueing"
+	"redundancy/internal/stats"
+)
+
+const queueServers = 20
+
+// Fig1 reproduces Figure 1: mean response time vs load for deterministic
+// and Pareto(2.1) unit-mean service times with 1 and 2 copies, plus the
+// response-time CCDF at load 0.2 under Pareto service.
+func Fig1(o Options) ([]*Table, error) {
+	requests := o.scale(400000)
+	mean := &Table{
+		Title:   "Figure 1(a,b): mean response time vs load",
+		Caption: "N=20 servers, unit-mean service; paper shows crossover ~0.26 (det) and ~0.4+ (Pareto)",
+		Columns: []string{"service", "load", "mean 1 copy (s)", "mean 2 copies (s)", "2 copies wins"},
+	}
+	services := []struct {
+		name string
+		d    dist.Dist
+	}{
+		{"deterministic", dist.Deterministic{V: 1}},
+		{"pareto(2.1)", dist.ParetoMean(2.1, 1)},
+	}
+	for _, svc := range services {
+		for _, load := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45} {
+			m1, err := queueing.MeanResponse(queueing.Config{
+				Servers: queueServers, Copies: 1, Load: load, Service: svc.d,
+				Requests: requests, Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			m2, err := queueing.MeanResponse(queueing.Config{
+				Servers: queueServers, Copies: 2, Load: load, Service: svc.d,
+				Requests: requests, Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mean.Add(svc.name, load, m1, m2, m2 < m1)
+		}
+	}
+
+	ccdf := &Table{
+		Title:   "Figure 1(c): response-time CCDF at load 0.2, Pareto(2.1) service",
+		Caption: "paper reports ~5x reduction in the 99.9th percentile",
+		Columns: []string{"threshold (s)", "frac later, 1 copy", "frac later, 2 copies"},
+	}
+	s1, err := queueing.Run(queueing.Config{
+		Servers: queueServers, Copies: 1, Load: 0.2,
+		Service: dist.ParetoMean(2.1, 1), Requests: requests, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s2, err := queueing.Run(queueing.Config{
+		Servers: queueServers, Copies: 2, Load: 0.2,
+		Service: dist.ParetoMean(2.1, 1), Requests: requests, Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, th := range stats.LogSpace(1, 100, 9) {
+		ccdf.Add(th, s1.FractionAbove(th), s2.FractionAbove(th))
+	}
+	ccdf.Add("p99.9 (s)", s1.P999(), s2.P999())
+	return []*Table{mean, ccdf}, nil
+}
+
+// Fig2 reproduces Figure 2: threshold load across three unit-mean families
+// of increasing variance.
+func Fig2(o Options) ([]*Table, error) {
+	requests := o.scale(200000)
+	th := func(d dist.Dist) (float64, error) {
+		return queueing.ThresholdLoad(queueing.ThresholdOptions{
+			Servers: queueServers, Service: d, Seed: o.Seed, Requests: requests,
+		})
+	}
+	weibull := &Table{
+		Title:   "Figure 2(a): threshold load, Weibull service times",
+		Caption: "threshold rises from ~0.26 toward 0.5 as inverse shape gamma grows",
+		Columns: []string{"gamma (inverse shape)", "variance", "threshold load"},
+	}
+	for _, gamma := range []float64{0.25, 0.5, 1, 2, 4, 8, 12, 18} {
+		d := dist.WeibullUnitMean(gamma)
+		t, err := th(d)
+		if err != nil {
+			return nil, err
+		}
+		weibull.Add(gamma, d.Variance(), t)
+	}
+	pareto := &Table{
+		Title:   "Figure 2(b): threshold load, Pareto service times",
+		Caption: "inverse scale beta: alpha = 1 + 1/beta",
+		Columns: []string{"beta (inverse scale)", "alpha", "threshold load"},
+	}
+	for _, beta := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		d := dist.ParetoInvScale(beta)
+		t, err := th(d)
+		if err != nil {
+			return nil, err
+		}
+		pareto.Add(beta, d.Alpha, t)
+	}
+	twoPoint := &Table{
+		Title:   "Figure 2(c): threshold load, two-point service times",
+		Caption: "p -> 0 approaches deterministic (~0.258); p -> 1 approaches 0.5",
+		Columns: []string{"p", "variance", "threshold load"},
+	}
+	for _, p := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99} {
+		d := dist.TwoPointUnitMean(p)
+		t, err := th(d)
+		if err != nil {
+			return nil, err
+		}
+		twoPoint.Add(p, d.Variance(), t)
+	}
+	return []*Table{weibull, pareto, twoPoint}, nil
+}
+
+// Fig3 reproduces Figure 3: min/max threshold load over random unit-mean
+// discrete distributions with support {1..n}, sampled uniformly from the
+// simplex and from Dirichlet(0.1).
+func Fig3(o Options) ([]*Table, error) {
+	requests := o.scale(120000)
+	trials := o.scale(2000) / 100 // 20 at full scale per (n, sampler)
+	if trials < 3 {
+		trials = 3
+	}
+	t := &Table{
+		Title:   "Figure 3: threshold load for random discrete service-time distributions",
+		Caption: fmt.Sprintf("%d sampled distributions per point; paper's conjectured lower bound ~0.2582", trials),
+		Columns: []string{"support size", "sampler", "min threshold", "max threshold"},
+	}
+	rng := newRand(o.Seed)
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		for _, sampler := range []struct {
+			name  string
+			alpha float64
+		}{{"uniform", 0}, {"dirichlet(0.1)", 0.1}} {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for trial := 0; trial < trials; trial++ {
+				d := dist.RandomUnitMeanDiscrete(rng, n, sampler.alpha)
+				th, err := queueing.ThresholdLoad(queueing.ThresholdOptions{
+					Servers: queueServers, Service: d,
+					Seed: o.Seed + int64(trial), Requests: requests,
+					Iterations: 9,
+				})
+				if err != nil {
+					return nil, err
+				}
+				lo = math.Min(lo, th)
+				hi = math.Max(hi, th)
+			}
+			t.Add(n, sampler.name, lo, hi)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// Fig4 reproduces Figure 4: threshold load as a function of the client-side
+// overhead replication adds, for Pareto, exponential, and deterministic
+// service times.
+func Fig4(o Options) ([]*Table, error) {
+	requests := o.scale(200000)
+	t := &Table{
+		Title:   "Figure 4: threshold load vs client-side overhead",
+		Caption: "overhead as a fraction of mean service time; more variable laws tolerate more overhead",
+		Columns: []string{"service", "overhead fraction", "threshold load"},
+	}
+	services := []struct {
+		name string
+		d    dist.Dist
+	}{
+		{"pareto(2.1)", dist.ParetoMean(2.1, 1)},
+		{"exponential", dist.Exponential{MeanV: 1}},
+		{"deterministic", dist.Deterministic{V: 1}},
+	}
+	for _, svc := range services {
+		for _, ov := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+			th, err := queueing.ThresholdLoad(queueing.ThresholdOptions{
+				Servers: queueServers, Service: svc.d, ClientOverhead: ov,
+				Seed: o.Seed, Requests: requests,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.Add(svc.name, ov, th)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// Theorem1 verifies the paper's Theorem 1 by simulation and closed form.
+func Theorem1(o Options) ([]*Table, error) {
+	requests := o.scale(400000)
+	t := &Table{
+		Title:   "Theorem 1: exponential service times",
+		Caption: "threshold load is exactly 1/3; simulation vs closed form",
+		Columns: []string{"quantity", "closed form", "simulated"},
+	}
+	th, err := queueing.ThresholdLoad(queueing.ThresholdOptions{
+		Servers: queueServers, Service: dist.Exponential{MeanV: 1},
+		Seed: o.Seed, Requests: requests,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Add("threshold load", 1.0/3, th)
+	for _, rho := range []float64{0.1, 0.2, 0.3} {
+		m1, err := queueing.MeanResponse(queueing.Config{
+			Servers: queueServers, Copies: 1, Load: rho,
+			Service: dist.Exponential{MeanV: 1}, Requests: requests, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m2, err := queueing.MeanResponse(queueing.Config{
+			Servers: queueServers, Copies: 2, Load: rho,
+			Service: dist.Exponential{MeanV: 1}, Requests: requests, Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("mean, 1 copy, rho=%.1f", rho), analytic.MM1MeanResponse(rho), m1)
+		t.Add(fmt.Sprintf("mean, 2 copies, rho=%.1f", rho), analytic.MM1ReplicatedMeanResponse(rho, 2), m2)
+	}
+	t.Add("two-moment approx threshold (cs2=0)", analytic.TwoMomentThreshold(0), "-")
+	t.Add("two-moment approx threshold (cs2=1)", analytic.TwoMomentThreshold(1), "-")
+	return []*Table{t}, nil
+}

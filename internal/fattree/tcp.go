@@ -1,0 +1,208 @@
+package fattree
+
+// Simplified TCP for the fat-tree experiment: slow start, AIMD congestion
+// avoidance, fast retransmit on three duplicate ACKs, and a retransmission
+// timer floored at MinRTO (10 ms, as in the paper) with exponential
+// backoff. No handshake or SACK; every data segment is acknowledged
+// cumulatively. The model is deliberately minimal: Figure 14's phenomena
+// need queueing delay on shared paths, loss under congestion, and the
+// minRTO cliff — all present here.
+
+const (
+	segPayload   = 1460 // data bytes per segment
+	segWire      = 1500 // bytes on the wire per data segment
+	ackWire      = 60   // bytes on the wire per ACK
+	initCwnd     = 10   // segments
+	initSsthresh = 64   // segments
+)
+
+// packet is one datagram in flight. arrive is bound to its remaining path.
+type packet struct {
+	f       *flow
+	seq     int  // data segment index, or -1 for an ACK
+	ack     int  // cumulative ACK (first missing segment), for ACKs
+	size    int  // wire size in bytes
+	replica bool // duplicate copy on the alternate path
+	lowPrio bool // ride the strict lower priority class
+	path    []*link
+	hop     int
+	arrive  func()
+}
+
+// flow is one TCP transfer plus its receiver state.
+type flow struct {
+	id        uint64
+	src, dst  int
+	bytes     int
+	segs      int
+	start     float64
+	replicate bool // duplicate the first ReplicatePackets segments
+
+	sim *Sim
+
+	// Sender state.
+	cwnd       float64
+	ssthresh   float64
+	nextSeq    int // next new segment to send
+	cumAcked   int // highest cumulative ACK received
+	dupAcks    int
+	recovery   bool
+	recoverPt  int
+	rtoGen     int     // invalidates stale timer events
+	rtoBackoff float64 // current RTO multiplier
+	senderDone bool
+
+	// Receiver state.
+	received []bool
+	recvCum  int // first segment not yet received
+	gotSegs  int
+
+	done     bool
+	finish   float64
+	timeouts int
+}
+
+// launch starts the flow: send the initial window.
+func (f *flow) launch() {
+	f.cwnd = initCwnd
+	f.ssthresh = initSsthresh
+	f.received = make([]bool, f.segs)
+	f.trySend()
+	f.armRTO()
+}
+
+// outstanding returns unacknowledged segments in flight (sender's view).
+func (f *flow) outstanding() int { return f.nextSeq - f.cumAcked }
+
+// trySend transmits new segments while the window allows.
+func (f *flow) trySend() {
+	for f.nextSeq < f.segs && f.outstanding() < int(f.cwnd) {
+		f.sendSeg(f.nextSeq, false)
+		if f.replicate && f.nextSeq < f.sim.cfg.ReplicatePackets {
+			f.sendSeg(f.nextSeq, true)
+		}
+		f.nextSeq++
+	}
+}
+
+// sendSeg emits one copy of segment seq. Replica copies ride the alternate
+// ECMP path at low priority; retransmissions always go out as originals.
+func (f *flow) sendSeg(seq int, replica bool) {
+	size := segWire
+	if rem := f.bytes - seq*segPayload; rem < segPayload {
+		size = rem + (segWire - segPayload)
+	}
+	path := f.sim.dataPath(f, replica)
+	pkt := &packet{
+		f: f, seq: seq, ack: -1, size: size, replica: replica,
+		lowPrio: replica && !f.sim.cfg.ReplicaSamePriority,
+		path:    path,
+	}
+	pkt.arrive = func() { f.sim.forward(pkt) }
+	f.sim.sent++
+	path[0].send(pkt)
+	pkt.hop = 1
+}
+
+// onData runs at the receiver when a data segment arrives (original or
+// replica; duplicates are absorbed by the bitmap).
+func (f *flow) onData(seq int) {
+	if !f.received[seq] {
+		f.received[seq] = true
+		f.gotSegs++
+		for f.recvCum < f.segs && f.received[f.recvCum] {
+			f.recvCum++
+		}
+		if f.gotSegs == f.segs && !f.done {
+			f.done = true
+			f.finish = f.sim.eng.Now()
+			f.sim.completed(f)
+		}
+	}
+	// Cumulative ACK back to the sender (even for duplicates, as TCP does).
+	path := f.sim.ackPath(f)
+	pkt := &packet{f: f, seq: -1, ack: f.recvCum, size: ackWire, path: path}
+	pkt.arrive = func() { f.sim.forward(pkt) }
+	path[0].send(pkt)
+	pkt.hop = 1
+}
+
+// onAck runs at the sender when a cumulative ACK arrives.
+func (f *flow) onAck(ack int) {
+	if f.senderDone {
+		return
+	}
+	if ack > f.cumAcked {
+		// New data acknowledged.
+		acked := ack - f.cumAcked
+		f.cumAcked = ack
+		f.dupAcks = 0
+		f.rtoBackoff = 1
+		if f.recovery && ack >= f.recoverPt {
+			f.recovery = false
+			f.cwnd = f.ssthresh
+		}
+		if !f.recovery {
+			for i := 0; i < acked; i++ {
+				if f.cwnd < f.ssthresh {
+					f.cwnd++ // slow start
+				} else {
+					f.cwnd += 1 / f.cwnd // congestion avoidance
+				}
+			}
+		}
+		if f.cumAcked >= f.segs {
+			f.senderDone = true
+			f.rtoGen++ // cancel the timer
+			return
+		}
+		f.armRTO()
+		f.trySend()
+		return
+	}
+	// Duplicate ACK.
+	f.dupAcks++
+	if f.dupAcks == 3 && !f.recovery {
+		f.recovery = true
+		f.recoverPt = f.nextSeq
+		f.ssthresh = f.cwnd / 2
+		if f.ssthresh < 2 {
+			f.ssthresh = 2
+		}
+		f.cwnd = f.ssthresh
+		f.sendSeg(f.cumAcked, false) // fast retransmit
+		f.armRTO()
+	}
+}
+
+// armRTO (re)schedules the retransmission timer.
+func (f *flow) armRTO() {
+	f.rtoGen++
+	gen := f.rtoGen
+	rto := f.sim.cfg.MinRTO * f.rtoBackoff
+	f.sim.eng.After(rto, func() { f.onRTO(gen) })
+}
+
+// onRTO fires when the timer expires without being rearmed.
+func (f *flow) onRTO(gen int) {
+	if gen != f.rtoGen || f.senderDone {
+		return
+	}
+	f.timeouts++
+	f.sim.totalTimeouts++
+	f.ssthresh = f.cwnd / 2
+	if f.ssthresh < 2 {
+		f.ssthresh = 2
+	}
+	f.cwnd = 1
+	f.dupAcks = 0
+	f.recovery = false
+	f.rtoBackoff *= 2
+	if f.rtoBackoff > 64 {
+		f.rtoBackoff = 64
+	}
+	// Go-back-N from the last cumulative ACK.
+	f.nextSeq = f.cumAcked
+	f.trySend()
+	f.armRTO()
+}

@@ -1,0 +1,184 @@
+// Package fattree is a packet-level discrete-event simulator of the
+// paper's in-network replication experiment (§2.4, Figure 14): a k=6
+// three-layer fat-tree (54 hosts, 45 six-port switches, full bisection
+// bandwidth), ECMP flow placement, strict-priority drop-tail queues with
+// 225 KB buffers, a simplified TCP with a 10 ms minimum RTO, and a
+// replication scheme that duplicates the first packets of every flow along
+// an alternate ECMP path at strictly lower priority.
+//
+// The paper implements replication inside the switches; here the source
+// host emits the replica copies with a different ECMP tag and the low
+// priority bit set, which yields the same packet trajectories for a single
+// level of replication while keeping switches stateless (see DESIGN.md).
+package fattree
+
+import (
+	"fmt"
+
+	"redundancy/internal/sim"
+)
+
+// K is the fat-tree arity. K=6 gives the paper's 54-host, 45-switch fabric.
+const K = 6
+
+// Derived topology sizes for arity K.
+const (
+	NumPods        = K                 // 6
+	EdgePerPod     = K / 2             // 3
+	AggPerPod      = K / 2             // 3
+	HostsPerEdge   = K / 2             // 3
+	NumCore        = (K / 2) * (K / 2) // 9
+	NumHosts       = NumPods * EdgePerPod * HostsPerEdge
+	SwitchesPerPod = EdgePerPod + AggPerPod
+	TotalSwitches  = NumPods*SwitchesPerPod + NumCore // 45
+	CoreGroupSize  = K / 2                            // cores per aggregation index
+)
+
+// hostID identifies a host 0..NumHosts-1.
+// pod(h) = h / 9, edge(h) = (h % 9) / 3, index(h) = h % 3.
+func hostPod(h int) int  { return h / (EdgePerPod * HostsPerEdge) }
+func hostEdge(h int) int { return (h % (EdgePerPod * HostsPerEdge)) / HostsPerEdge }
+
+// network owns every link in the fabric. Links are unidirectional; each
+// bidirectional cable is two links.
+type network struct {
+	cfg *Config
+	eng engine
+
+	// Host access links.
+	hostUp   []*link // host -> edge switch
+	hostDown []*link // edge switch -> host
+
+	// Pod fabric: [pod][edge][agg].
+	edgeUp [][][]*link // edge -> agg
+	edgeDn [][][]*link // agg -> edge
+	// Core fabric: [pod][agg][c] where c indexes the agg's core group.
+	aggUp [][][]*link // agg -> core
+	aggDn [][][]*link // core -> agg
+}
+
+// engine abstracts the event scheduler the links need.
+type engine interface {
+	Now() float64
+	After(d float64, fn sim.Event)
+}
+
+func newNetwork(cfg *Config, eng engine) *network {
+	n := &network{cfg: cfg, eng: eng}
+	mk := func() *link { return newLink(eng, cfg.LinkBandwidth, cfg.LinkDelay, cfg.BufferBytes) }
+
+	n.hostUp = make([]*link, NumHosts)
+	n.hostDown = make([]*link, NumHosts)
+	for h := range n.hostUp {
+		n.hostUp[h] = mk()
+		n.hostDown[h] = mk()
+	}
+	n.edgeUp = make([][][]*link, NumPods)
+	n.edgeDn = make([][][]*link, NumPods)
+	n.aggUp = make([][][]*link, NumPods)
+	n.aggDn = make([][][]*link, NumPods)
+	for p := 0; p < NumPods; p++ {
+		n.edgeUp[p] = make([][]*link, EdgePerPod)
+		n.edgeDn[p] = make([][]*link, EdgePerPod)
+		for e := 0; e < EdgePerPod; e++ {
+			n.edgeUp[p][e] = make([]*link, AggPerPod)
+			n.edgeDn[p][e] = make([]*link, AggPerPod)
+			for a := 0; a < AggPerPod; a++ {
+				n.edgeUp[p][e][a] = mk()
+				n.edgeDn[p][e][a] = mk()
+			}
+		}
+		n.aggUp[p] = make([][]*link, AggPerPod)
+		n.aggDn[p] = make([][]*link, AggPerPod)
+		for a := 0; a < AggPerPod; a++ {
+			n.aggUp[p][a] = make([]*link, CoreGroupSize)
+			n.aggDn[p][a] = make([]*link, CoreGroupSize)
+			for c := 0; c < CoreGroupSize; c++ {
+				n.aggUp[p][a][c] = mk()
+				n.aggDn[p][a][c] = mk()
+			}
+		}
+	}
+	return n
+}
+
+// ecmpHash mixes a flow id with a hop salt to pick among equal-cost next
+// hops, like hash-based flow assignment in real fabrics: all packets of a
+// flow take one path. The mixer is a fixed-seed avalanche function so runs
+// are reproducible.
+func (n *network) ecmpHash(flowID uint64, salt uint64) int {
+	x := flowID*0x9e3779b97f4a7c15 ^ salt*0xbf58476d1ce4e5b9
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(K/2))
+}
+
+// path returns the ordered sequence of links from src host to dst host for
+// the given flow/replica combination. Replica paths differ from the normal
+// path at every ECMP choice point (offset by 1 among the K/2 options),
+// guaranteeing an alternate route where one exists.
+func (n *network) path(src, dst int, flowID uint64, replica bool) ([]*link, error) {
+	if src == dst {
+		return nil, fmt.Errorf("fattree: src == dst host %d", src)
+	}
+	sp, se := hostPod(src), hostEdge(src)
+	dp, de := hostPod(dst), hostEdge(dst)
+
+	choose := func(salt uint64) int {
+		c := n.ecmpHash(flowID, salt)
+		if replica {
+			// The replica travels an alternate route: offset every ECMP
+			// choice, guaranteeing disjoint fabric links where they exist.
+			c = (c + 1) % (K / 2)
+		}
+		return c
+	}
+
+	var links []*link
+	links = append(links, n.hostUp[src])
+	switch {
+	case sp == dp && se == de:
+		// Same edge switch: straight down.
+	case sp == dp:
+		// Same pod: up to an aggregation switch, back down.
+		a := choose(1)
+		links = append(links, n.edgeUp[sp][se][a], n.edgeDn[sp][de][a])
+	default:
+		// Inter-pod: edge -> agg -> core -> agg -> edge.
+		a := choose(1)
+		c := choose(2)
+		links = append(links,
+			n.edgeUp[sp][se][a],
+			n.aggUp[sp][a][c],
+			n.aggDn[dp][a][c],
+			n.edgeDn[dp][de][a],
+		)
+	}
+	links = append(links, n.hostDown[dst])
+	return links, nil
+}
+
+// allLinks visits every link (for test instrumentation).
+func (n *network) allLinks(visit func(*link)) {
+	for h := 0; h < NumHosts; h++ {
+		visit(n.hostUp[h])
+		visit(n.hostDown[h])
+	}
+	for p := 0; p < NumPods; p++ {
+		for e := 0; e < EdgePerPod; e++ {
+			for a := 0; a < AggPerPod; a++ {
+				visit(n.edgeUp[p][e][a])
+				visit(n.edgeDn[p][e][a])
+			}
+		}
+		for a := 0; a < AggPerPod; a++ {
+			for c := 0; c < CoreGroupSize; c++ {
+				visit(n.aggUp[p][a][c])
+				visit(n.aggDn[p][a][c])
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package handshake
+
+import (
+	"math"
+	"testing"
+
+	"redundancy/internal/analytic"
+)
+
+func TestNoLossIsPureRTT(t *testing.T) {
+	s, err := Run(Config{RTT: 0.1, LossProb: 0, Trials: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mean()-0.15) > 1e-9 {
+		t.Errorf("lossless handshake mean %g, want 1.5*RTT = 0.15", s.Mean())
+	}
+	if s.Max() != s.Min() {
+		t.Error("lossless handshake should be deterministic")
+	}
+}
+
+func TestMonteCarloMatchesAnalyticMean(t *testing.T) {
+	for _, p := range []float64{SingleLossProb, PairLossProb, 0.02} {
+		cfg := Config{RTT: 0.08, LossProb: p, Trials: 2000000, Seed: 2}
+		s, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ExpectedCompletion(0.08, p, 3.0)
+		if math.Abs(s.Mean()-want) > 0.05*want {
+			t.Errorf("p=%g: Monte Carlo mean %g vs analytic %g", p, s.Mean(), want)
+		}
+	}
+}
+
+func TestPaperHeadlineSavings(t *testing.T) {
+	// §3.1: duplication saves >= 25 ms in the mean. The first-order
+	// estimate is (3+3+3*RTT)*(0.0048-0.0007).
+	if got := ExpectedSavings(0.1, 3.0); got < 0.025 {
+		t.Errorf("expected savings %g s, paper says at least 25 ms", got)
+	}
+	c, err := Compare(0.1, 2000000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := c.MeanSingle - c.MeanDuplicated
+	if saved < 0.020 || saved > 0.035 {
+		t.Errorf("measured mean saving %g s, want ~25 ms", saved)
+	}
+	// Cost-effectiveness: >= an order of magnitude above 16 ms/KB.
+	if c.MeanSavedMsPerKB < 10*analytic.BreakEvenMsPerKB {
+		t.Errorf("mean ms/KB = %g, paper says > 10x the 16 ms/KB benchmark", c.MeanSavedMsPerKB)
+	}
+}
+
+func TestTailSavings(t *testing.T) {
+	// §3.1: the paper reports >= 880 ms tail improvement. In this model
+	// the effect appears at the 99.5th percentile: duplication pushes the
+	// 3 s SYN/SYN-ACK timeout out of the percentile (see Comparison doc).
+	c, err := Compare(0.1, 2000000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := c.P995Single - c.P995Duplicated
+	if saved < 0.88 {
+		t.Fatalf("duplication improved the 99.5th percentile by only %g s, want >= 0.88", saved)
+	}
+	if c.TailSavedMsPerKB < 100*analytic.BreakEvenMsPerKB {
+		t.Errorf("tail ms/KB = %g, paper says two orders above the 16 ms/KB benchmark",
+			c.TailSavedMsPerKB)
+	}
+}
+
+func TestSavingsGrowWithRTT(t *testing.T) {
+	// The benefit increases with RTT (the ACK timeout is 3*RTT).
+	if ExpectedSavings(0.02, 3) >= ExpectedSavings(0.3, 3) {
+		t.Error("savings should grow with RTT")
+	}
+}
+
+func TestBackoffIsExponential(t *testing.T) {
+	// With p high, multiple retransmissions occur; the mean must reflect
+	// exponential (not linear) backoff: for p=0.3, E[wait] has the
+	// closed form RTO*(p/(1-2p) - p/(1-p)).
+	s, err := Run(Config{RTT: 0.01, LossProb: 0.3, Trials: 500000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedCompletion(0.01, 0.3, 3.0)
+	if math.Abs(s.Mean()-want) > 0.05*want {
+		t.Errorf("p=0.3 mean %g vs analytic %g", s.Mean(), want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{RTT: 0, LossProb: 0.1}); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	if _, err := Run(Config{RTT: 0.1, LossProb: 1.0}); err == nil {
+		t.Error("certain loss accepted")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, _ := Run(Config{RTT: 0.1, LossProb: 0.01, Trials: 10000, Seed: 9})
+	b, _ := Run(Config{RTT: 0.1, LossProb: 0.01, Trials: 10000, Seed: 9})
+	if a.Mean() != b.Mean() {
+		t.Error("same-seed runs diverged")
+	}
+}

@@ -1,0 +1,351 @@
+package memkv
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+// ErrNotFound is returned by Get when the key is absent, and by Delete
+// when there was nothing to delete.
+var ErrNotFound = errors.New("memkv: not found")
+
+// Client is a connection-pooled memcached text-protocol client for a
+// single server. It is safe for concurrent use; concurrent requests use
+// separate pooled connections.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	idle []*clientConn
+}
+
+type clientConn struct {
+	c net.Conn
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+// NewClient creates a client for the server at addr. timeout bounds each
+// request's network operations (0 means no timeout).
+func NewClient(addr string, timeout time.Duration) *Client {
+	return &Client{addr: addr, timeout: timeout}
+}
+
+// Addr returns the server address this client targets.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &clientConn{c: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+func (c *Client) putConn(cc *clientConn) {
+	c.mu.Lock()
+	c.idle = append(c.idle, cc)
+	c.mu.Unlock()
+}
+
+// Close closes all idle pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	var err error
+	for _, cc := range idle {
+		if e := cc.c.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// deadline applies the per-request timeout and any context deadline.
+func (c *Client) deadline(ctx context.Context, cc *clientConn) {
+	d := time.Time{}
+	if c.timeout > 0 {
+		d = time.Now().Add(c.timeout)
+	}
+	if cd, ok := ctx.Deadline(); ok && (d.IsZero() || cd.Before(d)) {
+		d = cd
+	}
+	cc.c.SetDeadline(d)
+}
+
+// roundTrip runs fn with a pooled connection, discarding the connection on
+// error (it may hold unconsumed protocol state).
+func (c *Client) roundTrip(ctx context.Context, fn func(cc *clientConn) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cc, err := c.getConn(ctx)
+	if err != nil {
+		return err
+	}
+	c.deadline(ctx, cc)
+	if err := fn(cc); err != nil {
+		cc.c.Close()
+		// Sentinel errors pass through; transport errors are wrapped.
+		return err
+	}
+	c.putConn(cc)
+	return nil
+}
+
+// Set stores value under key with no expiry.
+func (c *Client) Set(ctx context.Context, key string, value []byte) error {
+	return c.SetTTL(ctx, key, value, 0)
+}
+
+// SetTTL stores value under key, expiring after ttl (rounded up to whole
+// seconds, as the memcached protocol carries expiry in seconds; 0 = never).
+func (c *Client) SetTTL(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	secs := int64(0)
+	if ttl > 0 {
+		secs = int64((ttl + time.Second - 1) / time.Second)
+	}
+	return c.roundTrip(ctx, func(cc *clientConn) error {
+		fmt.Fprintf(cc.w, "set %s 0 %d %d\r\n", key, secs, len(value))
+		cc.w.Write(value)
+		cc.w.WriteString("\r\n")
+		if err := cc.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(cc.r)
+		if err != nil {
+			return err
+		}
+		if line != "STORED" {
+			return fmt.Errorf("memkv: set failed: %q", line)
+		}
+		return nil
+	})
+}
+
+// Get fetches the value stored under key.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := validateKey(key); err != nil {
+		return nil, err
+	}
+	var out []byte
+	found := false
+	err := c.roundTrip(ctx, func(cc *clientConn) error {
+		fmt.Fprintf(cc.w, "get %s\r\n", key)
+		if err := cc.w.Flush(); err != nil {
+			return err
+		}
+		for {
+			line, err := readLine(cc.r)
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			if !strings.HasPrefix(line, "VALUE ") {
+				return fmt.Errorf("memkv: unexpected response %q", line)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("memkv: malformed VALUE line %q", line)
+			}
+			n, err := strconv.Atoi(fields[3])
+			if err != nil || n < 0 || n > maxValueLen {
+				return fmt.Errorf("memkv: bad value length in %q", line)
+			}
+			buf := make([]byte, n+2)
+			if _, err := readFull(cc.r, buf); err != nil {
+				return err
+			}
+			out = buf[:n]
+			found = true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	return out, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	var status string
+	err := c.roundTrip(ctx, func(cc *clientConn) error {
+		fmt.Fprintf(cc.w, "delete %s\r\n", key)
+		if err := cc.w.Flush(); err != nil {
+			return err
+		}
+		line, err := readLine(cc.r)
+		if err != nil {
+			return err
+		}
+		status = line
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	switch status {
+	case "DELETED":
+		return nil
+	case "NOT_FOUND":
+		return ErrNotFound
+	default:
+		return fmt.Errorf("memkv: delete failed: %q", status)
+	}
+}
+
+// Stats fetches the server's protocol counters.
+func (c *Client) Stats(ctx context.Context) (map[string]int64, error) {
+	out := make(map[string]int64)
+	err := c.roundTrip(ctx, func(cc *clientConn) error {
+		fmt.Fprintf(cc.w, "stats\r\n")
+		if err := cc.w.Flush(); err != nil {
+			return err
+		}
+		for {
+			line, err := readLine(cc.r)
+			if err != nil {
+				return err
+			}
+			if line == "END" {
+				return nil
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 || fields[0] != "STAT" {
+				return fmt.Errorf("memkv: malformed stats line %q", line)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return fmt.Errorf("memkv: bad stat value in %q", line)
+			}
+			out[fields[1]] = v
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func validateKey(key string) error {
+	if key == "" || len(key) > maxKeyLen {
+		return fmt.Errorf("memkv: invalid key length %d", len(key))
+	}
+	if strings.ContainsAny(key, " \r\n\t") {
+		return errors.New("memkv: key contains whitespace")
+	}
+	return nil
+}
+
+// ReplicatedClient reads from several replicas of the same data using the
+// redundancy core: Get issues the query to every replica (or hedges) and
+// returns the first response. Writes go to all replicas and succeed only
+// if every replica stores the value (read-my-write for the winning read).
+type ReplicatedClient struct {
+	clients []*Client
+	group   *core.Group[[]byte]
+	// key is injected per-call through this box; the group's replica
+	// functions close over the client, and read the key from the call
+	// context to stay reusable.
+}
+
+type ctxKeyType struct{}
+
+var ctxKey ctxKeyType
+
+// NewReplicatedClient builds a replicated reader over the given clients.
+// policy controls fan-out (e.g. Policy{Copies: 2} for the paper's full
+// replication, or HedgeDelay for tied requests).
+func NewReplicatedClient(policy core.Policy, clients ...*Client) *ReplicatedClient {
+	rc := &ReplicatedClient{clients: clients}
+	g := core.NewGroup[[]byte](policy)
+	for _, cl := range clients {
+		cl := cl
+		g.Add(cl.Addr(), func(ctx context.Context) ([]byte, error) {
+			key, _ := ctx.Value(ctxKey).(string)
+			return cl.Get(ctx, key)
+		})
+	}
+	rc.group = g
+	return rc
+}
+
+// Get returns the first replica's response for key.
+func (rc *ReplicatedClient) Get(ctx context.Context, key string) ([]byte, error) {
+	res, err := rc.group.Do(context.WithValue(ctx, ctxKey, key))
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// GetResult is Get with the full redundancy metadata (winner, latency,
+// copies launched).
+func (rc *ReplicatedClient) GetResult(ctx context.Context, key string) (core.Result[[]byte], error) {
+	return rc.group.Do(context.WithValue(ctx, ctxKey, key))
+}
+
+// Set writes to every replica, returning the first error.
+func (rc *ReplicatedClient) Set(ctx context.Context, key string, value []byte) error {
+	for _, cl := range rc.clients {
+		if err := cl.Set(ctx, key, value); err != nil {
+			return fmt.Errorf("replica %s: %w", cl.Addr(), err)
+		}
+	}
+	return nil
+}
+
+// Close closes all underlying clients.
+func (rc *ReplicatedClient) Close() error {
+	var err error
+	for _, cl := range rc.clients {
+		if e := cl.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}

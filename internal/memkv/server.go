@@ -1,0 +1,355 @@
+// Package memkv implements a small in-memory key-value store speaking a
+// subset of the memcached text protocol (get/set/delete), plus a pooled
+// client and a replicated client built on the redundancy core.
+//
+// It serves two purposes in the reproduction:
+//
+//   - It is the live-system counterpart of the §2.3 memcached experiment:
+//     the examples run real replicated reads against two memkv servers over
+//     TCP and show exactly the effect the paper measured (sub-millisecond
+//     service times leave little room for redundancy to help, unless a
+//     server stalls).
+//   - Its Server.Delay hook lets tests and examples inject controlled
+//     latency spikes to demonstrate when redundancy DOES pay off.
+//
+// Protocol subset (memcached text protocol):
+//
+//	set <key> <flags> <exptime> <bytes>\r\n<data>\r\n  -> STORED\r\n
+//	get <key>\r\n  -> VALUE <key> <flags> <bytes>\r\n<data>\r\nEND\r\n | END\r\n
+//	delete <key>\r\n -> DELETED\r\n | NOT_FOUND\r\n
+//	stats\r\n -> STAT <name> <value>\r\n ... END\r\n
+//	quit\r\n
+//
+// exptime follows memcached's relative-seconds convention (0 = never).
+package memkv
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	maxKeyLen   = 250
+	maxValueLen = 8 << 20 // 8 MB, as memcached's default item limit order
+)
+
+// Store is a sharded in-memory key-value map, safe for concurrent use.
+type Store struct {
+	shards [shardCount]shard
+}
+
+const shardCount = 32
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]item
+}
+
+type item struct {
+	flags     uint32
+	data      []byte
+	expiresAt time.Time // zero = never expires
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]item)
+	}
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return &s.shards[h.Sum32()%shardCount]
+}
+
+// Set stores value under key with opaque flags and no expiry.
+func (s *Store) Set(key string, flags uint32, value []byte) {
+	s.SetTTL(key, flags, value, 0)
+}
+
+// SetTTL stores value under key, expiring after ttl (0 = never). Expiry is
+// lazy: expired items are reaped on access, as in memcached.
+func (s *Store) SetTTL(key string, flags uint32, value []byte, ttl time.Duration) {
+	var exp time.Time
+	if ttl > 0 {
+		exp = time.Now().Add(ttl)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.m[key] = item{flags: flags, data: append([]byte(nil), value...), expiresAt: exp}
+	sh.mu.Unlock()
+}
+
+// Get returns the value and flags for key. Expired items are absent (and
+// reaped on the way).
+func (s *Store) Get(key string) (value []byte, flags uint32, ok bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	it, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, 0, false
+	}
+	if !it.expiresAt.IsZero() && time.Now().After(it.expiresAt) {
+		sh.mu.Lock()
+		// Re-check under the write lock: the item may have been replaced
+		// with a fresh (unexpired) value since the read.
+		if cur, still := sh.m[key]; still && !cur.expiresAt.IsZero() && time.Now().After(cur.expiresAt) {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+		return nil, 0, false
+	}
+	return it.data, it.flags, true
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	_, ok := sh.m[key]
+	delete(sh.m, key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the total number of stored keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Server serves the memcached text protocol over TCP.
+type Server struct {
+	// Delay, if non-nil, is called once per request and its return value
+	// is slept before responding — a hook for injecting service-time
+	// distributions in tests and demos.
+	Delay func() time.Duration
+
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Protocol counters, exposed by the stats command.
+	cmdGet    atomic.Int64
+	cmdSet    atomic.Int64
+	getHits   atomic.Int64
+	getMisses atomic.Int64
+}
+
+// NewServer creates a server around the given store (a fresh one if nil).
+func NewServer(store *Store) *Server {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Store returns the server's backing store.
+func (s *Server) Store() *Store { return s.store }
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving
+// in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("memkv: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes every open connection, and waits for
+// handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if s.Delay != nil {
+			if d := s.Delay(); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		switch fields[0] {
+		case "get", "gets":
+			if len(fields) < 2 {
+				writeClientError(w, "get requires a key")
+				continue
+			}
+			s.cmdGet.Add(1)
+			for _, key := range fields[1:] {
+				if val, flags, ok := s.store.Get(key); ok {
+					s.getHits.Add(1)
+					fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(val))
+					w.Write(val)
+					w.WriteString("\r\n")
+				} else {
+					s.getMisses.Add(1)
+				}
+			}
+			w.WriteString("END\r\n")
+		case "set":
+			if err := s.handleSet(r, w, fields); err != nil {
+				return
+			}
+		case "delete":
+			if len(fields) != 2 {
+				writeClientError(w, "delete requires exactly one key")
+				continue
+			}
+			if s.store.Delete(fields[1]) {
+				w.WriteString("DELETED\r\n")
+			} else {
+				w.WriteString("NOT_FOUND\r\n")
+			}
+		case "stats":
+			fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
+			fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
+			fmt.Fprintf(w, "STAT get_hits %d\r\n", s.getHits.Load())
+			fmt.Fprintf(w, "STAT get_misses %d\r\n", s.getMisses.Load())
+			fmt.Fprintf(w, "STAT curr_items %d\r\n", s.store.Len())
+			w.WriteString("END\r\n")
+		case "quit":
+			w.Flush()
+			return
+		default:
+			w.WriteString("ERROR\r\n")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handleSet parses "set <key> <flags> <exptime> <bytes>" plus the data
+// block. Protocol errors are reported to the client; IO errors close the
+// connection.
+func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, fields []string) error {
+	if len(fields) != 5 {
+		writeClientError(w, "set requires 4 arguments")
+		return w.Flush()
+	}
+	key := fields[1]
+	if len(key) > maxKeyLen {
+		writeClientError(w, "key too long")
+		return w.Flush()
+	}
+	flags, err1 := strconv.ParseUint(fields[2], 10, 32)
+	exptime, err2 := strconv.ParseInt(fields[3], 10, 64) // relative seconds, 0 = never
+	n, err3 := strconv.ParseInt(fields[4], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || exptime < 0 || n < 0 || n > maxValueLen {
+		writeClientError(w, "bad command line format")
+		return w.Flush()
+	}
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	if string(data[n:]) != "\r\n" {
+		writeClientError(w, "bad data chunk")
+		return w.Flush()
+	}
+	s.cmdSet.Add(1)
+	s.store.SetTTL(key, uint32(flags), data[:n], time.Duration(exptime)*time.Second)
+	w.WriteString("STORED\r\n")
+	return w.Flush()
+}
+
+func writeClientError(w *bufio.Writer, msg string) {
+	fmt.Fprintf(w, "CLIENT_ERROR %s\r\n", msg)
+}
+
+// readLine reads a \r\n- (or \n-) terminated line without the terminator.
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

@@ -1,0 +1,90 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"redundancy/internal/analytic"
+	"redundancy/internal/dist"
+)
+
+// TestMM1ResponseDistribution checks the simulator at the distribution
+// level, not just the mean: for exponential service the response time of
+// the unreplicated system is exponential with rate (1 - rho), so the
+// simulated CCDF must match exp(-(1-rho) t) pointwise.
+func TestMM1ResponseDistribution(t *testing.T) {
+	rho := 0.2
+	s, err := Run(Config{
+		Servers: 20, Copies: 1, Load: rho,
+		Service: dist.Exponential{MeanV: 1}, Requests: 400000, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1, 2, 4, 6} {
+		got := s.FractionAbove(x)
+		want := analytic.MM1ResponseCCDF(rho, x)
+		if math.Abs(got-want) > 0.15*want+0.002 {
+			t.Errorf("P(T > %g) = %g, closed form %g", x, got, want)
+		}
+	}
+}
+
+// TestReplicatedMM1ResponseDistribution: with 2 copies each arm is
+// (approximately) exponential with rate (1 - 2 rho), and the minimum of
+// two independent exponentials is exponential with doubled rate:
+// P(T > t) = exp(-2 (1-2 rho) t).
+func TestReplicatedMM1ResponseDistribution(t *testing.T) {
+	rho := 0.15
+	s, err := Run(Config{
+		Servers: 30, Copies: 2, Load: rho,
+		Service: dist.Exponential{MeanV: 1}, Requests: 400000, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 2 * (1 - 2*rho)
+	for _, x := range []float64{0.25, 0.5, 1, 2} {
+		got := s.FractionAbove(x)
+		want := math.Exp(-rate * x)
+		if math.Abs(got-want) > 0.2*want+0.002 {
+			t.Errorf("P(T > %g) = %g, closed form %g", x, got, want)
+		}
+	}
+}
+
+// TestGeneralKThreshold verifies Theorem 1's generalization 1/(k+1) by
+// simulation for k = 3.
+func TestGeneralKThreshold(t *testing.T) {
+	th, err := ThresholdLoad(ThresholdOptions{
+		Servers: 24, Copies: 3, Service: dist.Exponential{MeanV: 1},
+		Seed: 33, Requests: 250000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic.ExponentialThreshold(3)
+	if math.Abs(th-want) > 0.025 {
+		t.Errorf("k=3 threshold = %g, want %g", th, want)
+	}
+}
+
+// TestPKMeanMatchesSimulationMG1 cross-validates the simulator against the
+// exact Pollaczek-Khinchine mean for a non-exponential service law
+// (Erlang-4: E[S^2] = 1.25 at unit mean).
+func TestPKMeanMatchesSimulationMG1(t *testing.T) {
+	rho := 0.4
+	svc := dist.Erlang{K: 4, MeanV: 1}
+	m, err := MeanResponse(Config{
+		Servers: 20, Copies: 1, Load: rho,
+		Service: svc, Requests: 400000, Seed: 34,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[S^2] = Var + mean^2 = 1/4 + 1 = 1.25; lambda = rho (unit mean).
+	want := analytic.PKMeanResponse(rho, 1, 1.25)
+	if math.Abs(m-want) > 0.05*want {
+		t.Errorf("M/E4/1 mean at rho=%g: simulated %g, P-K %g", rho, m, want)
+	}
+}

@@ -1,0 +1,252 @@
+// Package queueing implements the paper's abstract replication queueing
+// model (§2.1): N identical FCFS servers, Poisson request arrivals, k copies
+// of each request enqueued at k distinct uniformly-random servers, response
+// time = minimum over copies of (completion time - arrival time), plus an
+// optional fixed client-side overhead per extra copy.
+//
+// Because every server is FCFS and non-preemptive, copy completion times
+// follow the Lindley recurrence (start = max(arrival, previous departure)),
+// so the simulation is a single pass over arrivals with no event heap. This
+// makes the threshold-load bisection of Figures 2-4 cheap enough to run as
+// Go benchmarks.
+//
+// As in the paper, replicated copies are NOT cancelled when a sibling
+// completes: every copy consumes its full service time. This is the
+// worst case for redundancy; systems that can cancel outstanding copies
+// (see package core) do strictly better.
+package queueing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/stats"
+)
+
+// Config describes one run of the replication queueing model.
+type Config struct {
+	// Servers is N, the number of identical servers. The paper notes the
+	// independence approximation is within 0.1% of exact at N = 20.
+	Servers int
+	// Copies is k, the replication factor (1 = no replication).
+	Copies int
+	// Load is the base per-server utilization of the UNREPLICATED system:
+	// arrivalRate * E[S] / N. With k copies the realized utilization is
+	// k * Load, so Load must be < 1/k for stability.
+	Load float64
+	// Service is the service-time distribution S (typically unit mean).
+	Service dist.Dist
+	// ClientOverhead is a fixed latency (same units as S) added to every
+	// request's response time per EXTRA copy, modelling client-side
+	// replication cost (Figure 4). A request with k copies pays
+	// (k-1) * ClientOverhead.
+	ClientOverhead float64
+	// Requests is the number of measured requests.
+	Requests int
+	// Warmup is the number of initial requests whose response times are
+	// discarded while queues fill to steady state. Defaults to
+	// Requests/10 when zero.
+	Warmup int
+	// Seed seeds all randomness (arrivals, server choice, service times).
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Servers < 1 {
+		return fmt.Errorf("queueing: Servers must be >= 1, got %d", c.Servers)
+	}
+	if c.Copies < 1 || c.Copies > c.Servers {
+		return fmt.Errorf("queueing: Copies must be in [1, Servers], got %d", c.Copies)
+	}
+	if c.Load <= 0 || c.Load*float64(c.Copies) >= 1 {
+		return fmt.Errorf("queueing: Load*Copies must be in (0,1) for stability, got %g*%d", c.Load, c.Copies)
+	}
+	if c.Service == nil {
+		return fmt.Errorf("queueing: Service distribution is required")
+	}
+	if c.Requests < 1 {
+		return fmt.Errorf("queueing: Requests must be >= 1, got %d", c.Requests)
+	}
+	return nil
+}
+
+// Run simulates the model and returns the sample of measured response times.
+func Run(cfg Config) (*stats.Sample, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	warmup := cfg.Warmup
+	if warmup == 0 {
+		warmup = cfg.Requests / 10
+	}
+	// Common random numbers across replication factors: the arrival
+	// process and the PRIMARY copy's server choice and service time come
+	// from streams that do not depend on Copies, so a k=1 run and a k=2
+	// run with the same seed see identical arrivals and identical primary
+	// work. Extra copies draw from a third stream. This pairs the two
+	// arms of every threshold comparison. The measured benefit is modest
+	// (BenchmarkAblationCRN): the replicated arm runs at doubled
+	// utilization, and its own queueing noise dominates the difference —
+	// but pairing costs nothing and removes the arrival-process component
+	// of the comparison noise.
+	arrivals := rand.New(rand.NewSource(cfg.Seed))
+	primary := rand.New(rand.NewSource(cfg.Seed ^ 0x5e3779b97f4a7c15))
+	extra := rand.New(rand.NewSource(cfg.Seed ^ 0x7f4a7c155e3779b9))
+
+	meanS := cfg.Service.Mean()
+	// Total arrival rate lambda so that per-server base utilization is Load:
+	// lambda * meanS / N = Load.
+	lambda := cfg.Load * float64(cfg.Servers) / meanS
+
+	lastDeparture := make([]float64, cfg.Servers)
+	sample := stats.NewSample(cfg.Requests)
+	overhead := float64(cfg.Copies-1) * cfg.ClientOverhead
+
+	now := 0.0
+	total := warmup + cfg.Requests
+	chosen := make([]int, cfg.Copies)
+	for i := 0; i < total; i++ {
+		now += arrivals.ExpFloat64() / lambda
+		pickServers(primary, extra, cfg.Servers, chosen)
+		best := 0.0
+		for ci, s := range chosen {
+			var svc float64
+			if ci == 0 {
+				svc = cfg.Service.Sample(primary)
+			} else {
+				svc = cfg.Service.Sample(extra)
+			}
+			start := now
+			if lastDeparture[s] > start {
+				start = lastDeparture[s]
+			}
+			done := start + svc
+			lastDeparture[s] = done
+			resp := done - now
+			if ci == 0 || resp < best {
+				best = resp
+			}
+		}
+		if i >= warmup {
+			sample.Add(best + overhead)
+		}
+	}
+	return sample, nil
+}
+
+// pickServers fills chosen with k distinct server indices drawn uniformly
+// at random from [0, n): the primary from rp (shared across replication
+// factors for common random numbers), extra copies from re. k is small
+// (typically 1 or 2), so rejection sampling is fastest.
+func pickServers(rp, re *rand.Rand, n int, chosen []int) {
+	chosen[0] = rp.Intn(n)
+	for i := 1; i < len(chosen); i++ {
+	retry:
+		s := re.Intn(n)
+		for j := 0; j < i; j++ {
+			if chosen[j] == s {
+				goto retry
+			}
+		}
+		chosen[i] = s
+	}
+}
+
+// MeanResponse runs the model and returns the mean response time.
+func MeanResponse(cfg Config) (float64, error) {
+	s, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return s.Mean(), nil
+}
+
+// ThresholdOptions configures the threshold-load search.
+type ThresholdOptions struct {
+	// Servers, Service, ClientOverhead, Seed as in Config.
+	Servers        int
+	Service        dist.Dist
+	ClientOverhead float64
+	Seed           int64
+	// Copies is the replication factor compared against 1 copy (default 2).
+	Copies int
+	// Requests per evaluation (default 200000).
+	Requests int
+	// Iterations of bisection (default 12, resolving the threshold to
+	// ~0.5 * 0.5^12 ≈ 0.0001).
+	Iterations int
+}
+
+// ThresholdLoad estimates the threshold load: the largest base utilization
+// rho below which replication (Copies copies) yields lower mean response
+// time than no replication. Both arms of every comparison run with the same
+// seed (common random numbers: identical arrival process and primary
+// draws), which removes the shared component of the comparison noise.
+//
+// The search assumes the mean-difference function crosses zero once in
+// (0, 1/Copies), which holds throughout the paper's families: replication
+// helps at low load and hurts near saturation.
+func ThresholdLoad(opts ThresholdOptions) (float64, error) {
+	if opts.Copies == 0 {
+		opts.Copies = 2
+	}
+	if opts.Requests == 0 {
+		opts.Requests = 200000
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 12
+	}
+	hi := 1/float64(opts.Copies) - 1e-4
+	lo := 1e-3
+
+	helps := func(load float64) (bool, error) {
+		base := Config{
+			Servers:  opts.Servers,
+			Copies:   1,
+			Load:     load,
+			Service:  opts.Service,
+			Requests: opts.Requests,
+			Seed:     opts.Seed,
+		}
+		repl := base
+		repl.Copies = opts.Copies
+		repl.ClientOverhead = opts.ClientOverhead
+		m1, err := MeanResponse(base)
+		if err != nil {
+			return false, err
+		}
+		m2, err := MeanResponse(repl)
+		if err != nil {
+			return false, err
+		}
+		return m2 < m1, nil
+	}
+
+	// If replication helps even just below saturation/2, the threshold is
+	// the trivial upper bound.
+	if ok, err := helps(hi); err != nil {
+		return 0, err
+	} else if ok {
+		return hi, nil
+	}
+	// If replication does not help even at (near-)zero load, threshold ~ 0.
+	if ok, err := helps(lo); err != nil {
+		return 0, err
+	} else if !ok {
+		return 0, nil
+	}
+	for i := 0; i < opts.Iterations; i++ {
+		mid := (lo + hi) / 2
+		ok, err := helps(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,116 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulators in this repository (the abstract queueing model, the
+// disk-backed cluster, and the fat-tree network) are built on this engine.
+// Virtual time is a float64 number of seconds. Events scheduled for the
+// same instant fire in scheduling order, which makes runs fully
+// deterministic for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func()
+
+type scheduled struct {
+	at  float64
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(scheduled)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// Two engines with the same seed and the same schedule of events produce
+// identical runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand returns the engine's random source. Model code should draw all
+// randomness from here (or from streams split off it) for reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it is always a model bug, and silently reordering time would
+// corrupt every statistic downstream.
+func (e *Engine) At(t float64, fn Event) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, scheduled{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds after the current virtual time.
+func (e *Engine) After(d float64, fn Event) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Step runs the next pending event, advancing virtual time to it.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.events).(scheduled)
+	e.now = it.at
+	it.fn()
+	return true
+}
+
+// Run processes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then sets the clock to t.
+// Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }

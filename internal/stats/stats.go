@@ -1,0 +1,308 @@
+// Package stats provides the measurement primitives shared by every
+// experiment: streaming moments, exact-quantile sample stores, CCDF export
+// (the paper plots "fraction later than threshold" on log axes), and
+// paired-comparison helpers for the common-random-number threshold search.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates streaming mean and variance (Welford's algorithm)
+// without storing samples. The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the sample mean (NaN if empty).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the unbiased sample variance (NaN if fewer than 2
+// observations).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (r *Running) Stddev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (NaN if empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest observation (NaN if empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// CV returns the coefficient of variation, stddev/mean.
+func (r *Running) CV() float64 { return r.Stddev() / r.Mean() }
+
+// Sample stores observations for exact quantiles and CCDF export. For the
+// sample sizes used here (<= a few million float64s) exact storage is
+// cheaper and simpler than sketches, and keeps tail quantiles exact — the
+// paper's headline results are 99th/99.9th percentiles, where sketch error
+// would be most damaging.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	run    Running
+}
+
+// NewSample returns a Sample with capacity hint n.
+func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.run.Add(x)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 { return s.run.Mean() }
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 { return s.run.Variance() }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.run.Min() }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.run.Max() }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using linear interpolation
+// between order statistics. It returns NaN if the sample is empty.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s.sort()
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// P99 returns the 0.99-quantile.
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// P999 returns the 0.999-quantile.
+func (s *Sample) P999() float64 { return s.Quantile(0.999) }
+
+// FractionAbove returns the fraction of observations strictly greater than
+// threshold — the paper's "fraction later than threshold" CCDF metric.
+func (s *Sample) FractionAbove(threshold float64) float64 {
+	if len(s.xs) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	// First index with xs[i] > threshold.
+	i := sort.Search(len(s.xs), func(i int) bool { return s.xs[i] > threshold })
+	return float64(len(s.xs)-i) / float64(len(s.xs))
+}
+
+// CCDF returns (threshold, fraction-later-than-threshold) pairs at the given
+// thresholds.
+func (s *Sample) CCDF(thresholds []float64) []CCDFPoint {
+	pts := make([]CCDFPoint, len(thresholds))
+	for i, t := range thresholds {
+		pts[i] = CCDFPoint{T: t, Frac: s.FractionAbove(t)}
+	}
+	return pts
+}
+
+// CCDFPoint is one point of a complementary CDF.
+type CCDFPoint struct {
+	T    float64 // threshold
+	Frac float64 // fraction of observations exceeding T
+}
+
+// Values returns the observations, sorted ascending. The returned slice is
+// owned by the Sample and must not be modified.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.xs
+}
+
+// LogSpace returns n points spaced logarithmically between lo and hi
+// inclusive, for CCDF threshold grids on log axes.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic("stats: LogSpace requires 0 < lo < hi and n >= 2")
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		out[i] = math.Exp(llo + (lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// LinSpace returns n points spaced linearly between lo and hi inclusive.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: LinSpace requires n >= 2")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// Summary is a compact distribution summary used in experiment tables.
+type Summary struct {
+	N                  int
+	Mean, Median       float64
+	P95, P99, P999     float64
+	Min, Max, Variance float64
+}
+
+// Summarize extracts a Summary from a Sample.
+func Summarize(s *Sample) Summary {
+	return Summary{
+		N:        s.N(),
+		Mean:     s.Mean(),
+		Median:   s.Median(),
+		P95:      s.Quantile(0.95),
+		P99:      s.P99(),
+		P999:     s.P999(),
+		Min:      s.Min(),
+		Max:      s.Max(),
+		Variance: s.Variance(),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g p50=%.6g p95=%.6g p99=%.6g p99.9=%.6g max=%.6g",
+		s.N, s.Mean, s.Median, s.P95, s.P99, s.P999, s.Max)
+}
+
+// Histogram is a log-bucketed histogram for cheap latency aggregation when
+// exact samples are not needed (e.g. per-server diagnostics).
+type Histogram struct {
+	lo     float64
+	growth float64
+	counts []int64
+	under  int64
+	over   int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with nb buckets covering [lo, hi)
+// geometrically.
+func NewHistogram(lo, hi float64, nb int) *Histogram {
+	if lo <= 0 || hi <= lo || nb < 1 {
+		panic("stats: NewHistogram requires 0 < lo < hi and nb >= 1")
+	}
+	return &Histogram{
+		lo:     lo,
+		growth: math.Pow(hi/lo, 1/float64(nb)),
+		counts: make([]int64, nb),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	if x < h.lo {
+		h.under++
+		return
+	}
+	i := int(math.Log(x/h.lo) / math.Log(h.growth))
+	if i >= len(h.counts) {
+		h.over++
+		return
+	}
+	h.counts[i]++
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns an approximate q-quantile (bucket upper bound).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := int64(q * float64(h.total))
+	cum := h.under
+	if cum > target {
+		return h.lo
+	}
+	b := h.lo
+	for _, c := range h.counts {
+		b *= h.growth
+		cum += c
+		if cum > target {
+			return b
+		}
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,147 @@
+// Package redundancy reduces the latency — especially the tail latency —
+// of networked operations by initiating them redundantly across diverse
+// resources and using the first result that completes.
+//
+// It is a from-scratch Go implementation of the system described in
+// "Low Latency via Redundancy" (Vulimiri, Godfrey, Mittal, Sherry,
+// Ratnasamy, Shenker — CoNEXT 2013), together with every substrate the
+// paper's evaluation depends on (see DESIGN.md) and a harness that
+// regenerates each of the paper's figures (see EXPERIMENTS.md and
+// cmd/redbench).
+//
+// # Quick start
+//
+//	ctx := context.Background()
+//	res, err := redundancy.First(ctx,
+//	    func(ctx context.Context) (string, error) { return queryServer(ctx, "a.example") },
+//	    func(ctx context.Context) (string, error) { return queryServer(ctx, "b.example") },
+//	)
+//	// res.Value is the fastest server's answer; the slower query was cancelled.
+//
+// For repeated operations against a fixed replica set, use Group, which
+// tracks per-replica latency and can replicate to the k fastest (the
+// paper's DNS strategy), hedge after a delay, and bound added load with a
+// Budget.
+//
+// # When does this help?
+//
+// The paper's analysis (reproduced in internal/queueing and
+// internal/analytic) shows that with negligible client-side cost,
+// duplicating every operation lowers mean latency whenever server
+// utilization is below a threshold that lies between ~26% (deterministic
+// service times) and 50% (heavy-tailed service times); with exponential
+// service times the threshold is exactly 1/3. Redundancy helps most in the
+// tail and under the most variable conditions. It stops helping when the
+// client-side cost of an extra copy is comparable to the mean service time
+// (e.g. very large transfers, or sub-millisecond in-memory reads).
+package redundancy
+
+import (
+	"context"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+// Replica is one way of performing an operation. See core.Replica.
+type Replica[T any] = core.Replica[T]
+
+// Result describes a completed redundant operation. See core.Result.
+type Result[T any] = core.Result[T]
+
+// Group manages a replica set for repeated redundant operations.
+type Group[T any] = core.Group[T]
+
+// GroupOption configures a Group.
+type GroupOption[T any] = core.GroupOption[T]
+
+// Policy controls how a Group replicates each operation.
+type Policy = core.Policy
+
+// Selection chooses which replicas serve an operation.
+type Selection = core.Selection
+
+// Selection strategies.
+const (
+	SelectRanked     = core.SelectRanked
+	SelectRandom     = core.SelectRandom
+	SelectRoundRobin = core.SelectRoundRobin
+)
+
+// Budget caps the extra load redundancy may add.
+type Budget = core.Budget
+
+// Observation and Observer carry per-operation metrics.
+type (
+	Observation = core.Observation
+	Observer    = core.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = core.ObserverFunc
+	// Counters is a ready-made aggregating Observer.
+	Counters = core.Counters
+)
+
+// ErrNoReplicas is returned when an operation is attempted with zero
+// replicas.
+var ErrNoReplicas = core.ErrNoReplicas
+
+// First runs every replica concurrently and returns the first successful
+// result, cancelling the rest.
+func First[T any](ctx context.Context, replicas ...Replica[T]) (Result[T], error) {
+	return core.First(ctx, replicas...)
+}
+
+// FirstValue is First returning only the winning value.
+func FirstValue[T any](ctx context.Context, replicas ...Replica[T]) (T, error) {
+	return core.FirstValue(ctx, replicas...)
+}
+
+// Hedged staggers copies: copy i+1 launches only if no response arrived
+// delay after copy i.
+func Hedged[T any](ctx context.Context, delay time.Duration, replicas ...Replica[T]) (Result[T], error) {
+	return core.Hedged(ctx, delay, replicas...)
+}
+
+// HedgedSchedule is Hedged with an explicit per-copy delay schedule.
+func HedgedSchedule[T any](ctx context.Context, delays []time.Duration, replicas ...Replica[T]) (Result[T], error) {
+	return core.HedgedSchedule(ctx, delays, replicas...)
+}
+
+// NewGroup creates a Group with the given policy.
+func NewGroup[T any](policy Policy, opts ...GroupOption[T]) *Group[T] {
+	return core.NewGroup(policy, opts...)
+}
+
+// WithBudget attaches a hedging budget to a Group.
+func WithBudget[T any](b *Budget) GroupOption[T] { return core.WithBudget[T](b) }
+
+// WithObserver attaches an Observer to a Group.
+func WithObserver[T any](o Observer) GroupOption[T] { return core.WithObserver[T](o) }
+
+// WithSeed fixes a Group's random-selection seed for reproducibility.
+func WithSeed[T any](seed int64) GroupOption[T] { return core.WithSeed[T](seed) }
+
+// NewBudget creates a Budget refilling at rate extra copies per second
+// with the given burst capacity.
+func NewBudget(rate, burst float64) *Budget { return core.NewBudget(rate, burst) }
+
+// NewCounters returns an empty Counters observer.
+func NewCounters() *Counters { return core.NewCounters() }
+
+// Outcome is one replica's result within Quorum or AllReplicas.
+type Outcome[T any] = core.Outcome[T]
+
+// Quorum runs every replica concurrently and returns as soon as q succeed,
+// cancelling the rest (R-of-N quorum reads; q = 1 is First).
+func Quorum[T any](ctx context.Context, q int, replicas ...Replica[T]) ([]Outcome[T], error) {
+	return core.Quorum(ctx, q, replicas...)
+}
+
+// AllReplicas runs every replica to completion and returns every outcome in
+// replica order — the measurement mode of redundancy (rank-then-replicate).
+func AllReplicas[T any](ctx context.Context, replicas ...Replica[T]) []Outcome[T] {
+	return core.All(ctx, replicas...)
+}
+
+// Fastest returns the successful outcomes of AllReplicas sorted by latency.
+func Fastest[T any](outcomes []Outcome[T]) []Outcome[T] { return core.Fastest(outcomes) }

@@ -1,0 +1,101 @@
+package redundancy_test
+
+// Tests of the public module-root API. The behavioural test suite lives
+// with the implementation in internal/core; these verify the re-exported
+// surface works as documented for a downstream importer.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"redundancy"
+)
+
+func TestPublicFirst(t *testing.T) {
+	res, err := redundancy.First(context.Background(),
+		func(ctx context.Context) (string, error) {
+			select {
+			case <-time.After(100 * time.Millisecond):
+				return "slow", nil
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		},
+		func(ctx context.Context) (string, error) { return "fast", nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "fast" {
+		t.Errorf("winner %q", res.Value)
+	}
+}
+
+func TestPublicFirstValue(t *testing.T) {
+	v, err := redundancy.FirstValue(context.Background(),
+		func(ctx context.Context) (int, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Errorf("FirstValue = (%d, %v)", v, err)
+	}
+}
+
+func TestPublicErrNoReplicas(t *testing.T) {
+	_, err := redundancy.First[int](context.Background())
+	if !errors.Is(err, redundancy.ErrNoReplicas) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestPublicGroupWithEverything(t *testing.T) {
+	counters := redundancy.NewCounters()
+	budget := redundancy.NewBudget(1000, 10)
+	g := redundancy.NewGroup[string](
+		redundancy.Policy{Copies: 2, Selection: redundancy.SelectRanked},
+		redundancy.WithObserver[string](counters),
+		redundancy.WithBudget[string](budget),
+		redundancy.WithSeed[string](1),
+	)
+	g.Add("a", func(ctx context.Context) (string, error) { return "a", nil })
+	g.Add("b", func(ctx context.Context) (string, error) { return "b", nil })
+	for i := 0; i < 5; i++ {
+		if _, err := g.Do(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counters.Ops() != 5 {
+		t.Errorf("Ops = %d", counters.Ops())
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestPublicHedged(t *testing.T) {
+	res, err := redundancy.Hedged(context.Background(), time.Millisecond,
+		func(ctx context.Context) (int, error) {
+			select {
+			case <-time.After(time.Second):
+				return 1, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		},
+		func(ctx context.Context) (int, error) { return 2, nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 {
+		t.Errorf("hedge winner %d", res.Value)
+	}
+}
+
+func TestPublicSelectionStrings(t *testing.T) {
+	if redundancy.SelectRanked.String() != "ranked" ||
+		redundancy.SelectRandom.String() != "random" ||
+		redundancy.SelectRoundRobin.String() != "round-robin" {
+		t.Error("Selection.String() wrong")
+	}
+}
