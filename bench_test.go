@@ -162,6 +162,37 @@ func BenchmarkCoreGroupDo(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreGroupDoParallel is the contention benchmark for the Group
+// hot path: one shared Group, GOMAXPROCS goroutines calling Do as fast as
+// they can. The copy-on-write engine reads membership, policy, and
+// latency estimates without locking, so throughput should scale with
+// cores instead of serializing on a global mutex.
+func BenchmarkCoreGroupDoParallel(b *testing.B) {
+	for _, sel := range []struct {
+		name string
+		s    redundancy.Selection
+	}{{"ranked", redundancy.SelectRanked}, {"random", redundancy.SelectRandom}} {
+		b.Run(sel.name, func(b *testing.B) {
+			g := redundancy.NewGroup[int](redundancy.Policy{Copies: 2, Selection: sel.s},
+				redundancy.WithSeed[int](1))
+			for i := 0; i < 16; i++ {
+				i := i
+				g.Add(string(rune('a'+i)), func(ctx context.Context) (int, error) { return i, nil })
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := g.Do(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 func BenchmarkCoreHedgedFastPrimary(b *testing.B) {
 	fast := func(ctx context.Context) (int, error) { return 1, nil }
 	ctx := context.Background()

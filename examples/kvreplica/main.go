@@ -91,4 +91,21 @@ func main() {
 	})
 	fmt.Println("\nThe replicated reader's p95/p99 ignore replica A's stalls —")
 	fmt.Println("the fast copy masks the slow one (paper §2.2's tail result).")
+
+	// The copy-on-write engine tracks per-replica latency estimates and
+	// supports membership changes while reads are in flight: inspect the
+	// estimates, then decommission the degraded replica without building
+	// a new client.
+	fmt.Println("\nper-replica latency estimates (EWMA of successful reads):")
+	for _, r := range both.GroupStats().Replicas {
+		fmt.Printf("  %-22s %-10v (%d observations)\n",
+			r.Name, r.EstimatedLatency.Round(100*time.Microsecond), r.Observations)
+	}
+
+	fmt.Println("\ndecommissioning the degraded replica A:")
+	both.RemoveReplica(addrA.String())
+	measure("replicated (B only)", func() error {
+		_, err := both.Get(ctx, "user:42")
+		return err
+	})
 }

@@ -1,0 +1,3 @@
+module redundancy
+
+go 1.24

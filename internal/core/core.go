@@ -63,7 +63,9 @@ type indexed[T any] struct {
 // This is the paper's "initiate an operation multiple times, use the first
 // result which completes" in its purest form (k-way full replication).
 func First[T any](ctx context.Context, replicas ...Replica[T]) (Result[T], error) {
-	return race(ctx, nil, replicas)
+	return race(ctx, nil, len(replicas), func(ctx context.Context, i int) (T, error) {
+		return replicas[i](ctx)
+	})
 }
 
 // FirstValue is First without the metadata, for call sites that only need
@@ -73,11 +75,13 @@ func FirstValue[T any](ctx context.Context, replicas ...Replica[T]) (T, error) {
 	return res.Value, err
 }
 
-// race launches replicas (all immediately if delays is nil, otherwise
-// replica i after delays[i]) and returns the first success.
-func race[T any](ctx context.Context, delays []time.Duration, replicas []Replica[T]) (Result[T], error) {
+// race launches n copies of call (all immediately if delays is nil,
+// otherwise copy i after delays[i]) and returns the first success. call
+// receives the copy's launch index; Group passes an indexer over its
+// picked members so the hot path needs no per-copy wrapper closures.
+func race[T any](ctx context.Context, delays []time.Duration, n int, call func(ctx context.Context, i int) (T, error)) (Result[T], error) {
 	var zero Result[T]
-	if len(replicas) == 0 {
+	if n == 0 {
 		return zero, ErrNoReplicas
 	}
 	start := time.Now()
@@ -85,30 +89,30 @@ func race[T any](ctx context.Context, delays []time.Duration, replicas []Replica
 	defer cancel()
 
 	// Buffered so losers can always deliver and exit: no goroutine leaks.
-	results := make(chan indexed[T], len(replicas))
+	results := make(chan indexed[T], n)
 	launch := func(i int) {
 		go func() {
-			v, err := replicas[i](ctx)
+			v, err := call(ctx, i)
 			results <- indexed[T]{val: v, err: err, idx: i}
 		}()
 	}
 
 	launched := 0
 	if delays == nil {
-		for i := range replicas {
+		for i := 0; i < n; i++ {
 			launch(i)
 		}
-		launched = len(replicas)
+		launched = n
 	} else {
 		launch(0)
 		launched = 1
 	}
 
-	errs := make([]error, 0, len(replicas))
+	var errs []error
 	done := 0
 	var timer *time.Timer
 	var timerC <-chan time.Time
-	if delays != nil && launched < len(replicas) {
+	if delays != nil && launched < n {
 		timer = time.NewTimer(delays[launched])
 		timerC = timer.C
 	}
@@ -130,10 +134,12 @@ func race[T any](ctx context.Context, delays []time.Duration, replicas []Replica
 				}, nil
 			}
 			errs = append(errs, fmt.Errorf("replica %d: %w", r.idx, r.err))
-			if done == launched && launched == len(replicas) {
-				return zero, errors.Join(errs...)
+			if done == launched && launched == n {
+				// Even on failure, report how many copies ran: budget
+				// accounting and observers need the real fan-out.
+				return Result[T]{Launched: launched}, errors.Join(errs...)
 			}
-			if done == launched && launched < len(replicas) {
+			if done == launched && launched < n {
 				// Every outstanding copy failed; hedge immediately rather
 				// than waiting out the delay.
 				if timer != nil {
@@ -141,7 +147,7 @@ func race[T any](ctx context.Context, delays []time.Duration, replicas []Replica
 				}
 				launch(launched)
 				launched++
-				if launched < len(replicas) {
+				if launched < n {
 					timer = time.NewTimer(delays[launched])
 					timerC = timer.C
 				} else {
@@ -151,14 +157,14 @@ func race[T any](ctx context.Context, delays []time.Duration, replicas []Replica
 		case <-timerC:
 			launch(launched)
 			launched++
-			if launched < len(replicas) {
+			if launched < n {
 				timer = time.NewTimer(delays[launched])
 				timerC = timer.C
 			} else {
 				timerC = nil
 			}
 		case <-ctx.Done():
-			return zero, ctx.Err()
+			return Result[T]{Launched: launched}, ctx.Err()
 		}
 	}
 }
@@ -178,7 +184,9 @@ func Hedged[T any](ctx context.Context, delay time.Duration, replicas ...Replica
 	for i := range delays {
 		delays[i] = delay
 	}
-	return race(ctx, delays, replicas)
+	return race(ctx, delays, len(replicas), func(ctx context.Context, i int) (T, error) {
+		return replicas[i](ctx)
+	})
 }
 
 // HedgedSchedule is Hedged with an explicit per-copy delay schedule:
@@ -193,5 +201,7 @@ func HedgedSchedule[T any](ctx context.Context, delays []time.Duration, replicas
 		var zero Result[T]
 		return zero, fmt.Errorf("redundancy: %d delays for %d replicas", len(delays), len(replicas))
 	}
-	return race(ctx, delays, replicas)
+	return race(ctx, delays, len(replicas), func(ctx context.Context, i int) (T, error) {
+		return replicas[i](ctx)
+	})
 }

@@ -245,7 +245,7 @@ func TestHedgedScheduleLengthMismatch(t *testing.T) {
 
 func TestHedgedScheduleStaggers(t *testing.T) {
 	var order []int
-	var mu chanLock
+	mu := newChanLock()
 	mk := func(i int, d time.Duration) Replica[int] {
 		return func(ctx context.Context) (int, error) {
 			mu.Lock()
@@ -272,15 +272,13 @@ func TestHedgedScheduleStaggers(t *testing.T) {
 }
 
 // chanLock is a tiny mutex built on a channel so this test file has no
-// sync import beyond atomic.
+// sync import beyond atomic. The channel must be created before the lock
+// is shared (lazy creation inside Lock would itself race).
 type chanLock struct{ ch chan struct{} }
 
-func (l *chanLock) Lock() {
-	if l.ch == nil {
-		l.ch = make(chan struct{}, 1)
-	}
-	l.ch <- struct{}{}
-}
+func newChanLock() *chanLock { return &chanLock{ch: make(chan struct{}, 1)} }
+
+func (l *chanLock) Lock()   { l.ch <- struct{}{} }
 func (l *chanLock) Unlock() { <-l.ch }
 
 func TestFirstManyReplicas(t *testing.T) {

@@ -3,9 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,23 +54,405 @@ func (s Selection) String() string {
 	}
 }
 
-// Group manages a set of named replicas for repeated redundant operations,
-// tracking per-replica latency so ranked selection can prefer the fastest.
+// ArgReplica is a replica that receives a per-call argument along with the
+// context — e.g. the key of a replicated KV read, or the question of a DNS
+// lookup. See KeyedGroup.
+type ArgReplica[K, T any] func(ctx context.Context, arg K) (T, error)
+
+// KeyedGroup is the copy-on-write replica-set engine. Membership and
+// policy live in an immutable snapshot behind an atomic pointer, and each
+// replica's latency estimate is a lock-free EWMA, so the Do hot path —
+// snapshot read, replica selection, latency observation — never takes a
+// lock and never contends with other callers. Writers (Add, Remove,
+// SetPolicy) serialize among themselves and publish a new snapshot;
+// operations already in flight keep the snapshot they started with.
+//
+// The type parameter K is the per-call argument replicas receive, which is
+// what makes one engine reusable across keyed workloads (a replicated
+// memcached client passes the key; a DNS resolver passes the question)
+// without smuggling arguments through context values. For operations that
+// need no argument, use Group.
+//
 // All methods are safe for concurrent use.
-type Group[T any] struct {
-	mu       sync.Mutex
-	replicas []member[T]
-	policy   Policy
+type KeyedGroup[K, T any] struct {
+	state    atomic.Pointer[groupState[K, T]]
 	budget   *Budget
 	observer Observer
-	rng      *rand.Rand
-	rr       int // round-robin cursor
+	seed     uint64
+	seq      atomic.Uint64 // per-Do position in the random-selection stream
+	rr       atomic.Uint64 // round-robin cursor
+	mu       sync.Mutex    // serializes writers; readers never take it
 }
 
-type member[T any] struct {
+// groupState is one immutable membership snapshot. The slice and the
+// policy are never mutated after publication; member latency state is
+// updated through atomics, so members are shared across snapshots and an
+// estimate survives unrelated membership changes.
+type groupState[K, T any] struct {
+	policy  Policy
+	members []*member[K, T]
+}
+
+type member[K, T any] struct {
 	name string
-	fn   Replica[T]
-	ewma ewma
+	// rec is the replica wrapped (once, at Add) to fold each successful
+	// call's latency into the estimate — no per-operation closures.
+	rec ArgReplica[K, T]
+	lat latEstimate
+}
+
+// KeyedGroupOption configures a KeyedGroup.
+type KeyedGroupOption[K, T any] func(*KeyedGroup[K, T])
+
+// WithKeyedBudget attaches a hedging budget: operations consult the budget
+// before launching extra copies, degrading to a single copy when the
+// budget is exhausted.
+func WithKeyedBudget[K, T any](b *Budget) KeyedGroupOption[K, T] {
+	return func(g *KeyedGroup[K, T]) { g.budget = b }
+}
+
+// WithKeyedObserver attaches an Observer for per-operation metrics.
+func WithKeyedObserver[K, T any](o Observer) KeyedGroupOption[K, T] {
+	return func(g *KeyedGroup[K, T]) { g.observer = o }
+}
+
+// WithKeyedSeed fixes the seed of the group's random selection, for
+// reproducible tests and simulations.
+func WithKeyedSeed[K, T any](seed int64) KeyedGroupOption[K, T] {
+	return func(g *KeyedGroup[K, T]) { g.seed = uint64(seed) }
+}
+
+// NewKeyedGroup creates a KeyedGroup with the given policy.
+func NewKeyedGroup[K, T any](policy Policy, opts ...KeyedGroupOption[K, T]) *KeyedGroup[K, T] {
+	g := &KeyedGroup[K, T]{}
+	g.init(policy)
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+func (g *KeyedGroup[K, T]) init(policy Policy) {
+	if policy.Copies < 1 {
+		policy.Copies = 1
+	}
+	g.seed = uint64(time.Now().UnixNano())
+	g.state.Store(&groupState[K, T]{policy: policy})
+}
+
+// Add registers a replica under a diagnostic name.
+func (g *KeyedGroup[K, T]) Add(name string, fn ArgReplica[K, T]) {
+	m := &member[K, T]{name: name}
+	m.lat.bits.Store(unobserved)
+	m.rec = func(ctx context.Context, arg K) (T, error) {
+		t0 := time.Now()
+		v, err := fn(ctx, arg)
+		if err == nil {
+			m.lat.observe(float64(time.Since(t0)))
+		}
+		return v, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state.Load()
+	members := make([]*member[K, T], len(st.members)+1)
+	copy(members, st.members)
+	members[len(st.members)] = m
+	g.state.Store(&groupState[K, T]{policy: st.policy, members: members})
+}
+
+// Remove drops the first replica registered under name and reports whether
+// one was found. Operations already in flight keep the snapshot they
+// started with — they may still complete against the removed replica — but
+// no subsequent operation selects it.
+func (g *KeyedGroup[K, T]) Remove(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state.Load()
+	for i, m := range st.members {
+		if m.name == name {
+			members := make([]*member[K, T], 0, len(st.members)-1)
+			members = append(members, st.members[:i]...)
+			members = append(members, st.members[i+1:]...)
+			g.state.Store(&groupState[K, T]{policy: st.policy, members: members})
+			return true
+		}
+	}
+	return false
+}
+
+// SetPolicy replaces the group's policy. The change is atomic with respect
+// to membership: every operation sees one consistent (policy, members)
+// pair.
+func (g *KeyedGroup[K, T]) SetPolicy(policy Policy) {
+	if policy.Copies < 1 {
+		policy.Copies = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.state.Load()
+	g.state.Store(&groupState[K, T]{policy: policy, members: st.members})
+}
+
+// Policy returns the current policy.
+func (g *KeyedGroup[K, T]) Policy() Policy { return g.state.Load().policy }
+
+// Len returns the number of registered replicas.
+func (g *KeyedGroup[K, T]) Len() int { return len(g.state.Load().members) }
+
+// Names returns the replica names in registration order.
+func (g *KeyedGroup[K, T]) Names() []string {
+	members := g.state.Load().members
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = m.name
+	}
+	return out
+}
+
+// RankedNames returns the replica names ordered by current estimated
+// latency, fastest first (unprobed replicas first).
+func (g *KeyedGroup[K, T]) RankedNames() []string {
+	members := g.state.Load().members
+	type entry struct {
+		name string
+		v    float64
+		ok   bool
+	}
+	es := make([]entry, len(members))
+	for i, m := range members {
+		v, ok := m.lat.value()
+		es[i] = entry{m.name, v, ok}
+	}
+	sort.SliceStable(es, func(a, b int) bool {
+		if es[a].ok != es[b].ok {
+			return !es[a].ok // unprobed first
+		}
+		return es[a].v < es[b].v
+	})
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.name
+	}
+	return names
+}
+
+// EstimatedLatency returns the current latency estimate for a replica and
+// whether it has been observed at all.
+func (g *KeyedGroup[K, T]) EstimatedLatency(name string) (time.Duration, bool) {
+	for _, m := range g.state.Load().members {
+		if m.name == name {
+			v, ok := m.lat.value()
+			return time.Duration(v), ok
+		}
+	}
+	return 0, false
+}
+
+// ReplicaStats describes one replica in a Stats snapshot.
+type ReplicaStats struct {
+	// Name is the replica's registration name.
+	Name string
+	// EstimatedLatency is the EWMA of successful-call latencies (zero if
+	// unobserved).
+	EstimatedLatency time.Duration
+	// Observed reports whether any successful call has been recorded.
+	Observed bool
+	// Observations counts the successful calls folded into the estimate.
+	Observations int64
+}
+
+// GroupStats is a point-in-time view of a group. Policy and membership
+// come from a single atomic snapshot, so they are mutually consistent even
+// while other goroutines Add, Remove, or SetPolicy.
+type GroupStats struct {
+	Policy   Policy
+	Replicas []ReplicaStats
+}
+
+// Stats returns a consistent snapshot of the group's policy, membership,
+// and per-replica latency estimates.
+func (g *KeyedGroup[K, T]) Stats() GroupStats {
+	st := g.state.Load()
+	s := GroupStats{
+		Policy:   st.policy,
+		Replicas: make([]ReplicaStats, len(st.members)),
+	}
+	for i, m := range st.members {
+		v, ok := m.lat.value()
+		s.Replicas[i] = ReplicaStats{
+			Name:             m.name,
+			EstimatedLatency: time.Duration(v),
+			Observed:         ok,
+			Observations:     m.lat.count.Load(),
+		}
+	}
+	return s
+}
+
+// Do performs one redundant operation under the group's policy, passing
+// arg to every launched replica.
+func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
+	st := g.state.Load()
+	n := len(st.members)
+	if n == 0 {
+		var zero Result[T]
+		return zero, ErrNoReplicas
+	}
+	k := st.policy.Copies
+	if k > n {
+		k = n
+	}
+	picked := make([]*member[K, T], k)
+	g.pickInto(st, picked)
+
+	copies := k
+	granted := 0
+	if extra := copies - 1; extra > 0 && g.budget != nil {
+		granted = g.budget.Acquire(extra)
+		if granted < extra {
+			copies = 1 + granted
+			picked = picked[:copies]
+		}
+	}
+
+	var delays []time.Duration
+	if st.policy.HedgeDelay > 0 {
+		delays = make([]time.Duration, copies)
+		for i := range delays {
+			delays[i] = st.policy.HedgeDelay
+		}
+	}
+	res, err := race(ctx, delays, copies, func(ctx context.Context, i int) (T, error) {
+		return picked[i].rec(ctx, arg)
+	})
+	// Tokens pay for copies actually launched; refund hedge copies the
+	// primary's fast response made unnecessary.
+	if granted > 0 {
+		used := res.Launched - 1
+		if used < 0 {
+			used = 0
+		}
+		if unused := granted - used; unused > 0 {
+			g.budget.Release(unused)
+		}
+	}
+	if g.observer != nil {
+		name := ""
+		if err == nil && res.Index < len(picked) {
+			name = picked[res.Index].name
+		}
+		g.observer.Observe(Observation{
+			Winner:   name,
+			Launched: res.Launched,
+			Latency:  res.Latency,
+			Err:      err,
+		})
+	}
+	return res, err
+}
+
+// ProbeAll runs every replica once with arg, concurrently and to
+// completion (no racing, no cancellation on first response), recording
+// each successful replica's latency for ranked selection. It mirrors the
+// measurement stage of the paper's DNS experiment, which ranks all servers
+// by mean response time before replicating to the best k. It returns the
+// number of replicas that responded successfully.
+//
+// Use it to warm a ranked group: racing alone cannot measure losers,
+// because their contexts are cancelled as soon as the winner returns.
+func (g *KeyedGroup[K, T]) ProbeAll(ctx context.Context, arg K) int {
+	members := g.state.Load().members
+	ch := make(chan error, len(members))
+	for _, m := range members {
+		m := m
+		go func() {
+			_, err := m.rec(ctx, arg)
+			ch <- err
+		}()
+	}
+	ok := 0
+	for range members {
+		if err := <-ch; err == nil {
+			ok++
+		}
+	}
+	return ok
+}
+
+// pickInto fills out (len k <= len members) with the policy's selection,
+// in launch order, without locking.
+func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], out []*member[K, T]) {
+	members := st.members
+	n := len(members)
+	k := len(out)
+	switch st.policy.Selection {
+	case SelectRandom:
+		rng := splitmix{s: g.seed ^ g.seq.Add(1)*0x9e3779b97f4a7c15}
+		if 2*k > n {
+			// Dense pick: partial Fisher-Yates over a scratch copy.
+			tmp := make([]*member[K, T], n)
+			copy(tmp, members)
+			for i := 0; i < k; i++ {
+				j := i + rng.intn(n-i)
+				tmp[i], tmp[j] = tmp[j], tmp[i]
+			}
+			copy(out, tmp[:k])
+			return
+		}
+		// Sparse pick: rejection sampling, k << n.
+		for i := 0; i < k; i++ {
+		retry:
+			m := members[rng.intn(n)]
+			for j := 0; j < i; j++ {
+				if out[j] == m {
+					goto retry
+				}
+			}
+			out[i] = m
+		}
+	case SelectRoundRobin:
+		start := int((g.rr.Add(uint64(k)) - uint64(k)) % uint64(n))
+		for i := range out {
+			out[i] = members[(start+i)%n]
+		}
+	default: // SelectRanked
+		// Partial selection: keep out[:cnt] sorted by key (unprobed first,
+		// then fastest, ties by registration order). One pass, no full sort.
+		vals := make([]float64, k)
+		cnt := 0
+		for _, m := range members {
+			key, ok := m.lat.value()
+			if !ok {
+				key = -1 // unprobed sorts before any real estimate
+			}
+			if cnt < k {
+				i := cnt
+				for i > 0 && vals[i-1] > key {
+					vals[i], out[i] = vals[i-1], out[i-1]
+					i--
+				}
+				vals[i], out[i] = key, m
+				cnt++
+			} else if key < vals[k-1] {
+				i := k - 1
+				for i > 0 && vals[i-1] > key {
+					vals[i], out[i] = vals[i-1], out[i-1]
+					i--
+				}
+				vals[i], out[i] = key, m
+			}
+		}
+	}
+}
+
+// Group manages a set of named replicas for repeated redundant operations,
+// tracking per-replica latency so ranked selection can prefer the fastest.
+// It is the argument-free specialization of KeyedGroup and shares its
+// lock-free copy-on-write engine; replicas may be added and removed while
+// operations are in flight. All methods are safe for concurrent use.
+type Group[T any] struct {
+	KeyedGroup[struct{}, T]
 }
 
 // GroupOption configures a Group.
@@ -90,264 +473,87 @@ func WithObserver[T any](o Observer) GroupOption[T] {
 // WithSeed fixes the seed of the group's random selection, for
 // reproducible tests and simulations.
 func WithSeed[T any](seed int64) GroupOption[T] {
-	return func(g *Group[T]) { g.rng = rand.New(rand.NewSource(seed)) }
+	return func(g *Group[T]) { g.seed = uint64(seed) }
 }
 
 // NewGroup creates a Group with the given policy.
 func NewGroup[T any](policy Policy, opts ...GroupOption[T]) *Group[T] {
-	if policy.Copies < 1 {
-		policy.Copies = 1
-	}
-	g := &Group[T]{
-		policy: policy,
-		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
-	}
+	g := &Group[T]{}
+	g.init(policy)
 	for _, o := range opts {
 		o(g)
 	}
 	return g
 }
 
-// Add registers a replica under a diagnostic name. Replicas cannot be
-// removed; real deployments roll a new Group on membership change, which
-// keeps the hot path lock cheap.
+// Add registers a replica under a diagnostic name.
 func (g *Group[T]) Add(name string, fn Replica[T]) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.replicas = append(g.replicas, member[T]{name: name, fn: fn, ewma: newEWMA()})
-}
-
-// Len returns the number of registered replicas.
-func (g *Group[T]) Len() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.replicas)
-}
-
-// Names returns the replica names in registration order.
-func (g *Group[T]) Names() []string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]string, len(g.replicas))
-	for i, m := range g.replicas {
-		out[i] = m.name
-	}
-	return out
-}
-
-// RankedNames returns the replica names ordered by current estimated
-// latency, fastest first (unprobed replicas first).
-func (g *Group[T]) RankedNames() []string {
-	g.mu.Lock()
-	idx := g.rankedLocked()
-	names := make([]string, len(idx))
-	for i, j := range idx {
-		names[i] = g.replicas[j].name
-	}
-	g.mu.Unlock()
-	return names
-}
-
-// EstimatedLatency returns the current latency estimate for a replica and
-// whether it has been observed at all.
-func (g *Group[T]) EstimatedLatency(name string) (time.Duration, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for i := range g.replicas {
-		if g.replicas[i].name == name {
-			v, ok := g.replicas[i].ewma.value()
-			return time.Duration(v), ok
-		}
-	}
-	return 0, false
+	g.KeyedGroup.Add(name, func(ctx context.Context, _ struct{}) (T, error) { return fn(ctx) })
 }
 
 // Do performs one redundant operation under the group's policy.
 func (g *Group[T]) Do(ctx context.Context) (Result[T], error) {
-	picked, names := g.pick()
-	if len(picked) == 0 {
-		var zero Result[T]
-		return zero, ErrNoReplicas
-	}
-
-	copies := len(picked)
-	extra := copies - 1
-	granted := 0
-	if extra > 0 && g.budget != nil {
-		granted = g.budget.Acquire(extra)
-		if granted < extra {
-			copies = 1 + granted
-			picked = picked[:copies]
-			names = names[:copies]
-		}
-	}
-
-	// Wrap each replica to record per-copy latency into the ranker.
-	wrapped := make([]Replica[T], copies)
-	for i := range picked {
-		i := i
-		m := picked[i]
-		wrapped[i] = func(ctx context.Context) (T, error) {
-			t0 := time.Now()
-			v, err := m.fn(ctx)
-			if err == nil {
-				g.observe(m.name, time.Since(t0))
-			}
-			return v, err
-		}
-	}
-
-	var res Result[T]
-	var err error
-	if g.policy.HedgeDelay > 0 {
-		res, err = Hedged(ctx, g.policy.HedgeDelay, wrapped...)
-	} else {
-		res, err = First(ctx, wrapped...)
-	}
-	// Tokens pay for copies actually launched; refund hedge copies the
-	// primary's fast response made unnecessary.
-	if granted > 0 {
-		used := res.Launched - 1
-		if used < 0 {
-			used = 0
-		}
-		if unused := granted - used; unused > 0 {
-			g.budget.Release(unused)
-		}
-	}
-	if g.observer != nil {
-		name := ""
-		if err == nil && res.Index < len(names) {
-			name = names[res.Index]
-		}
-		g.observer.Observe(Observation{
-			Winner:   name,
-			Launched: res.Launched,
-			Latency:  res.Latency,
-			Err:      err,
-		})
-	}
-	return res, err
+	return g.KeyedGroup.Do(ctx, struct{}{})
 }
 
-// ProbeAll runs every replica once, concurrently and to completion (no
-// racing, no cancellation on first response), recording each successful
-// replica's latency for ranked selection. It mirrors the measurement stage
-// of the paper's DNS experiment, which ranks all servers by mean response
-// time before replicating to the best k. It returns the number of replicas
-// that responded successfully.
-//
-// Use it to warm a ranked Group: racing alone cannot measure losers,
-// because their contexts are cancelled as soon as the winner returns.
+// ProbeAll runs every replica once, concurrently and to completion,
+// recording each successful replica's latency for ranked selection. See
+// KeyedGroup.ProbeAll.
 func (g *Group[T]) ProbeAll(ctx context.Context) int {
-	g.mu.Lock()
-	members := append([]member[T](nil), g.replicas...)
-	g.mu.Unlock()
-	type outcome struct {
-		name string
-		d    time.Duration
-		err  error
-	}
-	ch := make(chan outcome, len(members))
-	for _, m := range members {
-		m := m
-		go func() {
-			t0 := time.Now()
-			_, err := m.fn(ctx)
-			ch <- outcome{name: m.name, d: time.Since(t0), err: err}
-		}()
-	}
-	ok := 0
-	for range members {
-		o := <-ch
-		if o.err == nil {
-			g.observe(o.name, o.d)
-			ok++
-		}
-	}
-	return ok
+	return g.KeyedGroup.ProbeAll(ctx, struct{}{})
 }
 
-// pick selects the policy's k replicas; it returns the members and their
-// names in launch order.
-func (g *Group[T]) pick() ([]member[T], []string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	n := len(g.replicas)
-	if n == 0 {
-		return nil, nil
-	}
-	k := g.policy.Copies
-	if k > n {
-		k = n
-	}
-	var idx []int
-	switch g.policy.Selection {
-	case SelectRandom:
-		idx = g.rng.Perm(n)[:k]
-	case SelectRoundRobin:
-		idx = make([]int, k)
-		for i := 0; i < k; i++ {
-			idx[i] = (g.rr + i) % n
-		}
-		g.rr = (g.rr + k) % n
-	default: // SelectRanked
-		idx = g.rankedLocked()[:k]
-	}
-	picked := make([]member[T], k)
-	names := make([]string, k)
-	for i, j := range idx {
-		picked[i] = g.replicas[j]
-		names[i] = g.replicas[j].name
-	}
-	return picked, names
+const ewmaAlpha = 0.2
+
+// unobserved is the latEstimate sentinel: a NaN bit pattern that no EWMA
+// of finite non-negative latencies can ever equal.
+const unobserved = ^uint64(0)
+
+// latEstimate is a lock-free exponentially weighted moving average of
+// latencies: the current value lives as float64 bits in one atomic word,
+// updated by CAS, so concurrent observations from racing copies never
+// block each other or the selection path reading them.
+type latEstimate struct {
+	bits  atomic.Uint64
+	count atomic.Int64
 }
 
-// rankedLocked returns all replica indices ordered fastest-first, unprobed
-// replicas first (so they get probed). Caller holds g.mu.
-func (g *Group[T]) rankedLocked() []int {
-	idx := make([]int, len(g.replicas))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		va, oka := g.replicas[idx[a]].ewma.value()
-		vb, okb := g.replicas[idx[b]].ewma.value()
-		if oka != okb {
-			return !oka // unprobed first
+func (l *latEstimate) observe(x float64) {
+	for {
+		old := l.bits.Load()
+		v := x
+		if old != unobserved {
+			v = ewmaAlpha*x + (1-ewmaAlpha)*math.Float64frombits(old)
 		}
-		return va < vb
-	})
-	return idx
-}
-
-func (g *Group[T]) observe(name string, d time.Duration) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for i := range g.replicas {
-		if g.replicas[i].name == name {
-			g.replicas[i].ewma.add(float64(d))
+		if l.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			l.count.Add(1)
 			return
 		}
 	}
 }
 
-// ewma is an exponentially weighted moving average of latencies.
-type ewma struct {
-	val   float64
-	n     int64
-	alpha float64
-}
-
-func newEWMA() ewma { return ewma{alpha: 0.2} }
-
-func (e *ewma) add(x float64) {
-	if e.n == 0 {
-		e.val = x
-	} else {
-		e.val = e.alpha*x + (1-e.alpha)*e.val
+func (l *latEstimate) value() (float64, bool) {
+	b := l.bits.Load()
+	if b == unobserved {
+		return 0, false
 	}
-	e.n++
+	return math.Float64frombits(b), true
 }
 
-func (e *ewma) value() (float64, bool) { return e.val, e.n > 0 }
+// splitmix is splitmix64: a tiny PRNG whose whole state is one word, so
+// each Do can derive an independent, deterministic stream from the group
+// seed and an atomic sequence number instead of locking a shared source.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (r *splitmix) intn(n int) int { return int(r.next() % uint64(n)) }

@@ -1,0 +1,360 @@
+// Package dist provides the service-time, file-size, and latency
+// distributions the paper's evaluation draws from: the unit-mean families
+// of §2 (deterministic, exponential, Erlang, Weibull, Pareto, two-point,
+// random discrete), the lognormal noise models of the DNS and disk
+// experiments, and empirical distributions for measured workloads (e.g.
+// the data-center flow-size mix of §4).
+//
+// Every distribution is a value type safe for concurrent sampling: Sample
+// takes the caller's *rand.Rand, so simulations control their own seeding
+// and parallel runs never share generator state. Mean and Variance return
+// exact moments so simulators can normalize load (queueing sets the
+// arrival rate from Mean) and experiments can report variance alongside
+// thresholds (Figure 2). Distributions with an infinite second moment
+// (Pareto with alpha <= 2) report Variance as +Inf.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist is a non-negative continuous or discrete distribution with known
+// first and second moments.
+type Dist interface {
+	// Sample draws one variate using r as the randomness source.
+	Sample(r *rand.Rand) float64
+	// Mean returns the exact expected value.
+	Mean() float64
+	// Variance returns the exact variance (+Inf if the second moment
+	// diverges).
+	Variance() float64
+}
+
+// Deterministic is the point mass at V.
+type Deterministic struct{ V float64 }
+
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.V }
+func (d Deterministic) Mean() float64             { return d.V }
+func (d Deterministic) Variance() float64         { return 0 }
+
+// Exponential has mean MeanV (rate 1/MeanV).
+type Exponential struct{ MeanV float64 }
+
+func (d Exponential) Sample(r *rand.Rand) float64 { return d.MeanV * r.ExpFloat64() }
+func (d Exponential) Mean() float64               { return d.MeanV }
+func (d Exponential) Variance() float64           { return d.MeanV * d.MeanV }
+
+// Erlang is the sum of K independent exponentials with total mean MeanV
+// (i.e. Gamma(K, MeanV/K)). Its squared coefficient of variation is 1/K,
+// interpolating between exponential (K=1) and deterministic (K -> inf).
+type Erlang struct {
+	K     int
+	MeanV float64
+}
+
+func (d Erlang) Sample(r *rand.Rand) float64 {
+	// Sum of K exponentials via the product of K uniforms: one log.
+	p := 1.0
+	for i := 0; i < d.K; i++ {
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		p *= u
+	}
+	return -math.Log(p) * d.MeanV / float64(d.K)
+}
+func (d Erlang) Mean() float64     { return d.MeanV }
+func (d Erlang) Variance() float64 { return d.MeanV * d.MeanV / float64(d.K) }
+
+// Pareto is the (Type I) Pareto distribution with tail index Alpha and
+// minimum value Scale: P(X > x) = (Scale/x)^Alpha for x >= Scale.
+type Pareto struct {
+	Alpha float64
+	Scale float64
+}
+
+func (d Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return d.Scale * math.Pow(u, -1/d.Alpha)
+}
+
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Scale / (d.Alpha - 1)
+}
+
+func (d Pareto) Variance() float64 {
+	if d.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := d.Alpha
+	return d.Scale * d.Scale * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// ParetoMean returns the Pareto with tail index alpha scaled to the given
+// mean (requires alpha > 1, or the mean would diverge).
+func ParetoMean(alpha, mean float64) Pareto {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("dist: ParetoMean requires alpha > 1, got %g", alpha))
+	}
+	return Pareto{Alpha: alpha, Scale: mean * (alpha - 1) / alpha}
+}
+
+// ParetoInvScale returns the unit-mean Pareto parameterized by the inverse
+// scale beta as in Figure 2(b): alpha = 1 + 1/beta, so beta -> 0 approaches
+// deterministic and beta = 1 gives the heavy-tailed alpha = 2.
+func ParetoInvScale(beta float64) Pareto {
+	if beta <= 0 {
+		panic(fmt.Sprintf("dist: ParetoInvScale requires beta > 0, got %g", beta))
+	}
+	return ParetoMean(1+1/beta, 1)
+}
+
+// Weibull has shape K and scale Lambda: P(X > x) = exp(-(x/Lambda)^K).
+type Weibull struct {
+	K      float64
+	Lambda float64
+}
+
+func (d Weibull) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return d.Lambda * math.Pow(-math.Log(u), 1/d.K)
+}
+
+func (d Weibull) Mean() float64 { return d.Lambda * math.Gamma(1+1/d.K) }
+
+func (d Weibull) Variance() float64 {
+	g1 := math.Gamma(1 + 1/d.K)
+	g2 := math.Gamma(1 + 2/d.K)
+	return d.Lambda * d.Lambda * (g2 - g1*g1)
+}
+
+// WeibullUnitMean returns the unit-mean Weibull with inverse shape gamma
+// (shape 1/gamma) as in Figure 2(a): gamma < 1 is lighter-tailed than
+// exponential, gamma = 1 is exponential, and variance grows without bound
+// as gamma increases.
+func WeibullUnitMean(gamma float64) Weibull {
+	if gamma <= 0 {
+		panic(fmt.Sprintf("dist: WeibullUnitMean requires gamma > 0, got %g", gamma))
+	}
+	return Weibull{K: 1 / gamma, Lambda: 1 / math.Gamma(1+gamma)}
+}
+
+// TwoPoint is the unit-mean two-point distribution of Figure 2(c): value 0
+// with probability P, value 1/(1-P) otherwise. P -> 0 is deterministic;
+// P -> 1 concentrates all work in ever-rarer, ever-larger jobs, the
+// maximal-variance unit-mean law on two points.
+type TwoPoint struct{ P float64 }
+
+func (d TwoPoint) Sample(r *rand.Rand) float64 {
+	if r.Float64() < d.P {
+		return 0
+	}
+	return 1 / (1 - d.P)
+}
+func (d TwoPoint) Mean() float64     { return 1 }
+func (d TwoPoint) Variance() float64 { return d.P / (1 - d.P) }
+
+// TwoPointUnitMean returns the unit-mean two-point law with zero-mass p in
+// [0, 1).
+func TwoPointUnitMean(p float64) TwoPoint {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("dist: TwoPointUnitMean requires p in [0,1), got %g", p))
+	}
+	return TwoPoint{P: p}
+}
+
+// LogNormal is exp(N(Mu, Sigma^2)).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+func (d LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.NormFloat64())
+}
+
+func (d LogNormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+func (d LogNormal) Variance() float64 {
+	s2 := d.Sigma * d.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*d.Mu+s2)
+}
+
+// LogNormalMeanCV returns the lognormal with the given mean and coefficient
+// of variation (stddev/mean) — the natural parameterization for latency
+// noise ("base RTT with 35% jitter"). cv <= 0 degenerates to the point mass
+// at mean.
+func LogNormalMeanCV(mean, cv float64) LogNormal {
+	if mean <= 0 {
+		panic(fmt.Sprintf("dist: LogNormalMeanCV requires mean > 0, got %g", mean))
+	}
+	if cv <= 0 {
+		return LogNormal{Mu: math.Log(mean), Sigma: 0}
+	}
+	s2 := math.Log(1 + cv*cv)
+	return LogNormal{Mu: math.Log(mean) - s2/2, Sigma: math.Sqrt(s2)}
+}
+
+// Empirical is a distribution specified by support points and cumulative
+// probabilities, either as discrete atoms or with linear interpolation
+// between adjacent points (a piecewise-uniform density). Build it with
+// NewEmpirical.
+type Empirical struct {
+	values      []float64
+	cdf         []float64
+	interpolate bool
+	mean        float64
+	second      float64 // E[X^2]
+}
+
+// NewEmpirical builds an empirical distribution from parallel slices:
+// values (strictly increasing) and cdf (increasing, ending at 1), so that
+// P(X <= values[i]) = cdf[i]. With interpolate, mass between adjacent
+// points spreads uniformly over the interval (and the cdf[0] mass sits at
+// values[0]); without it, each point is a discrete atom of mass
+// cdf[i] - cdf[i-1]. It panics on malformed input — the inputs are
+// workload definitions, and a silent fixup would corrupt every downstream
+// figure.
+func NewEmpirical(values, cdf []float64, interpolate bool) Empirical {
+	if len(values) == 0 || len(values) != len(cdf) {
+		panic(fmt.Sprintf("dist: NewEmpirical needs equal non-empty slices, got %d and %d", len(values), len(cdf)))
+	}
+	for i := range values {
+		if i > 0 && values[i] <= values[i-1] {
+			panic(fmt.Sprintf("dist: NewEmpirical values not strictly increasing at %d", i))
+		}
+		if cdf[i] <= 0 || (i > 0 && cdf[i] < cdf[i-1]) {
+			panic(fmt.Sprintf("dist: NewEmpirical cdf not increasing at %d", i))
+		}
+	}
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+		panic(fmt.Sprintf("dist: NewEmpirical cdf must end at 1, got %g", cdf[len(cdf)-1]))
+	}
+	e := Empirical{
+		values:      append([]float64(nil), values...),
+		cdf:         append([]float64(nil), cdf...),
+		interpolate: interpolate,
+	}
+	// First point's mass is always an atom at values[0].
+	e.mean = values[0] * cdf[0]
+	e.second = values[0] * values[0] * cdf[0]
+	for i := 1; i < len(values); i++ {
+		mass := cdf[i] - cdf[i-1]
+		a, b := values[i-1], values[i]
+		if interpolate {
+			// Uniform on [a, b]: E[X] = (a+b)/2, E[X^2] = (a^2+ab+b^2)/3.
+			e.mean += mass * (a + b) / 2
+			e.second += mass * (a*a + a*b + b*b) / 3
+		} else {
+			e.mean += mass * b
+			e.second += mass * b * b
+		}
+	}
+	return e
+}
+
+func (e Empirical) Sample(r *rand.Rand) float64 { return e.Quantile(r.Float64()) }
+
+// Quantile returns the inverse CDF at p in [0, 1]: the smallest x with
+// P(X <= x) >= p (linearly interpolated between support points when the
+// distribution was built with interpolation).
+func (e Empirical) Quantile(p float64) float64 {
+	i := sort.SearchFloat64s(e.cdf, p)
+	if i >= len(e.cdf) {
+		i = len(e.cdf) - 1
+	}
+	if i == 0 || !e.interpolate {
+		return e.values[i]
+	}
+	lo, hi := e.cdf[i-1], e.cdf[i]
+	frac := (p - lo) / (hi - lo)
+	return e.values[i-1] + frac*(e.values[i]-e.values[i-1])
+}
+
+func (e Empirical) Mean() float64     { return e.mean }
+func (e Empirical) Variance() float64 { return e.second - e.mean*e.mean }
+
+// RandomUnitMeanDiscrete draws a random discrete distribution with support
+// proportional to {1..n}, rescaled to unit mean, as in Figure 3: the
+// probability vector comes from the uniform distribution on the simplex
+// when alpha <= 0, and from Dirichlet(alpha) otherwise (small alpha
+// concentrates mass on few support points, producing extreme
+// distributions).
+func RandomUnitMeanDiscrete(rng *rand.Rand, n int, alpha float64) Dist {
+	if n < 1 {
+		panic(fmt.Sprintf("dist: RandomUnitMeanDiscrete requires n >= 1, got %d", n))
+	}
+	probs := make([]float64, n)
+	total := 0.0
+	for i := range probs {
+		var w float64
+		if alpha <= 0 {
+			w = rng.ExpFloat64() // Dirichlet(1,...,1) = uniform on simplex
+		} else {
+			w = sampleGamma(rng, alpha)
+		}
+		// Guard against underflow to an all-zero vector.
+		if w < 1e-300 {
+			w = 1e-300
+		}
+		probs[i] = w
+		total += w
+	}
+	mean := 0.0
+	for i := range probs {
+		probs[i] /= total
+		mean += probs[i] * float64(i+1)
+	}
+	values := make([]float64, n)
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := range probs {
+		values[i] = float64(i+1) / mean
+		acc += probs[i]
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1
+	return NewEmpirical(values, cdf, false)
+}
+
+// sampleGamma draws from Gamma(shape, 1) via Marsaglia-Tsang, with the
+// U^(1/shape) boost for shape < 1.
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkMoments draws n samples and compares the sample mean and variance
+// against the distribution's exact moments (relative tolerance tol, with a
+// small absolute floor for near-zero moments). Distributions with infinite
+// variance skip the variance check, as do heavy tails whose fourth moment
+// diverges (the sample variance of a Pareto with alpha <= 4 converges far
+// too slowly to assert against).
+func checkMoments(t *testing.T, name string, d Dist, n int, tol float64, skipVariance bool) {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x < 0 || math.IsNaN(x) {
+			t.Fatalf("%s: sample %g out of range", name, x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	fn := float64(n)
+	mean := sum / fn
+	variance := sumsq/fn - mean*mean
+	if want := d.Mean(); math.Abs(mean-want) > tol*want+1e-9 {
+		t.Errorf("%s: sample mean %g, want %g", name, mean, want)
+	}
+	if want := d.Variance(); !skipVariance && !math.IsInf(want, 1) {
+		if math.Abs(variance-want) > 2*tol*want+1e-6 {
+			t.Errorf("%s: sample variance %g, want %g", name, variance, want)
+		}
+	}
+}
+
+func TestMoments(t *testing.T) {
+	const n = 400000
+	cases := []struct {
+		name    string
+		d       Dist
+		tol     float64
+		skipVar bool
+	}{
+		{"deterministic", Deterministic{V: 3.5}, 0.001, false},
+		{"exponential", Exponential{MeanV: 2}, 0.02, false},
+		{"erlang4", Erlang{K: 4, MeanV: 1}, 0.02, false},
+		{"pareto(2.5)", ParetoMean(2.5, 4096), 0.05, true},
+		{"pareto(5)", ParetoMean(5, 1), 0.02, false},
+		{"pareto-inv(0.3)", ParetoInvScale(0.3), 0.03, true},
+		{"weibull(0.5)", WeibullUnitMean(0.5), 0.02, false},
+		{"weibull(4)", WeibullUnitMean(4), 0.1, false},
+		{"twopoint(0.7)", TwoPointUnitMean(0.7), 0.02, false},
+		{"twopoint(0)", TwoPointUnitMean(0), 0.001, false},
+		{"lognormal(0.35,0.9)", LogNormalMeanCV(0.35, 0.9), 0.03, false},
+		{"lognormal-cv0", LogNormalMeanCV(5, 0), 0.001, false},
+		{"empirical-discrete", NewEmpirical([]float64{1, 2, 4}, []float64{0.25, 0.5, 1}, false), 0.02, false},
+		{"empirical-interp", NewEmpirical([]float64{1e3, 1e4, 1e5}, []float64{0.2, 0.8, 1}, true), 0.02, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			checkMoments(t, c.name, c.d, n, c.tol, c.skipVar)
+		})
+	}
+}
+
+// TestUnitMeanFamilies verifies the Figure 2 families are exactly unit
+// mean — the queueing model normalizes load by Mean, so an off-by-scale
+// here would silently shift every threshold.
+func TestUnitMeanFamilies(t *testing.T) {
+	for _, gamma := range []float64{0.25, 0.5, 1, 2, 4, 8, 12, 18} {
+		if m := WeibullUnitMean(gamma).Mean(); math.Abs(m-1) > 1e-12 {
+			t.Errorf("weibull gamma=%g mean %g", gamma, m)
+		}
+	}
+	for _, beta := range []float64{0.1, 0.5, 1} {
+		if m := ParetoInvScale(beta).Mean(); math.Abs(m-1) > 1e-12 {
+			t.Errorf("pareto beta=%g mean %g", beta, m)
+		}
+		if a := ParetoInvScale(beta).Alpha; math.Abs(a-(1+1/beta)) > 1e-12 {
+			t.Errorf("pareto beta=%g alpha %g", beta, a)
+		}
+	}
+	for _, p := range []float64{0, 0.3, 0.9, 0.99} {
+		if m := TwoPointUnitMean(p).Mean(); m != 1 {
+			t.Errorf("twopoint p=%g mean %g", p, m)
+		}
+	}
+}
+
+// TestVarianceOrdering: the Figure 2 families are parameterized so variance
+// grows with the parameter; the thresholds in the paper depend on it.
+func TestVarianceOrdering(t *testing.T) {
+	prev := -1.0
+	for _, gamma := range []float64{0.25, 0.5, 1, 2, 4} {
+		v := WeibullUnitMean(gamma).Variance()
+		if v <= prev {
+			t.Errorf("weibull variance not increasing at gamma=%g: %g <= %g", gamma, v, prev)
+		}
+		prev = v
+	}
+	if v := WeibullUnitMean(1).Variance(); math.Abs(v-1) > 1e-9 {
+		t.Errorf("weibull gamma=1 (exponential) variance %g, want 1", v)
+	}
+	prev = -1.0
+	for _, p := range []float64{0, 0.3, 0.7, 0.9} {
+		v := TwoPointUnitMean(p).Variance()
+		if v <= prev {
+			t.Errorf("twopoint variance not increasing at p=%g", p)
+		}
+		prev = v
+	}
+}
+
+func TestExponentialQuantiles(t *testing.T) {
+	d := Exponential{MeanV: 2}
+	r := rand.New(rand.NewSource(11))
+	n := 200000
+	below := 0
+	median := 2 * math.Ln2
+	for i := 0; i < n; i++ {
+		if d.Sample(r) < median {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(n); math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("P(X < median) = %g, want 0.5", frac)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	d := ParetoMean(2.1, 1)
+	r := rand.New(rand.NewSource(13))
+	n := 400000
+	above := 0
+	x := 5.0
+	for i := 0; i < n; i++ {
+		if s := d.Sample(r); s < d.Scale-1e-12 {
+			t.Fatalf("sample %g below scale %g", s, d.Scale)
+		} else if s > x {
+			above++
+		}
+	}
+	want := math.Pow(d.Scale/x, d.Alpha)
+	if got := float64(above) / float64(n); math.Abs(got-want) > 0.15*want {
+		t.Errorf("P(X > %g) = %g, closed form %g", x, got, want)
+	}
+	if !math.IsInf(ParetoMean(1.5, 1).Variance(), 1) {
+		t.Error("alpha=1.5 should have infinite variance")
+	}
+}
+
+func TestEmpiricalQuantile(t *testing.T) {
+	e := NewEmpirical([]float64{1e3, 1e4, 3e6}, []float64{0.2, 0.8, 1}, true)
+	if q := e.Quantile(0); q != 1e3 {
+		t.Errorf("Quantile(0) = %g", q)
+	}
+	if q := e.Quantile(1); q != 3e6 {
+		t.Errorf("Quantile(1) = %g", q)
+	}
+	if q := e.Quantile(0.5); math.Abs(q-5500) > 1e-6 {
+		t.Errorf("Quantile(0.5) = %g, want 5500 (midpoint of [1e3, 1e4])", q)
+	}
+	// Discrete: mass sits exactly on the support points.
+	d := NewEmpirical([]float64{1, 2}, []float64{0.5, 1}, false)
+	if q := d.Quantile(0.4); q != 1 {
+		t.Errorf("discrete Quantile(0.4) = %g", q)
+	}
+	if q := d.Quantile(0.6); q != 2 {
+		t.Errorf("discrete Quantile(0.6) = %g", q)
+	}
+}
+
+func TestRandomUnitMeanDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, alpha := range []float64{0, 0.1} {
+		for _, n := range []int{1, 2, 16, 256} {
+			d := RandomUnitMeanDiscrete(rng, n, alpha)
+			if m := d.Mean(); math.Abs(m-1) > 1e-9 {
+				t.Errorf("n=%d alpha=%g: mean %g, want 1", n, alpha, m)
+			}
+			checkMoments(t, "random-discrete", d, 100000, 0.05, false)
+		}
+	}
+}
+
+// TestSampleDeterminism: distributions draw only from the caller's
+// generator, so equal seeds give equal streams.
+func TestSampleDeterminism(t *testing.T) {
+	ds := []Dist{
+		Exponential{MeanV: 1},
+		Erlang{K: 4, MeanV: 1},
+		ParetoMean(2.1, 1),
+		WeibullUnitMean(2),
+		TwoPointUnitMean(0.5),
+		LogNormalMeanCV(1, 1.5),
+		NewEmpirical([]float64{1, 2, 3}, []float64{0.3, 0.6, 1}, true),
+	}
+	for _, d := range ds {
+		a := rand.New(rand.NewSource(23))
+		b := rand.New(rand.NewSource(23))
+		for i := 0; i < 100; i++ {
+			if x, y := d.Sample(a), d.Sample(b); x != y {
+				t.Fatalf("%T: diverged at draw %d: %g vs %g", d, i, x, y)
+			}
+		}
+	}
+}

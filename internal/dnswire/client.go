@@ -100,15 +100,11 @@ func (c *Client) Query(ctx context.Context, server, name string, qtype Type) (*M
 // replicated-DNS strategy.
 type Resolver struct {
 	client *Client
-	group  *core.Group[*Message]
+	// group passes each lookup's Question to the server replicas as the
+	// call argument; replica functions close over only their server
+	// address, with no per-call context plumbing.
+	group *core.KeyedGroup[Question, *Message]
 }
-
-type resolverQuery struct {
-	name  string
-	qtype Type
-}
-
-type resolverKey struct{}
 
 // NewResolver builds a Resolver over the given server addresses.
 // policy.Copies controls how many servers each lookup contacts (the paper
@@ -119,29 +115,30 @@ func NewResolver(client *Client, policy core.Policy, servers ...string) *Resolve
 		client = NewClient(0)
 	}
 	r := &Resolver{client: client}
-	g := core.NewGroup[*Message](policy)
+	r.group = core.NewKeyedGroup[Question, *Message](policy)
 	for _, srv := range servers {
-		srv := srv
-		g.Add(srv, func(ctx context.Context) (*Message, error) {
-			q, _ := ctx.Value(resolverKey{}).(resolverQuery)
-			resp, err := client.Query(ctx, srv, q.name, q.qtype)
-			if err != nil {
-				return nil, err
-			}
-			if resp.Header.RCode != RCodeSuccess && resp.Header.RCode != RCodeNameError {
-				return nil, fmt.Errorf("dnswire: %s from %s", resp.Header.RCode, srv)
-			}
-			return resp, nil
-		})
+		r.group.Add(srv, r.serverReplica(srv))
 	}
-	r.group = g
 	return r
+}
+
+// serverReplica builds the replica function for one server address.
+func (r *Resolver) serverReplica(srv string) core.ArgReplica[Question, *Message] {
+	return func(ctx context.Context, q Question) (*Message, error) {
+		resp, err := r.client.Query(ctx, srv, q.Name, q.Type)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Header.RCode != RCodeSuccess && resp.Header.RCode != RCodeNameError {
+			return nil, fmt.Errorf("dnswire: %s from %s", resp.Header.RCode, srv)
+		}
+		return resp, nil
+	}
 }
 
 // Lookup resolves name/qtype through the replicated server set.
 func (r *Resolver) Lookup(ctx context.Context, name string, qtype Type) (*Message, error) {
-	ctx = context.WithValue(ctx, resolverKey{}, resolverQuery{name: name, qtype: qtype})
-	res, err := r.group.Do(ctx)
+	res, err := r.group.Do(ctx, Question{Name: name, Type: qtype})
 	if err != nil {
 		return nil, err
 	}
@@ -151,21 +148,33 @@ func (r *Resolver) Lookup(ctx context.Context, name string, qtype Type) (*Messag
 // LookupResult is Lookup with redundancy metadata (winning server, latency,
 // copies sent).
 func (r *Resolver) LookupResult(ctx context.Context, name string, qtype Type) (core.Result[*Message], error) {
-	ctx = context.WithValue(ctx, resolverKey{}, resolverQuery{name: name, qtype: qtype})
-	return r.group.Do(ctx)
+	return r.group.Do(ctx, Question{Name: name, Type: qtype})
 }
 
 // RankedServers returns the resolver's servers ordered by estimated
 // latency, fastest first.
 func (r *Resolver) RankedServers() []string { return r.group.RankedNames() }
 
+// GroupStats reports the resolver's policy, server set, and per-server
+// latency estimates.
+func (r *Resolver) GroupStats() core.GroupStats { return r.group.Stats() }
+
+// AddServer adds a DNS server to the replica set; lookups in flight are
+// unaffected.
+func (r *Resolver) AddServer(srv string) {
+	r.group.Add(srv, r.serverReplica(srv))
+}
+
+// RemoveServer drops a DNS server from the replica set, reporting whether
+// it was present. Lookups in flight may still receive its answers.
+func (r *Resolver) RemoveServer(srv string) bool { return r.group.Remove(srv) }
+
 // Probe queries every server once for name/qtype, concurrently and to
 // completion, to establish per-server latency estimates — the ranking
 // stage of the paper's DNS experiment. It returns the number of servers
 // that answered.
 func (r *Resolver) Probe(ctx context.Context, name string, qtype Type) int {
-	ctx = context.WithValue(ctx, resolverKey{}, resolverQuery{name: name, qtype: qtype})
-	return r.group.ProbeAll(ctx)
+	return r.group.ProbeAll(ctx, Question{Name: name, Type: qtype})
 }
 
 // LookupA resolves name to IPv4 addresses, following one level of CNAME

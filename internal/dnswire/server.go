@@ -20,7 +20,8 @@ type Server struct {
 	Handler Handler
 	// Delay, if non-nil, is called per query and its result slept before
 	// answering — the latency-injection hook used to emulate slow
-	// resolvers.
+	// resolvers. Set it before Listen: the serve loop reads it without
+	// synchronization.
 	Delay func() time.Duration
 	// DropProb, with Rand, simulates request loss: queries are silently
 	// dropped with this probability. Rand must be non-nil if DropProb > 0.

@@ -12,8 +12,16 @@ import (
 )
 
 func startDNS(t *testing.T, h Handler) (*Server, string) {
+	return startDNSDelay(t, h, nil)
+}
+
+// startDNSDelay starts a server with a Delay hook installed BEFORE Listen:
+// the serve loop reads Delay without synchronization, so assigning it
+// after the server is running is a data race.
+func startDNSDelay(t *testing.T, h Handler, delay func() time.Duration) (*Server, string) {
 	t.Helper()
 	srv := NewServer(h)
+	srv.Delay = delay
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -131,8 +139,8 @@ func TestServerConcurrentQueries(t *testing.T) {
 }
 
 func TestResolverFirstResponseWins(t *testing.T) {
-	slow, slowAddr := startDNS(t, staticZone())
-	slow.Delay = func() time.Duration { return 400 * time.Millisecond }
+	_, slowAddr := startDNSDelay(t, staticZone(),
+		func() time.Duration { return 400 * time.Millisecond })
 	_, fastAddr := startDNS(t, staticZone())
 
 	cl := NewClient(2 * time.Second)
@@ -175,8 +183,8 @@ func TestResolverMasksLoss(t *testing.T) {
 }
 
 func TestResolverRanksServers(t *testing.T) {
-	slow, slowAddr := startDNS(t, staticZone())
-	slow.Delay = func() time.Duration { return 80 * time.Millisecond }
+	_, slowAddr := startDNSDelay(t, staticZone(),
+		func() time.Duration { return 80 * time.Millisecond })
 	_, fastAddr := startDNS(t, staticZone())
 
 	cl := NewClient(2 * time.Second)

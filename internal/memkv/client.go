@@ -286,29 +286,22 @@ func validateKey(key string) error {
 // returns the first response. Writes go to all replicas and succeed only
 // if every replica stores the value (read-my-write for the winning read).
 type ReplicatedClient struct {
+	mu      sync.RWMutex // guards clients; the read group has its own engine
 	clients []*Client
-	group   *core.Group[[]byte]
-	// key is injected per-call through this box; the group's replica
-	// functions close over the client, and read the key from the call
-	// context to stay reusable.
+	// group passes the key to each replica as the call argument, so the
+	// replica functions close over only their client and stay reusable —
+	// no per-call context plumbing.
+	group *core.KeyedGroup[string, []byte]
 }
-
-type ctxKeyType struct{}
-
-var ctxKey ctxKeyType
 
 // NewReplicatedClient builds a replicated reader over the given clients.
 // policy controls fan-out (e.g. Policy{Copies: 2} for the paper's full
 // replication, or HedgeDelay for tied requests).
 func NewReplicatedClient(policy core.Policy, clients ...*Client) *ReplicatedClient {
 	rc := &ReplicatedClient{clients: clients}
-	g := core.NewGroup[[]byte](policy)
+	g := core.NewKeyedGroup[string, []byte](policy)
 	for _, cl := range clients {
-		cl := cl
-		g.Add(cl.Addr(), func(ctx context.Context) ([]byte, error) {
-			key, _ := ctx.Value(ctxKey).(string)
-			return cl.Get(ctx, key)
-		})
+		g.Add(cl.Addr(), cl.Get)
 	}
 	rc.group = g
 	return rc
@@ -316,7 +309,7 @@ func NewReplicatedClient(policy core.Policy, clients ...*Client) *ReplicatedClie
 
 // Get returns the first replica's response for key.
 func (rc *ReplicatedClient) Get(ctx context.Context, key string) ([]byte, error) {
-	res, err := rc.group.Do(context.WithValue(ctx, ctxKey, key))
+	res, err := rc.group.Do(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -326,23 +319,71 @@ func (rc *ReplicatedClient) Get(ctx context.Context, key string) ([]byte, error)
 // GetResult is Get with the full redundancy metadata (winner, latency,
 // copies launched).
 func (rc *ReplicatedClient) GetResult(ctx context.Context, key string) (core.Result[[]byte], error) {
-	return rc.group.Do(context.WithValue(ctx, ctxKey, key))
+	return rc.group.Do(ctx, key)
 }
 
-// Set writes to every replica, returning the first error.
-func (rc *ReplicatedClient) Set(ctx context.Context, key string, value []byte) error {
-	for _, cl := range rc.clients {
-		if err := cl.Set(ctx, key, value); err != nil {
-			return fmt.Errorf("replica %s: %w", cl.Addr(), err)
+// GroupStats reports the replica set's policy, membership, and per-replica
+// latency estimates.
+func (rc *ReplicatedClient) GroupStats() core.GroupStats { return rc.group.Stats() }
+
+// AddReplica adds a server to the replica set. Reads in flight are
+// unaffected; subsequent reads may select it, and subsequent writes
+// include it. The write set and the read group mutate under one lock so
+// they can never diverge (a replica served reads but missed writes).
+func (rc *ReplicatedClient) AddReplica(cl *Client) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.clients = append(rc.clients, cl)
+	rc.group.Add(cl.Addr(), cl.Get)
+}
+
+// RemoveReplica drops the replica serving addr from reads and writes,
+// reporting whether it was present. It does not close the client; the
+// caller owns its lifecycle (reads in flight may still be using it).
+func (rc *ReplicatedClient) RemoveReplica(addr string) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for i, cl := range rc.clients {
+		if cl.Addr() == addr {
+			rc.clients = append(rc.clients[:i:i], rc.clients[i+1:]...)
+			rc.group.Remove(addr)
+			return true
 		}
 	}
-	return nil
+	return false
+}
+
+// SetPolicy replaces the read fan-out policy.
+func (rc *ReplicatedClient) SetPolicy(policy core.Policy) { rc.group.SetPolicy(policy) }
+
+// Set writes to every replica concurrently, waiting for all writes and
+// returning the joined errors of any that failed.
+func (rc *ReplicatedClient) Set(ctx context.Context, key string, value []byte) error {
+	rc.mu.RLock()
+	clients := rc.clients
+	rc.mu.RUnlock()
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, cl := range clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			if err := cl.Set(ctx, key, value); err != nil {
+				errs[i] = fmt.Errorf("replica %s: %w", cl.Addr(), err)
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Close closes all underlying clients.
 func (rc *ReplicatedClient) Close() error {
+	rc.mu.RLock()
+	clients := rc.clients
+	rc.mu.RUnlock()
 	var err error
-	for _, cl := range rc.clients {
+	for _, cl := range clients {
 		if e := cl.Close(); e != nil && err == nil {
 			err = e
 		}

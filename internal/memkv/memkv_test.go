@@ -17,8 +17,16 @@ import (
 // startServer launches a server on a loopback port and returns its address
 // and a cleanup-registered handle.
 func startServer(t *testing.T) (*Server, string) {
+	return startServerDelay(t, nil)
+}
+
+// startServerDelay starts a server with a Delay hook installed BEFORE
+// Listen: connection handlers read Delay without synchronization, so
+// assigning it after the server is running is a data race.
+func startServerDelay(t *testing.T, delay func() time.Duration) (*Server, string) {
 	t.Helper()
 	srv := NewServer(nil)
+	srv.Delay = delay
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -231,8 +239,7 @@ func TestClientConcurrent(t *testing.T) {
 }
 
 func TestClientContextCancellation(t *testing.T) {
-	srv, addr := startServer(t)
-	srv.Delay = func() time.Duration { return 5 * time.Second }
+	_, addr := startServerDelay(t, func() time.Duration { return 5 * time.Second })
 	cl := NewClient(addr, 10*time.Second)
 	defer cl.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
@@ -318,10 +325,9 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 }
 
 func TestReplicatedClientFirstWins(t *testing.T) {
-	srvA, addrA := startServer(t)
-	_, addrB := startServer(t)
 	// Server A is slow; B is fast.
-	srvA.Delay = func() time.Duration { return 300 * time.Millisecond }
+	_, addrA := startServerDelay(t, func() time.Duration { return 300 * time.Millisecond })
+	_, addrB := startServer(t)
 
 	clA := NewClient(addrA, 2*time.Second)
 	clB := NewClient(addrB, 2*time.Second)

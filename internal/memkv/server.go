@@ -141,7 +141,8 @@ func (s *Store) Len() int {
 type Server struct {
 	// Delay, if non-nil, is called once per request and its return value
 	// is slept before responding — a hook for injecting service-time
-	// distributions in tests and demos.
+	// distributions in tests and demos. Set it before Listen: connection
+	// handlers read it without synchronization.
 	Delay func() time.Duration
 
 	store *Store

@@ -46,14 +46,37 @@ import (
 // Replica is one way of performing an operation. See core.Replica.
 type Replica[T any] = core.Replica[T]
 
+// ArgReplica is a replica that receives a per-call argument. See
+// core.ArgReplica.
+type ArgReplica[K, T any] = core.ArgReplica[K, T]
+
 // Result describes a completed redundant operation. See core.Result.
 type Result[T any] = core.Result[T]
 
-// Group manages a replica set for repeated redundant operations.
+// Group manages a replica set for repeated redundant operations. It is
+// built on a lock-free copy-on-write engine: replicas can be added and
+// removed and the policy changed while operations are in flight, and the
+// Do hot path never takes a lock.
 type Group[T any] = core.Group[T]
+
+// KeyedGroup is a Group whose replicas receive a per-call argument of type
+// K — the key of a replicated KV read, the question of a DNS lookup — so
+// a single long-lived replica set serves every key without smuggling
+// arguments through context values.
+type KeyedGroup[K, T any] = core.KeyedGroup[K, T]
 
 // GroupOption configures a Group.
 type GroupOption[T any] = core.GroupOption[T]
+
+// KeyedGroupOption configures a KeyedGroup.
+type KeyedGroupOption[K, T any] = core.KeyedGroupOption[K, T]
+
+// GroupStats is a consistent point-in-time view of a group's policy,
+// membership, and latency estimates.
+type GroupStats = core.GroupStats
+
+// ReplicaStats describes one replica in a GroupStats snapshot.
+type ReplicaStats = core.ReplicaStats
 
 // Policy controls how a Group replicates each operation.
 type Policy = core.Policy
@@ -112,6 +135,11 @@ func NewGroup[T any](policy Policy, opts ...GroupOption[T]) *Group[T] {
 	return core.NewGroup(policy, opts...)
 }
 
+// NewKeyedGroup creates a KeyedGroup with the given policy.
+func NewKeyedGroup[K, T any](policy Policy, opts ...KeyedGroupOption[K, T]) *KeyedGroup[K, T] {
+	return core.NewKeyedGroup(policy, opts...)
+}
+
 // WithBudget attaches a hedging budget to a Group.
 func WithBudget[T any](b *Budget) GroupOption[T] { return core.WithBudget[T](b) }
 
@@ -120,6 +148,22 @@ func WithObserver[T any](o Observer) GroupOption[T] { return core.WithObserver[T
 
 // WithSeed fixes a Group's random-selection seed for reproducibility.
 func WithSeed[T any](seed int64) GroupOption[T] { return core.WithSeed[T](seed) }
+
+// WithKeyedBudget attaches a hedging budget to a KeyedGroup.
+func WithKeyedBudget[K, T any](b *Budget) KeyedGroupOption[K, T] {
+	return core.WithKeyedBudget[K, T](b)
+}
+
+// WithKeyedObserver attaches an Observer to a KeyedGroup.
+func WithKeyedObserver[K, T any](o Observer) KeyedGroupOption[K, T] {
+	return core.WithKeyedObserver[K, T](o)
+}
+
+// WithKeyedSeed fixes a KeyedGroup's random-selection seed for
+// reproducibility.
+func WithKeyedSeed[K, T any](seed int64) KeyedGroupOption[K, T] {
+	return core.WithKeyedSeed[K, T](seed)
+}
 
 // NewBudget creates a Budget refilling at rate extra copies per second
 // with the given burst capacity.
