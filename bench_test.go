@@ -207,3 +207,4 @@ func BenchmarkCoreHedgedFastPrimary(b *testing.B) {
 
 func BenchmarkAblationFatTree(b *testing.B)  { benchFig(b, "ablfattree", 0.05) }
 func BenchmarkAblationQueueing(b *testing.B) { benchFig(b, "ablqueueing", 0.05) }
+func BenchmarkAblationHedging(b *testing.B)  { benchFig(b, "ablhedge", 0.05) }

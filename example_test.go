@@ -61,6 +61,37 @@ func ExampleQuorum() {
 	// Output: 2
 }
 
+// AdaptiveHedge launches the second copy when the elapsed time exceeds
+// the primary's observed p95, read from its lock-free latency digest.
+// While the digests are cold it hedges immediately (warming fastest);
+// once warm, the hedge point self-tunes to each replica's tail — no
+// caller-guessed delay. examples/adaptivehedge shows it tracking two
+// deliberately skewed backends.
+func ExampleAdaptiveHedge() {
+	g := redundancy.NewStrategyGroup[string](redundancy.AdaptiveHedge{
+		Copies:    2,
+		Quantile:  0.95,
+		Selection: redundancy.SelectRanked,
+	})
+	g.Add("fast", func(ctx context.Context) (string, error) { return "fast", nil })
+	g.Add("slow", func(ctx context.Context) (string, error) {
+		select {
+		case <-time.After(time.Second):
+			return "slow", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	})
+
+	res, err := g.Do(context.Background())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Value, res.Launched, g.Stats().Strategy)
+	// Output: fast 2 adaptive-hedge(k=2, p95, ranked)
+}
+
 // A Group tracks per-replica latency and replicates each operation to the
 // k best replicas, as the paper's DNS experiment does.
 func ExampleGroup() {

@@ -236,10 +236,40 @@ func TestHedgedAllFail(t *testing.T) {
 }
 
 func TestHedgedScheduleLengthMismatch(t *testing.T) {
-	_, err := HedgedSchedule(context.Background(), []time.Duration{0},
-		sleeper(1, time.Millisecond), sleeper(2, time.Millisecond))
-	if err == nil {
-		t.Error("mismatched schedule accepted")
+	// The public one-shot API is strict: a schedule that does not match
+	// the replica slice is a caller bug and must be reported, not
+	// silently reinterpreted. (Group strategies, by contrast, have their
+	// schedules normalized — see TestStrategyScheduleNormalized.)
+	fast := func(ctx context.Context) (int, error) { return 1, nil }
+
+	// Shorter than the replica slice.
+	if _, err := HedgedSchedule(context.Background(), []time.Duration{0},
+		sleeper(1, time.Millisecond), sleeper(2, time.Millisecond)); err == nil {
+		t.Error("short schedule accepted")
+	}
+	// Longer than the replica slice.
+	if _, err := HedgedSchedule(context.Background(),
+		[]time.Duration{0, time.Millisecond, time.Millisecond}, fast); err == nil {
+		t.Error("long schedule accepted")
+	}
+	// Zero-length schedule with replicas.
+	if _, err := HedgedSchedule(context.Background(), nil, fast); err == nil {
+		t.Error("empty schedule accepted for one replica")
+	}
+	// Zero replicas win over a zero-length schedule: ErrNoReplicas, not
+	// a length complaint.
+	if _, err := HedgedSchedule[int](context.Background(), nil); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("no replicas + empty schedule: got %v, want ErrNoReplicas", err)
+	}
+	// Zero replicas with a non-empty schedule is still ErrNoReplicas.
+	if _, err := HedgedSchedule[int](context.Background(),
+		[]time.Duration{0}); !errors.Is(err, ErrNoReplicas) {
+		t.Errorf("no replicas + schedule: got %v, want ErrNoReplicas", err)
+	}
+	// A matching schedule still works with a single replica.
+	res, err := HedgedSchedule(context.Background(), []time.Duration{0}, fast)
+	if err != nil || res.Value != 1 || res.Launched != 1 {
+		t.Errorf("single replica schedule: %+v, %v", res, err)
 	}
 }
 

@@ -243,11 +243,10 @@ func TestGroupStatsObservations(t *testing.T) {
 	}
 }
 
-// TestLatEstimateConcurrent hammers one estimate from many goroutines; the
+// TestLatEstimateConcurrent hammers one digest from many goroutines; the
 // CAS loop must apply every observation exactly once.
 func TestLatEstimateConcurrent(t *testing.T) {
-	var l latEstimate
-	l.bits.Store(unobserved)
+	var l LatDigest
 	const workers = 8
 	const per = 1000
 	var wg sync.WaitGroup

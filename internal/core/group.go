@@ -3,14 +3,19 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Policy controls how a Group replicates each operation.
+// Policy is the declarative form of the static replication strategy: a
+// fixed number of copies, an optional fixed hedge delay, and a selection
+// method. It is retained for compatibility and convenience — a Policy
+// converts to the equivalent Fixed strategy via Strategy(); groups
+// configured with richer strategies (AdaptiveHedge, FullReplicate, or
+// user implementations) are built with NewStrategyGroup or swapped with
+// SetStrategy.
 type Policy struct {
 	// Copies is the number of replicas to use per operation (k). Values
 	// below 1 are treated as 1. If the group has fewer replicas, every
@@ -23,6 +28,14 @@ type Policy struct {
 	// Selection chooses which k of the group's replicas serve an
 	// operation. The default is SelectRanked.
 	Selection Selection
+}
+
+// Strategy returns the Fixed strategy equivalent to the policy.
+func (p Policy) Strategy() Strategy {
+	if p.Copies < 1 {
+		p.Copies = 1
+	}
+	return Fixed{Copies: p.Copies, HedgeDelay: p.HedgeDelay, Selection: p.Selection}
 }
 
 // Selection is a replica-selection strategy.
@@ -60,12 +73,14 @@ func (s Selection) String() string {
 type ArgReplica[K, T any] func(ctx context.Context, arg K) (T, error)
 
 // KeyedGroup is the copy-on-write replica-set engine. Membership and
-// policy live in an immutable snapshot behind an atomic pointer, and each
-// replica's latency estimate is a lock-free EWMA, so the Do hot path —
-// snapshot read, replica selection, latency observation — never takes a
+// strategy live in an immutable snapshot behind an atomic pointer, and
+// each replica's latency statistics are a lock-free digest (EWMA mean
+// plus log-scale histogram), so the Do hot path — snapshot read, replica
+// selection, schedule computation, latency observation — never takes a
 // lock and never contends with other callers. Writers (Add, Remove,
-// SetPolicy) serialize among themselves and publish a new snapshot;
-// operations already in flight keep the snapshot they started with.
+// SetPolicy, SetStrategy) serialize among themselves and publish a new
+// snapshot; operations already in flight keep the snapshot they started
+// with.
 //
 // The type parameter K is the per-call argument replicas receive, which is
 // what makes one engine reusable across keyed workloads (a replicated
@@ -85,21 +100,28 @@ type KeyedGroup[K, T any] struct {
 }
 
 // groupState is one immutable membership snapshot. The slice and the
-// policy are never mutated after publication; member latency state is
-// updated through atomics, so members are shared across snapshots and an
-// estimate survives unrelated membership changes.
+// strategy are never mutated after publication; member latency state is
+// updated through atomics, so members are shared across snapshots and a
+// digest survives unrelated membership changes.
 type groupState[K, T any] struct {
-	policy  Policy
-	members []*member[K, T]
+	strategy Strategy
+	members  []*member[K, T]
 }
 
 type member[K, T any] struct {
 	name string
 	// rec is the replica wrapped (once, at Add) to fold each successful
-	// call's latency into the estimate — no per-operation closures.
+	// call's latency into the digest — no per-operation closures.
 	rec ArgReplica[K, T]
-	lat latEstimate
+	lat LatDigest
 }
+
+// memberDigests adapts a picked-member slice to the Digests view a
+// Strategy consumes, without copying.
+type memberDigests[K, T any] struct{ ms []*member[K, T] }
+
+func (d memberDigests[K, T]) Len() int            { return len(d.ms) }
+func (d memberDigests[K, T]) At(i int) *LatDigest { return &d.ms[i].lat }
 
 // KeyedGroupOption configures a KeyedGroup.
 type KeyedGroupOption[K, T any] func(*KeyedGroup[K, T])
@@ -124,26 +146,30 @@ func WithKeyedSeed[K, T any](seed int64) KeyedGroupOption[K, T] {
 
 // NewKeyedGroup creates a KeyedGroup with the given policy.
 func NewKeyedGroup[K, T any](policy Policy, opts ...KeyedGroupOption[K, T]) *KeyedGroup[K, T] {
+	return NewStrategyKeyedGroup(policy.Strategy(), opts...)
+}
+
+// NewStrategyKeyedGroup creates a KeyedGroup with the given strategy.
+func NewStrategyKeyedGroup[K, T any](s Strategy, opts ...KeyedGroupOption[K, T]) *KeyedGroup[K, T] {
 	g := &KeyedGroup[K, T]{}
-	g.init(policy)
+	g.init(s)
 	for _, o := range opts {
 		o(g)
 	}
 	return g
 }
 
-func (g *KeyedGroup[K, T]) init(policy Policy) {
-	if policy.Copies < 1 {
-		policy.Copies = 1
+func (g *KeyedGroup[K, T]) init(s Strategy) {
+	if s == nil {
+		s = Fixed{Copies: 1}
 	}
 	g.seed = uint64(time.Now().UnixNano())
-	g.state.Store(&groupState[K, T]{policy: policy})
+	g.state.Store(&groupState[K, T]{strategy: s})
 }
 
 // Add registers a replica under a diagnostic name.
 func (g *KeyedGroup[K, T]) Add(name string, fn ArgReplica[K, T]) {
 	m := &member[K, T]{name: name}
-	m.lat.bits.Store(unobserved)
 	m.rec = func(ctx context.Context, arg K) (T, error) {
 		t0 := time.Now()
 		v, err := fn(ctx, arg)
@@ -158,7 +184,7 @@ func (g *KeyedGroup[K, T]) Add(name string, fn ArgReplica[K, T]) {
 	members := make([]*member[K, T], len(st.members)+1)
 	copy(members, st.members)
 	members[len(st.members)] = m
-	g.state.Store(&groupState[K, T]{policy: st.policy, members: members})
+	g.state.Store(&groupState[K, T]{strategy: st.strategy, members: members})
 }
 
 // Remove drops the first replica registered under name and reports whether
@@ -174,28 +200,63 @@ func (g *KeyedGroup[K, T]) Remove(name string) bool {
 			members := make([]*member[K, T], 0, len(st.members)-1)
 			members = append(members, st.members[:i]...)
 			members = append(members, st.members[i+1:]...)
-			g.state.Store(&groupState[K, T]{policy: st.policy, members: members})
+			g.state.Store(&groupState[K, T]{strategy: st.strategy, members: members})
 			return true
 		}
 	}
 	return false
 }
 
-// SetPolicy replaces the group's policy. The change is atomic with respect
-// to membership: every operation sees one consistent (policy, members)
-// pair.
+// SetPolicy replaces the group's strategy with the policy's Fixed
+// equivalent. The change is atomic with respect to membership: every
+// operation sees one consistent (strategy, members) pair.
 func (g *KeyedGroup[K, T]) SetPolicy(policy Policy) {
-	if policy.Copies < 1 {
-		policy.Copies = 1
+	g.SetStrategy(policy.Strategy())
+}
+
+// SetStrategy replaces the group's replication strategy through the
+// copy-on-write snapshot: operations already in flight finish under the
+// strategy they started with, and every subsequent operation sees the
+// new strategy with a consistent membership view.
+func (g *KeyedGroup[K, T]) SetStrategy(s Strategy) {
+	if s == nil {
+		s = Fixed{Copies: 1}
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	st := g.state.Load()
-	g.state.Store(&groupState[K, T]{policy: policy, members: st.members})
+	g.state.Store(&groupState[K, T]{strategy: s, members: st.members})
 }
 
-// Policy returns the current policy.
-func (g *KeyedGroup[K, T]) Policy() Policy { return g.state.Load().policy }
+// Strategy returns the current replication strategy.
+func (g *KeyedGroup[K, T]) Strategy() Strategy { return g.state.Load().strategy }
+
+// Policy returns the current strategy in Policy form. For a Fixed
+// strategy (including any installed via SetPolicy) the round-trip is
+// exact; for other strategies the fan-out and selection are reported and
+// HedgeDelay is zero (the schedule is dynamic).
+func (g *KeyedGroup[K, T]) Policy() Policy {
+	st := g.state.Load()
+	return strategyPolicy(st.strategy, len(st.members))
+}
+
+// strategyPolicy renders a strategy in Policy form. n is the current
+// group size, used to report a meaningful fan-out (rather than the
+// internal clamp sentinel) for strategies that mean "all replicas".
+func strategyPolicy(s Strategy, n int) Policy {
+	if f, ok := s.(Fixed); ok {
+		k, _ := f.Fanout()
+		return Policy{Copies: k, HedgeDelay: f.HedgeDelay, Selection: f.Selection}
+	}
+	k, sel := s.Fanout()
+	if k > n {
+		k = n // Do clamps the same way
+	}
+	if k < 1 {
+		k = 1 // matches Policy's own below-1 normalization
+	}
+	return Policy{Copies: k, Selection: sel}
+}
 
 // Len returns the number of registered replicas.
 func (g *KeyedGroup[K, T]) Len() int { return len(g.state.Load().members) }
@@ -242,11 +303,21 @@ func (g *KeyedGroup[K, T]) RankedNames() []string {
 func (g *KeyedGroup[K, T]) EstimatedLatency(name string) (time.Duration, bool) {
 	for _, m := range g.state.Load().members {
 		if m.name == name {
-			v, ok := m.lat.value()
-			return time.Duration(v), ok
+			return m.lat.Mean()
 		}
 	}
 	return 0, false
+}
+
+// Digest returns the latency digest of the replica registered under name
+// (mean, quantiles, observation count), or nil if no such replica.
+func (g *KeyedGroup[K, T]) Digest(name string) *LatDigest {
+	for _, m := range g.state.Load().members {
+		if m.name == name {
+			return &m.lat
+		}
+	}
+	return nil
 }
 
 // ReplicaStats describes one replica in a Stats snapshot.
@@ -258,39 +329,56 @@ type ReplicaStats struct {
 	EstimatedLatency time.Duration
 	// Observed reports whether any successful call has been recorded.
 	Observed bool
-	// Observations counts the successful calls folded into the estimate.
+	// Observations counts the successful calls folded into the digest.
 	Observations int64
+	// P50, P95, P99 are latency-quantile estimates from the replica's
+	// digest (zero if unobserved).
+	P50, P95, P99 time.Duration
 }
 
-// GroupStats is a point-in-time view of a group. Policy and membership
+// GroupStats is a point-in-time view of a group. Strategy and membership
 // come from a single atomic snapshot, so they are mutually consistent even
 // while other goroutines Add, Remove, or SetPolicy.
 type GroupStats struct {
-	Policy   Policy
+	// Policy is the strategy in Policy form (exact for Fixed strategies,
+	// fan-out and selection only otherwise).
+	Policy Policy
+	// Strategy describes the active strategy (its String()), making
+	// Stats() output self-describing.
+	Strategy string
+	// Replicas holds per-replica latency statistics.
 	Replicas []ReplicaStats
 }
 
-// Stats returns a consistent snapshot of the group's policy, membership,
-// and per-replica latency estimates.
+var statsQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Stats returns a consistent snapshot of the group's strategy,
+// membership, and per-replica latency digests.
 func (g *KeyedGroup[K, T]) Stats() GroupStats {
 	st := g.state.Load()
 	s := GroupStats{
-		Policy:   st.policy,
+		Policy:   strategyPolicy(st.strategy, len(st.members)),
+		Strategy: st.strategy.String(),
 		Replicas: make([]ReplicaStats, len(st.members)),
 	}
+	var qs [3]time.Duration
 	for i, m := range st.members {
 		v, ok := m.lat.value()
+		m.lat.Quantiles(statsQuantiles, qs[:])
 		s.Replicas[i] = ReplicaStats{
 			Name:             m.name,
 			EstimatedLatency: time.Duration(v),
 			Observed:         ok,
-			Observations:     m.lat.count.Load(),
+			Observations:     m.lat.Count(),
+			P50:              qs[0],
+			P95:              qs[1],
+			P99:              qs[2],
 		}
 	}
 	return s
 }
 
-// Do performs one redundant operation under the group's policy, passing
+// Do performs one redundant operation under the group's strategy, passing
 // arg to every launched replica.
 func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
 	st := g.state.Load()
@@ -299,12 +387,25 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
 		var zero Result[T]
 		return zero, ErrNoReplicas
 	}
-	k := st.policy.Copies
+	// The built-in static strategies are fast-pathed by concrete type so
+	// the common case pays no interface dispatch and no Digests view.
+	fixed, isFixed := st.strategy.(Fixed)
+	var k int
+	var sel Selection
+	switch {
+	case isFixed:
+		k, sel = fixed.Fanout()
+	default:
+		k, sel = st.strategy.Fanout()
+	}
 	if k > n {
 		k = n
 	}
+	if k < 1 {
+		k = 1
+	}
 	picked := make([]*member[K, T], k)
-	g.pickInto(st, picked)
+	g.pickInto(st, sel, picked)
 
 	copies := k
 	granted := 0
@@ -317,10 +418,17 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
 	}
 
 	var delays []time.Duration
-	if st.policy.HedgeDelay > 0 {
-		delays = make([]time.Duration, copies)
-		for i := range delays {
-			delays[i] = st.policy.HedgeDelay
+	if isFixed {
+		if fixed.HedgeDelay > 0 && copies > 1 {
+			delays = make([]time.Duration, copies)
+			for i := range delays {
+				delays[i] = fixed.HedgeDelay
+			}
+		}
+	} else if _, full := st.strategy.(FullReplicate); !full && copies > 1 {
+		delays = st.strategy.Schedule(memberDigests[K, T]{ms: picked})
+		if delays != nil && len(delays) != copies {
+			delays = normalizeDelays(delays, copies)
 		}
 	}
 	res, err := race(ctx, delays, copies, func(ctx context.Context, i int) (T, error) {
@@ -354,13 +462,15 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
 
 // ProbeAll runs every replica once with arg, concurrently and to
 // completion (no racing, no cancellation on first response), recording
-// each successful replica's latency for ranked selection. It mirrors the
+// each successful replica's latency for ranked selection and for the
+// per-replica digests adaptive strategies consult. It mirrors the
 // measurement stage of the paper's DNS experiment, which ranks all servers
 // by mean response time before replicating to the best k. It returns the
 // number of replicas that responded successfully.
 //
-// Use it to warm a ranked group: racing alone cannot measure losers,
-// because their contexts are cancelled as soon as the winner returns.
+// Use it to warm a ranked or adaptive group: racing alone cannot measure
+// losers, because their contexts are cancelled as soon as the winner
+// returns.
 func (g *KeyedGroup[K, T]) ProbeAll(ctx context.Context, arg K) int {
 	members := g.state.Load().members
 	ch := make(chan error, len(members))
@@ -380,13 +490,13 @@ func (g *KeyedGroup[K, T]) ProbeAll(ctx context.Context, arg K) int {
 	return ok
 }
 
-// pickInto fills out (len k <= len members) with the policy's selection,
-// in launch order, without locking.
-func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], out []*member[K, T]) {
+// pickInto fills out (len k <= len members) with the given selection, in
+// launch order, without locking.
+func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []*member[K, T]) {
 	members := st.members
 	n := len(members)
 	k := len(out)
-	switch st.policy.Selection {
+	switch sel {
 	case SelectRandom:
 		rng := splitmix{s: g.seed ^ g.seq.Add(1)*0x9e3779b97f4a7c15}
 		if 2*k > n {
@@ -478,8 +588,13 @@ func WithSeed[T any](seed int64) GroupOption[T] {
 
 // NewGroup creates a Group with the given policy.
 func NewGroup[T any](policy Policy, opts ...GroupOption[T]) *Group[T] {
+	return NewStrategyGroup[T](policy.Strategy(), opts...)
+}
+
+// NewStrategyGroup creates a Group with the given strategy.
+func NewStrategyGroup[T any](s Strategy, opts ...GroupOption[T]) *Group[T] {
 	g := &Group[T]{}
-	g.init(policy)
+	g.init(s)
 	for _, o := range opts {
 		o(g)
 	}
@@ -491,7 +606,7 @@ func (g *Group[T]) Add(name string, fn Replica[T]) {
 	g.KeyedGroup.Add(name, func(ctx context.Context, _ struct{}) (T, error) { return fn(ctx) })
 }
 
-// Do performs one redundant operation under the group's policy.
+// Do performs one redundant operation under the group's strategy.
 func (g *Group[T]) Do(ctx context.Context) (Result[T], error) {
 	return g.KeyedGroup.Do(ctx, struct{}{})
 }
@@ -501,43 +616,6 @@ func (g *Group[T]) Do(ctx context.Context) (Result[T], error) {
 // KeyedGroup.ProbeAll.
 func (g *Group[T]) ProbeAll(ctx context.Context) int {
 	return g.KeyedGroup.ProbeAll(ctx, struct{}{})
-}
-
-const ewmaAlpha = 0.2
-
-// unobserved is the latEstimate sentinel: a NaN bit pattern that no EWMA
-// of finite non-negative latencies can ever equal.
-const unobserved = ^uint64(0)
-
-// latEstimate is a lock-free exponentially weighted moving average of
-// latencies: the current value lives as float64 bits in one atomic word,
-// updated by CAS, so concurrent observations from racing copies never
-// block each other or the selection path reading them.
-type latEstimate struct {
-	bits  atomic.Uint64
-	count atomic.Int64
-}
-
-func (l *latEstimate) observe(x float64) {
-	for {
-		old := l.bits.Load()
-		v := x
-		if old != unobserved {
-			v = ewmaAlpha*x + (1-ewmaAlpha)*math.Float64frombits(old)
-		}
-		if l.bits.CompareAndSwap(old, math.Float64bits(v)) {
-			l.count.Add(1)
-			return
-		}
-	}
-}
-
-func (l *latEstimate) value() (float64, bool) {
-	b := l.bits.Load()
-	if b == unobserved {
-		return 0, false
-	}
-	return math.Float64frombits(b), true
 }
 
 // splitmix is splitmix64: a tiny PRNG whose whole state is one word, so

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatDigest is a lock-free per-replica latency digest: an exponentially
+// weighted moving average of the mean plus a fixed-size log-scale
+// histogram, both updated with single atomic operations so racing copies
+// recording observations never block each other or the selection path
+// reading them.
+//
+// The histogram has 8 sub-bins per power-of-two octave of nanoseconds
+// (512 bins covering 1 ns to ~292 years), giving quantile estimates with
+// at most 12.5% relative error — ample for choosing a hedging delay,
+// where the latency itself varies by orders of magnitude.
+//
+// The zero value is an empty digest ready for use. All methods are safe
+// for concurrent use. Readers see each observation's mean and histogram
+// contributions independently (a Quantile concurrent with Observe may
+// miss the newest sample), which is harmless for the approximate
+// statistics the digest serves.
+type LatDigest struct {
+	// ewma holds the bitwise complement of the EWMA's float64 bits; zero
+	// (the zero value) means "never observed". The complement of a finite
+	// non-negative float64 is never zero, so no sentinel initialization is
+	// needed.
+	ewma  atomic.Uint64
+	count atomic.Int64
+	bins  [digestBinCount]atomic.Uint64
+}
+
+const (
+	// digestSubBits is the number of mantissa bits per octave: 2^3 = 8
+	// sub-bins, 12.5% max relative bin width.
+	digestSubBits  = 3
+	digestSubBins  = 1 << digestSubBits
+	digestBinCount = 64 * digestSubBins
+
+	ewmaAlpha = 0.2
+)
+
+// digestBin maps a non-negative nanosecond count to its bin index.
+// The mapping is monotone: larger latencies never map to smaller bins.
+func digestBin(ns uint64) int {
+	if ns == 0 {
+		return 0
+	}
+	exp := uint(bits.Len64(ns) - 1)
+	var sub uint64
+	if exp >= digestSubBits {
+		sub = (ns >> (exp - digestSubBits)) & (digestSubBins - 1)
+	} else {
+		sub = (ns << (digestSubBits - exp)) & (digestSubBins - 1)
+	}
+	return int(exp)<<digestSubBits + int(sub)
+}
+
+// digestBinUpper returns the (inclusive) upper edge of a bin in
+// nanoseconds. Reporting the upper edge makes quantile estimates
+// conservative for hedging: a hedge fires no earlier than the true
+// quantile.
+func digestBinUpper(bin int) uint64 {
+	exp := uint(bin >> digestSubBits)
+	sub := uint64(bin & (digestSubBins - 1))
+	// Lower edge is (8+sub) << (exp-3); upper edge is one sub-bin later.
+	hi := (digestSubBins + sub + 1) << exp >> digestSubBits
+	if hi == 0 || hi > math.MaxInt64 { // exp=63 overflow
+		hi = math.MaxInt64
+	}
+	return hi
+}
+
+// Observe folds one latency into the digest.
+func (l *LatDigest) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.observe(float64(d))
+}
+
+// observe is the hot-path form over float64 nanoseconds.
+func (l *LatDigest) observe(x float64) {
+	for {
+		old := l.ewma.Load()
+		v := x
+		if old != 0 {
+			v = ewmaAlpha*x + (1-ewmaAlpha)*math.Float64frombits(^old)
+		}
+		if l.ewma.CompareAndSwap(old, ^math.Float64bits(v)) {
+			break
+		}
+	}
+	l.bins[digestBin(uint64(x))].Add(1)
+	l.count.Add(1)
+}
+
+// value returns the EWMA mean in nanoseconds and whether anything has
+// been observed.
+func (l *LatDigest) value() (float64, bool) {
+	b := l.ewma.Load()
+	if b == 0 {
+		return 0, false
+	}
+	return math.Float64frombits(^b), true
+}
+
+// Mean returns the exponentially weighted moving average latency and
+// whether anything has been observed.
+func (l *LatDigest) Mean() (time.Duration, bool) {
+	v, ok := l.value()
+	return time.Duration(v), ok
+}
+
+// Count returns the number of observations folded into the digest.
+func (l *LatDigest) Count() int64 { return l.count.Load() }
+
+// Quantile returns an estimate of the p-th quantile (p in [0, 1]) of all
+// observed latencies, and whether there is any data. The estimate is the
+// upper edge of the histogram bin containing the quantile, so it errs
+// late by at most one sub-bin (12.5%).
+func (l *LatDigest) Quantile(p float64) (time.Duration, bool) {
+	var counts [digestBinCount]uint64
+	total := l.snapshot(&counts)
+	if total == 0 {
+		return 0, false
+	}
+	return quantileOf(&counts, total, p), true
+}
+
+// Quantiles fills out[i] with the Quantile of ps[i], reading the
+// histogram once. It returns false (and zeroes out) if nothing has been
+// observed.
+func (l *LatDigest) Quantiles(ps []float64, out []time.Duration) bool {
+	var counts [digestBinCount]uint64
+	total := l.snapshot(&counts)
+	if total == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return false
+	}
+	for i, p := range ps {
+		out[i] = quantileOf(&counts, total, p)
+	}
+	return true
+}
+
+func (l *LatDigest) snapshot(counts *[digestBinCount]uint64) int64 {
+	total := int64(0)
+	for i := range l.bins {
+		c := l.bins[i].Load()
+		counts[i] = c
+		total += int64(c)
+	}
+	return total
+}
+
+func quantileOf(counts *[digestBinCount]uint64, total int64, p float64) time.Duration {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		cum += int64(c)
+		if cum >= rank {
+			return time.Duration(digestBinUpper(i))
+		}
+	}
+	return time.Duration(digestBinUpper(digestBinCount - 1))
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDigestBinMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []uint64{0, 1, 2, 3, 7, 8, 15, 16, 100, 1000, 1 << 20, 1<<20 + 1, 1 << 40, 1 << 62} {
+		b := digestBin(ns)
+		if b < prev {
+			t.Fatalf("digestBin(%d) = %d < previous %d: mapping not monotone", ns, b, prev)
+		}
+		if b < 0 || b >= digestBinCount {
+			t.Fatalf("digestBin(%d) = %d out of range", ns, b)
+		}
+		prev = b
+	}
+}
+
+func TestDigestBinUpperBoundsValue(t *testing.T) {
+	// Every value must fall at or below its bin's upper edge, and the
+	// edge must be within 12.5% (one sub-bin) of the value.
+	for _, ns := range []uint64{1, 9, 100, 999, 12345, 1e6, 1e9, 1e12, 1 << 50} {
+		up := digestBinUpper(digestBin(ns))
+		if up < ns {
+			t.Errorf("bin upper edge %d < value %d", up, ns)
+		}
+		if ns >= 16 && float64(up) > float64(ns)*1.25 {
+			t.Errorf("bin upper edge %d over 25%% above value %d", up, ns)
+		}
+	}
+	// The last bin must not overflow into a negative duration.
+	if up := digestBinUpper(digestBinCount - 1); up > math.MaxInt64 {
+		t.Errorf("last bin upper edge %d overflows int64", up)
+	}
+}
+
+func TestLatDigestZeroValue(t *testing.T) {
+	var d LatDigest
+	if _, ok := d.Mean(); ok {
+		t.Error("empty digest reports a mean")
+	}
+	if _, ok := d.Quantile(0.5); ok {
+		t.Error("empty digest reports a quantile")
+	}
+	if d.Count() != 0 {
+		t.Errorf("empty digest Count = %d", d.Count())
+	}
+}
+
+func TestLatDigestQuantiles(t *testing.T) {
+	var d LatDigest
+	// 100 observations: 1ms, 2ms, ..., 100ms.
+	for i := 1; i <= 100; i++ {
+		d.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if d.Count() != 100 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.5, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	} {
+		got, ok := d.Quantile(tc.p)
+		if !ok {
+			t.Fatalf("Quantile(%g) not ok", tc.p)
+		}
+		// Log-scale bins: the estimate is the upper edge of the bin, so
+		// it must be >= the true quantile and within one sub-bin (12.5%).
+		if got < tc.want || float64(got) > float64(tc.want)*1.25 {
+			t.Errorf("Quantile(%g) = %v, want in [%v, %v]", tc.p, got, tc.want, tc.want*5/4)
+		}
+	}
+	// Batch form agrees with the one-at-a-time form.
+	out := make([]time.Duration, 2)
+	if !d.Quantiles([]float64{0.5, 0.99}, out) {
+		t.Fatal("Quantiles not ok")
+	}
+	q50, _ := d.Quantile(0.5)
+	q99, _ := d.Quantile(0.99)
+	if out[0] != q50 || out[1] != q99 {
+		t.Errorf("Quantiles = %v, want [%v %v]", out, q50, q99)
+	}
+}
+
+func TestLatDigestMeanEWMA(t *testing.T) {
+	var d LatDigest
+	d.Observe(100 * time.Millisecond)
+	if m, ok := d.Mean(); !ok || m != 100*time.Millisecond {
+		t.Errorf("first observation Mean = %v, %v", m, ok)
+	}
+	d.Observe(200 * time.Millisecond)
+	want := time.Duration(ewmaAlpha*200e6 + (1-ewmaAlpha)*100e6)
+	if m, _ := d.Mean(); m != want {
+		t.Errorf("EWMA after 100,200 = %v, want %v", m, want)
+	}
+}
+
+func TestLatDigestNegativeClamped(t *testing.T) {
+	var d LatDigest
+	d.Observe(-time.Second)
+	if m, ok := d.Mean(); !ok || m != 0 {
+		t.Errorf("negative observation: Mean = %v, %v; want 0, true", m, ok)
+	}
+}
+
+// TestLatDigestConcurrent hammers one digest with concurrent observers
+// and readers; every observation must land exactly once and readers must
+// never see torn state. Run with -race.
+func TestLatDigestConcurrent(t *testing.T) {
+	var d LatDigest
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Quantile(0.95)
+				d.Mean()
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				d.Observe(time.Duration(1+i%100) * time.Millisecond)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if n := d.Count(); n != workers*per {
+		t.Errorf("Count = %d, want %d", n, workers*per)
+	}
+	q, ok := d.Quantile(1.0)
+	if !ok || q < 100*time.Millisecond {
+		t.Errorf("max quantile = %v, %v", q, ok)
+	}
+}

@@ -30,8 +30,10 @@ type ObserverFunc func(Observation)
 func (f ObserverFunc) Observe(o Observation) { f(o) }
 
 // Counters is a ready-made Observer that aggregates wins per replica,
-// total copies launched, successes, and failures. All methods are safe
-// for concurrent use.
+// total copies launched, successes, failures, and the full end-to-end
+// latency distribution (a lock-free LatDigest, so quantiles are
+// available without retaining per-operation samples). All methods are
+// safe for concurrent use.
 type Counters struct {
 	mu       sync.Mutex
 	wins     map[string]int64
@@ -39,6 +41,7 @@ type Counters struct {
 	failures int64
 	launched int64
 	totalLat time.Duration
+	lat      LatDigest // successful-operation latencies
 }
 
 // NewCounters returns an empty Counters.
@@ -47,15 +50,17 @@ func NewCounters() *Counters { return &Counters{wins: make(map[string]int64)} }
 // Observe implements Observer.
 func (c *Counters) Observe(o Observation) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.ops++
 	c.launched += int64(o.Launched)
 	if o.Err != nil {
 		c.failures++
+		c.mu.Unlock()
 		return
 	}
 	c.wins[o.Winner]++
 	c.totalLat += o.Latency
+	c.mu.Unlock()
+	c.lat.Observe(o.Latency)
 }
 
 // Ops returns the number of operations observed.
@@ -104,3 +109,13 @@ func (c *Counters) MeanLatency() time.Duration {
 	}
 	return c.totalLat / time.Duration(succ)
 }
+
+// LatencyQuantile estimates the p-th quantile of successful-operation
+// latency (p in [0, 1]); ok is false when nothing has completed yet.
+func (c *Counters) LatencyQuantile(p float64) (d time.Duration, ok bool) {
+	return c.lat.Quantile(p)
+}
+
+// LatencyDigest exposes the aggregated latency distribution (mean,
+// quantiles, count) of successful operations.
+func (c *Counters) LatencyDigest() *LatDigest { return &c.lat }

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Strategy decides, per operation, how a Group replicates: how many
+// copies to launch, which replicas serve them, and the launch schedule.
+// The three built-in implementations are Fixed (static fan-out and hedge
+// delay — the classic Policy semantics), AdaptiveHedge (hedge when the
+// elapsed time exceeds an observed latency quantile, self-tuning as the
+// per-replica digests fill), and FullReplicate (every copy immediately).
+//
+// A Strategy is installed per Group and swapped atomically through the
+// group's copy-on-write snapshot (SetStrategy), so every operation sees
+// one consistent (strategy, membership) pair. Implementations must be
+// immutable after installation and safe for concurrent use: Fanout and
+// Schedule are called on the lock-free Do hot path.
+type Strategy interface {
+	// Fanout returns the maximum number of copies per operation (values
+	// below 1 are treated as 1; values above the group size are clamped)
+	// and the selection method that picks them.
+	Fanout() (copies int, sel Selection)
+
+	// Schedule computes the launch schedule for one operation over the
+	// selected replicas, whose latency digests are exposed in launch
+	// order. It returns nil to launch every copy immediately, or a slice
+	// of per-copy delays where delays[i] is the wait after copy i-1's
+	// launch before copy i launches (delays[0] is ignored; the first copy
+	// always starts immediately). A schedule of the wrong length is
+	// padded with its last entry or truncated.
+	Schedule(d Digests) []time.Duration
+
+	// String describes the strategy; GroupStats carries it so Stats()
+	// output is self-describing.
+	String() string
+}
+
+// Digests is a read-only view over the selected replicas' latency
+// digests, in launch order, passed to Strategy.Schedule.
+type Digests interface {
+	Len() int
+	At(i int) *LatDigest
+}
+
+// DigestList is a ready-made Digests over a slice, for testing custom
+// strategies and for callers driving Schedule directly.
+type DigestList []*LatDigest
+
+// Len implements Digests.
+func (d DigestList) Len() int { return len(d) }
+
+// At implements Digests.
+func (d DigestList) At(i int) *LatDigest { return d[i] }
+
+// Fixed is the static strategy: a fixed number of copies, an optional
+// fixed hedge delay, and a selection method. It reproduces the classic
+// Policy semantics exactly; Policy.Strategy converts.
+type Fixed struct {
+	// Copies is the number of replicas per operation (k). Values below 1
+	// are treated as 1.
+	Copies int
+	// HedgeDelay, when non-zero, staggers copies: copy i+1 launches only
+	// if no response arrived HedgeDelay after copy i. Zero launches all
+	// copies immediately.
+	HedgeDelay time.Duration
+	// Selection chooses which k replicas serve an operation.
+	Selection Selection
+}
+
+// Fanout implements Strategy.
+func (f Fixed) Fanout() (int, Selection) {
+	k := f.Copies
+	if k < 1 {
+		k = 1
+	}
+	return k, f.Selection
+}
+
+// Schedule implements Strategy.
+func (f Fixed) Schedule(d Digests) []time.Duration {
+	if f.HedgeDelay <= 0 {
+		return nil
+	}
+	delays := make([]time.Duration, d.Len())
+	for i := range delays {
+		delays[i] = f.HedgeDelay
+	}
+	return delays
+}
+
+// String implements Strategy.
+func (f Fixed) String() string {
+	k, _ := f.Fanout()
+	if f.HedgeDelay > 0 {
+		return fmt.Sprintf("fixed(k=%d, hedge %v, %s)", k, f.HedgeDelay, f.Selection)
+	}
+	return fmt.Sprintf("fixed(k=%d, %s)", k, f.Selection)
+}
+
+// FullReplicate launches every copy immediately — the paper's §2 full
+// replication, most effective below the threshold load.
+type FullReplicate struct {
+	// Copies is the number of replicas per operation; values below 1
+	// mean "every replica in the group".
+	Copies int
+	// Selection chooses which replicas serve an operation.
+	Selection Selection
+}
+
+// Fanout implements Strategy.
+func (f FullReplicate) Fanout() (int, Selection) {
+	k := f.Copies
+	if k < 1 {
+		k = math.MaxInt32 // clamped to the group size by Do
+	}
+	return k, f.Selection
+}
+
+// Schedule implements Strategy.
+func (FullReplicate) Schedule(Digests) []time.Duration { return nil }
+
+// String implements Strategy.
+func (f FullReplicate) String() string {
+	if f.Copies < 1 {
+		return fmt.Sprintf("full-replicate(all, %s)", f.Selection)
+	}
+	return fmt.Sprintf("full-replicate(k=%d, %s)", f.Copies, f.Selection)
+}
+
+// Default tuning for AdaptiveHedge.
+const (
+	// DefaultHedgeQuantile is the latency quantile at which AdaptiveHedge
+	// launches the next copy when none is configured.
+	DefaultHedgeQuantile = 0.95
+	// DefaultHedgeMinSamples is how many observations a replica's digest
+	// needs before AdaptiveHedge trusts its quantile.
+	DefaultHedgeMinSamples = 16
+)
+
+// AdaptiveHedge hedges at an observed latency quantile: copy i+1
+// launches when the elapsed time since copy i's launch exceeds the p-th
+// percentile of copy i's replica's latency digest. The delay self-tunes
+// as the digest fills and tracks drift in the replica's latency
+// distribution — the production form of the paper's §3.2 DNS strategy,
+// where the hedging point depends on the distribution's tail, not a
+// caller-guessed constant.
+//
+// By construction the extra-copy rate converges to roughly (1 - p) of
+// operations, so p doubles as a load knob: p = 0.95 adds about 5% load.
+//
+// While a consulted digest has fewer than MinSamples observations the
+// strategy falls back to FallbackDelay; the zero default launches the
+// next copy immediately (full replication while cold), which both bounds
+// cold-start latency and warms the digests fastest. Note digests record
+// only successful, non-cancelled calls, so a group that is never probed
+// learns only from winners; use ProbeAll to warm all replicas.
+type AdaptiveHedge struct {
+	// Copies is the maximum number of copies per operation (default 2).
+	Copies int
+	// Quantile is p, the latency quantile that triggers the next copy
+	// (default DefaultHedgeQuantile).
+	Quantile float64
+	// MinSamples is the observation count below which a digest's
+	// quantile is not trusted (default DefaultHedgeMinSamples).
+	MinSamples int64
+	// FallbackDelay is the hedge delay used while a digest is cold; zero
+	// launches the next copy immediately.
+	FallbackDelay time.Duration
+	// Selection chooses which replicas serve an operation.
+	Selection Selection
+}
+
+func (a AdaptiveHedge) quantile() float64 {
+	if a.Quantile <= 0 || a.Quantile >= 1 {
+		return DefaultHedgeQuantile
+	}
+	return a.Quantile
+}
+
+func (a AdaptiveHedge) minSamples() int64 {
+	if a.MinSamples <= 0 {
+		return DefaultHedgeMinSamples
+	}
+	return a.MinSamples
+}
+
+// Fanout implements Strategy.
+func (a AdaptiveHedge) Fanout() (int, Selection) {
+	k := a.Copies
+	if k < 1 {
+		k = 2
+	}
+	return k, a.Selection
+}
+
+// Schedule implements Strategy.
+func (a AdaptiveHedge) Schedule(d Digests) []time.Duration {
+	k := d.Len()
+	if k <= 1 {
+		return nil
+	}
+	p := a.quantile()
+	min := a.minSamples()
+	delays := make([]time.Duration, k)
+	for i := 1; i < k; i++ {
+		delays[i] = a.FallbackDelay
+		if dg := d.At(i - 1); dg != nil && dg.Count() >= min {
+			if q, ok := dg.Quantile(p); ok {
+				delays[i] = q
+			}
+		}
+	}
+	return delays
+}
+
+// String implements Strategy.
+func (a AdaptiveHedge) String() string {
+	k, _ := a.Fanout()
+	return fmt.Sprintf("adaptive-hedge(k=%d, p%g, %s)", k, a.quantile()*100, a.Selection)
+}
+
+// normalizeDelays coerces a strategy-returned schedule to exactly n
+// entries: longer schedules are truncated, shorter ones padded with
+// their last entry (an empty schedule means "no delays").
+func normalizeDelays(delays []time.Duration, n int) []time.Duration {
+	if len(delays) == 0 {
+		return nil
+	}
+	if len(delays) >= n {
+		return delays[:n]
+	}
+	out := make([]time.Duration, n)
+	copy(out, delays)
+	last := delays[len(delays)-1]
+	for i := len(delays); i < n; i++ {
+		out[i] = last
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFixedStrategyMatchesPolicy(t *testing.T) {
+	p := Policy{Copies: 3, HedgeDelay: 5 * time.Millisecond, Selection: SelectRandom}
+	s := p.Strategy()
+	f, ok := s.(Fixed)
+	if !ok {
+		t.Fatalf("Policy.Strategy() = %T, want Fixed", s)
+	}
+	if f.Copies != 3 || f.HedgeDelay != 5*time.Millisecond || f.Selection != SelectRandom {
+		t.Errorf("round-trip lost fields: %+v", f)
+	}
+	k, sel := f.Fanout()
+	if k != 3 || sel != SelectRandom {
+		t.Errorf("Fanout = (%d, %v)", k, sel)
+	}
+	delays := f.Schedule(DigestList{nil, nil, nil})
+	if len(delays) != 3 || delays[1] != 5*time.Millisecond {
+		t.Errorf("Schedule = %v", delays)
+	}
+	if noHedge := (Fixed{Copies: 2}).Schedule(DigestList{nil, nil}); noHedge != nil {
+		t.Errorf("zero-delay Fixed schedule = %v, want nil", noHedge)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for _, tc := range []struct {
+		s    Strategy
+		want string
+	}{
+		{Fixed{Copies: 2, Selection: SelectRanked}, "fixed(k=2, ranked)"},
+		{Fixed{Copies: 2, HedgeDelay: 15 * time.Millisecond, Selection: SelectRandom}, "fixed(k=2, hedge 15ms, random)"},
+		{FullReplicate{Selection: SelectRandom}, "full-replicate(all, random)"},
+		{FullReplicate{Copies: 3, Selection: SelectRanked}, "full-replicate(k=3, ranked)"},
+		{AdaptiveHedge{}, "adaptive-hedge(k=2, p95, ranked)"},
+		{AdaptiveHedge{Copies: 3, Quantile: 0.9, Selection: SelectRoundRobin}, "adaptive-hedge(k=3, p90, round-robin)"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("%T.String() = %q, want %q", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestFullReplicateUsesAllReplicas(t *testing.T) {
+	g := NewStrategyGroup[int](FullReplicate{Selection: SelectRandom}, WithSeed[int](1))
+	for i := 0; i < 5; i++ {
+		i := i
+		g.Add(string(rune('a'+i)), func(ctx context.Context) (int, error) { return i, nil })
+	}
+	res, err := g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 5 {
+		t.Errorf("FullReplicate launched %d of 5", res.Launched)
+	}
+}
+
+func TestAdaptiveHedgeScheduleFromDigests(t *testing.T) {
+	// Warm digest: 100 observations, p90 = 90ms-bin upper edge.
+	warm := &LatDigest{}
+	for i := 1; i <= 100; i++ {
+		warm.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cold := &LatDigest{}
+	cold.Observe(time.Millisecond)
+
+	a := AdaptiveHedge{Copies: 3, Quantile: 0.9, MinSamples: 10, FallbackDelay: 7 * time.Millisecond}
+	delays := a.Schedule(DigestList{warm, cold, warm})
+	if len(delays) != 3 {
+		t.Fatalf("Schedule length %d", len(delays))
+	}
+	q90, _ := warm.Quantile(0.9)
+	if delays[0] != 0 {
+		t.Errorf("delays[0] = %v, want 0 (ignored)", delays[0])
+	}
+	if delays[1] != q90 {
+		t.Errorf("delays[1] = %v, want warm p90 %v", delays[1], q90)
+	}
+	// Copy 2 consults copy 1's digest, which is cold: fallback applies.
+	if delays[2] != 7*time.Millisecond {
+		t.Errorf("delays[2] = %v, want fallback 7ms", delays[2])
+	}
+
+	// Single copy: no schedule at all.
+	if d := a.Schedule(DigestList{warm}); d != nil {
+		t.Errorf("k=1 schedule = %v, want nil", d)
+	}
+}
+
+func TestAdaptiveHedgeColdStartLaunchesImmediately(t *testing.T) {
+	// With no fallback delay and cold digests, adaptive hedging degrades
+	// to full replication: both copies launch immediately.
+	g := NewStrategyGroup[string](AdaptiveHedge{Copies: 2, Selection: SelectRandom}, WithSeed[string](3))
+	block := make(chan struct{})
+	defer close(block)
+	g.Add("slow", func(ctx context.Context) (string, error) {
+		select {
+		case <-block:
+			return "slow", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	})
+	g.Add("fast", func(ctx context.Context) (string, error) { return "fast", nil })
+	res, err := g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "fast" || res.Launched != 2 {
+		t.Errorf("cold adaptive Do = (%q, launched %d), want (fast, 2)", res.Value, res.Launched)
+	}
+}
+
+func TestAdaptiveHedgeWarmDelaysHedge(t *testing.T) {
+	// Once the primary's digest is warm, the hedge waits for the quantile
+	// delay; a fast primary means only one copy launches.
+	g := NewStrategyGroup[string](
+		AdaptiveHedge{Copies: 2, Quantile: 0.95, MinSamples: 4, Selection: SelectRanked},
+		WithSeed[string](3))
+	g.Add("a", func(ctx context.Context) (string, error) { return "a", nil })
+	g.Add("b", func(ctx context.Context) (string, error) { return "b", nil })
+	// Warm both digests with 50ms observations: the p95 hedge delay is
+	// then enormous next to the instant replicas, so the hedge never
+	// fires and every op runs a single copy.
+	for _, name := range []string{"a", "b"} {
+		dg := g.Digest(name)
+		if dg == nil {
+			t.Fatalf("Digest(%q) = nil", name)
+		}
+		for i := 0; i < 8; i++ {
+			dg.Observe(50 * time.Millisecond)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		res, err := g.Do(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Launched != 1 {
+			t.Fatalf("op %d launched %d copies; hedge delay should be ~50ms", i, res.Launched)
+		}
+	}
+}
+
+func TestAdaptiveHedgeBudgetRefund(t *testing.T) {
+	// A hedge the fast primary made unnecessary must refund its token,
+	// exactly as with Fixed hedging.
+	b := NewBudget(0, 1)
+	g := NewStrategyGroup[int](
+		AdaptiveHedge{Copies: 2, MinSamples: 1 << 30, FallbackDelay: 200 * time.Millisecond, Selection: SelectRandom},
+		WithBudget[int](b), WithSeed[int](5))
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 2, nil })
+	for i := 0; i < 3; i++ {
+		res, err := g.Do(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Launched != 1 {
+			t.Fatalf("op %d launched %d copies, want 1 (hedge never fires)", i, res.Launched)
+		}
+		if got := b.Available(); got != 1 {
+			t.Fatalf("op %d: budget not refunded, Available = %d", i, got)
+		}
+	}
+}
+
+func TestFullReplicateBudgetConsumed(t *testing.T) {
+	// FullReplicate launches everything immediately, so tokens are spent.
+	b := NewBudget(0, 1)
+	g := NewStrategyGroup[int](FullReplicate{Selection: SelectRandom},
+		WithBudget[int](b), WithSeed[int](5))
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 2, nil })
+	if _, err := g.Do(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Available(); got != 0 {
+		t.Errorf("budget Available = %d after full replication, want 0", got)
+	}
+}
+
+// oddSchedule exercises the schedule-normalization path: a strategy
+// returning the wrong number of delays.
+type oddSchedule struct {
+	delays []time.Duration
+	copies int
+}
+
+func (o oddSchedule) Fanout() (int, Selection)         { return o.copies, SelectRoundRobin }
+func (o oddSchedule) Schedule(Digests) []time.Duration { return o.delays }
+func (o oddSchedule) String() string                   { return "odd-schedule" }
+
+func TestStrategyScheduleNormalized(t *testing.T) {
+	slow := func(ctx context.Context) (int, error) {
+		select {
+		case <-time.After(300 * time.Millisecond):
+			return 0, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	fast := func(ctx context.Context) (int, error) { return 1, nil }
+
+	// Too-short schedule: padded with its last entry, so the launch still
+	// proceeds past the declared entries instead of panicking.
+	g := NewStrategyGroup[int](oddSchedule{delays: []time.Duration{0, time.Millisecond}, copies: 3})
+	g.Add("s1", slow)
+	g.Add("s2", slow)
+	g.Add("f", fast)
+	res, err := g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 3 {
+		t.Errorf("short schedule launched %d, want 3 (padded)", res.Launched)
+	}
+
+	// Too-long schedule: truncated.
+	g2 := NewStrategyGroup[int](oddSchedule{delays: make([]time.Duration, 10), copies: 2})
+	g2.Add("f1", fast)
+	g2.Add("f2", fast)
+	if _, err := g2.Do(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty schedule: treated as launch-all-immediately.
+	g3 := NewStrategyGroup[int](oddSchedule{delays: []time.Duration{}, copies: 2})
+	g3.Add("f1", fast)
+	g3.Add("f2", fast)
+	res, err = g3.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("empty schedule launched %d, want 2", res.Launched)
+	}
+}
+
+func TestNormalizeDelays(t *testing.T) {
+	ms := time.Millisecond
+	if got := normalizeDelays(nil, 3); got != nil {
+		t.Errorf("nil -> %v", got)
+	}
+	if got := normalizeDelays([]time.Duration{}, 3); got != nil {
+		t.Errorf("empty -> %v", got)
+	}
+	if got := normalizeDelays([]time.Duration{ms, 2 * ms, 3 * ms, 4 * ms}, 2); len(got) != 2 || got[1] != 2*ms {
+		t.Errorf("truncate -> %v", got)
+	}
+	got := normalizeDelays([]time.Duration{ms, 2 * ms}, 4)
+	if len(got) != 4 || got[2] != 2*ms || got[3] != 2*ms {
+		t.Errorf("pad -> %v", got)
+	}
+}
+
+func TestGroupStatsSelfDescribing(t *testing.T) {
+	g := NewStrategyGroup[int](AdaptiveHedge{Copies: 2, Quantile: 0.9})
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	s := g.Stats()
+	if !strings.Contains(s.Strategy, "adaptive-hedge") || !strings.Contains(s.Strategy, "p90") {
+		t.Errorf("Stats().Strategy = %q", s.Strategy)
+	}
+	g.SetStrategy(FullReplicate{})
+	if s := g.Stats(); !strings.Contains(s.Strategy, "full-replicate") {
+		t.Errorf("after SetStrategy: %q", s.Strategy)
+	}
+	g.SetPolicy(Policy{Copies: 2, HedgeDelay: time.Millisecond})
+	if s := g.Stats(); !strings.Contains(s.Strategy, "fixed") {
+		t.Errorf("after SetPolicy: %q", s.Strategy)
+	}
+}
+
+func TestGroupStatsQuantiles(t *testing.T) {
+	g := NewGroup[int](Policy{Copies: 1})
+	g.Add("a", func(ctx context.Context) (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		return 1, nil
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := g.Do(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := g.Stats()
+	r := s.Replicas[0]
+	if !r.Observed || r.Observations != 10 {
+		t.Fatalf("replica stats %+v", r)
+	}
+	if r.P50 < 2*time.Millisecond || r.P99 < r.P50 || r.P95 < r.P50 {
+		t.Errorf("quantiles not ordered/plausible: p50=%v p95=%v p99=%v", r.P50, r.P95, r.P99)
+	}
+}
+
+func TestFullReplicatePolicyReportsGroupSize(t *testing.T) {
+	// The "all replicas" fan-out must surface as the group size in
+	// Policy form, not the internal clamp sentinel.
+	g := NewStrategyGroup[int](FullReplicate{Selection: SelectRandom})
+	if got := g.Policy().Copies; got != 1 {
+		t.Errorf("empty group Policy().Copies = %d, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(string(rune('a'+i)), func(ctx context.Context) (int, error) { return i, nil })
+	}
+	if got := g.Policy().Copies; got != 3 {
+		t.Errorf("Policy().Copies = %d, want 3 (group size)", got)
+	}
+	if got := g.Stats().Policy.Copies; got != 3 {
+		t.Errorf("Stats().Policy.Copies = %d, want 3", got)
+	}
+}
+
+func TestSetStrategyNil(t *testing.T) {
+	g := NewStrategyGroup[int](nil)
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	if _, err := g.Do(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.SetStrategy(nil)
+	if k, _ := g.Strategy().Fanout(); k != 1 {
+		t.Errorf("nil strategy normalized to k=%d, want 1", k)
+	}
+}
+
+// TestStrategyChurnRace hammers one group with concurrent Do, Add,
+// Remove, and strategy swaps across all three implementations. Run with
+// -race: the digest and the snapshot swap must stay coherent.
+func TestStrategyChurnRace(t *testing.T) {
+	g := NewStrategyGroup[int](AdaptiveHedge{Copies: 2, MinSamples: 2, Selection: SelectRanked},
+		WithSeed[int](42))
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Add(string(rune('a'+i)), func(ctx context.Context) (int, error) { return i, nil })
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := g.Do(ctx); err != nil && !errors.Is(err, ErrNoReplicas) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		strategies := []Strategy{
+			Fixed{Copies: 2, Selection: SelectRandom},
+			AdaptiveHedge{Copies: 3, Quantile: 0.9, MinSamples: 2},
+			FullReplicate{Selection: SelectRoundRobin},
+			Fixed{Copies: 1},
+		}
+		for i := 0; i < 200; i++ {
+			g.SetStrategy(strategies[i%len(strategies)])
+			if i%10 == 0 {
+				g.Remove("churn")
+				g.Add("churn", func(ctx context.Context) (int, error) { return -1, nil })
+			}
+			g.Stats() // reads quantiles concurrently with observes
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -111,15 +111,34 @@ type Resolver struct {
 // evaluates 1-10); policy.Selection defaults to ranked (the paper ranks
 // servers by observed mean response time).
 func NewResolver(client *Client, policy core.Policy, servers ...string) *Resolver {
+	return NewResolverStrategy(client, policy.Strategy(), servers...)
+}
+
+// NewResolverStrategy builds a Resolver whose replication is governed by
+// an arbitrary strategy (core.AdaptiveHedge, core.FullReplicate, or a
+// custom implementation).
+func NewResolverStrategy(client *Client, strategy core.Strategy, servers ...string) *Resolver {
 	if client == nil {
 		client = NewClient(0)
 	}
 	r := &Resolver{client: client}
-	r.group = core.NewKeyedGroup[Question, *Message](policy)
+	r.group = core.NewStrategyKeyedGroup[Question, *Message](strategy)
 	for _, srv := range servers {
 		r.group.Add(srv, r.serverReplica(srv))
 	}
 	return r
+}
+
+// NewAdaptiveResolver builds a Resolver that sends a second query when
+// the best-ranked server exceeds the p-th percentile (quantile in
+// (0, 1); 0 means core.DefaultHedgeQuantile) of its observed latency —
+// the production form of the paper's §3.2 replicated-DNS strategy, with
+// the hedging point tracking each server's latency distribution instead
+// of a caller-guessed delay. Warm the per-server digests with Probe.
+func NewAdaptiveResolver(client *Client, quantile float64, servers ...string) *Resolver {
+	return NewResolverStrategy(client,
+		core.AdaptiveHedge{Copies: 2, Quantile: quantile, Selection: core.SelectRanked},
+		servers...)
 }
 
 // serverReplica builds the replica function for one server address.
@@ -168,6 +187,10 @@ func (r *Resolver) AddServer(srv string) {
 // RemoveServer drops a DNS server from the replica set, reporting whether
 // it was present. Lookups in flight may still receive its answers.
 func (r *Resolver) RemoveServer(srv string) bool { return r.group.Remove(srv) }
+
+// SetStrategy replaces the resolver's replication strategy; lookups in
+// flight finish under the strategy they started with.
+func (r *Resolver) SetStrategy(s core.Strategy) { r.group.SetStrategy(s) }
 
 // Probe queries every server once for name/qtype, concurrently and to
 // completion, to establish per-server latency estimates — the ranking

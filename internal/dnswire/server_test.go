@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -342,5 +343,47 @@ func TestTruncationFallbackToTCP(t *testing.T) {
 	}
 	if len(resp.Answers) != 1 {
 		t.Errorf("fallback answers = %d", len(resp.Answers))
+	}
+}
+
+func TestAdaptiveResolver(t *testing.T) {
+	_, fastAddr := startDNS(t, staticZone())
+	_, slowAddr := startDNSDelay(t, staticZone(),
+		func() time.Duration { return 250 * time.Millisecond })
+
+	cl := NewClient(2 * time.Second)
+	r := NewAdaptiveResolver(cl, 0.9, fastAddr, slowAddr)
+
+	// Probe warms every server's digest (racing alone never measures the
+	// loser), establishing both the ranking and the hedge quantiles.
+	if n := r.Probe(context.Background(), "www.example.com", TypeA); n != 2 {
+		t.Fatalf("Probe answered %d, want 2", n)
+	}
+	for i := 0; i < 20; i++ {
+		resp, err := r.Lookup(context.Background(), "www.example.com", TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("lookup %d: %d answers", i, len(resp.Answers))
+		}
+	}
+	s := r.GroupStats()
+	if !strings.Contains(s.Strategy, "adaptive-hedge") || !strings.Contains(s.Strategy, "p90") {
+		t.Errorf("GroupStats.Strategy = %q", s.Strategy)
+	}
+	// Ranked selection must have learned the fast server.
+	if ranked := r.RankedServers(); ranked[0] != fastAddr {
+		t.Errorf("ranked %v, want %s first", ranked, fastAddr)
+	}
+	for _, rep := range s.Replicas {
+		if rep.Observed && (rep.P95 == 0 || rep.P50 > rep.P99) {
+			t.Errorf("replica %s quantiles implausible: %+v", rep.Name, rep)
+		}
+	}
+
+	r.SetStrategy(core.Fixed{Copies: 1, Selection: core.SelectRanked})
+	if got := r.GroupStats().Strategy; !strings.Contains(got, "fixed(k=1") {
+		t.Errorf("after SetStrategy: %q", got)
 	}
 }

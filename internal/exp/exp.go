@@ -110,6 +110,7 @@ func All() []Experiment {
 		{"handshake", "TCP handshake duplication (§3.1)", Handshake},
 		{"ablfattree", "Ablation: replica count and priority class in the fat-tree", AblationFatTree},
 		{"ablqueueing", "Ablation: server count N and replication factor k in the queueing model", AblationQueueing},
+		{"ablhedge", "Ablation: fixed-delay vs adaptive-quantile hedging vs full replication across loads", AblationHedging},
 	}
 }
 

@@ -298,13 +298,31 @@ type ReplicatedClient struct {
 // policy controls fan-out (e.g. Policy{Copies: 2} for the paper's full
 // replication, or HedgeDelay for tied requests).
 func NewReplicatedClient(policy core.Policy, clients ...*Client) *ReplicatedClient {
+	return NewReplicatedClientStrategy(policy.Strategy(), clients...)
+}
+
+// NewReplicatedClientStrategy builds a replicated reader whose fan-out
+// is governed by an arbitrary replication strategy (core.AdaptiveHedge,
+// core.FullReplicate, or a custom implementation).
+func NewReplicatedClientStrategy(strategy core.Strategy, clients ...*Client) *ReplicatedClient {
 	rc := &ReplicatedClient{clients: clients}
-	g := core.NewKeyedGroup[string, []byte](policy)
+	g := core.NewStrategyKeyedGroup[string, []byte](strategy)
 	for _, cl := range clients {
 		g.Add(cl.Addr(), cl.Get)
 	}
 	rc.group = g
 	return rc
+}
+
+// NewAdaptiveReplicatedClient builds a replicated reader that hedges a
+// second read when the primary exceeds the p-th percentile (quantile in
+// (0, 1); 0 means core.DefaultHedgeQuantile) of its observed latency
+// digest — production hedging that self-tunes as conditions drift,
+// instead of a caller-guessed fixed delay.
+func NewAdaptiveReplicatedClient(quantile float64, clients ...*Client) *ReplicatedClient {
+	return NewReplicatedClientStrategy(
+		core.AdaptiveHedge{Copies: 2, Quantile: quantile, Selection: core.SelectRanked},
+		clients...)
 }
 
 // Get returns the first replica's response for key.
@@ -355,6 +373,9 @@ func (rc *ReplicatedClient) RemoveReplica(addr string) bool {
 
 // SetPolicy replaces the read fan-out policy.
 func (rc *ReplicatedClient) SetPolicy(policy core.Policy) { rc.group.SetPolicy(policy) }
+
+// SetStrategy replaces the read fan-out strategy.
+func (rc *ReplicatedClient) SetStrategy(s core.Strategy) { rc.group.SetStrategy(s) }
 
 // Set writes to every replica concurrently, waiting for all writes and
 // returning the joined errors of any that failed.

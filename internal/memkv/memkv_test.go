@@ -433,3 +433,61 @@ func TestStatsCounters(t *testing.T) {
 		t.Errorf("curr_items = %d", stats["curr_items"])
 	}
 }
+
+func TestAdaptiveReplicatedClient(t *testing.T) {
+	// A fast and a deliberately slow replica. Cold digests mean the first
+	// read fans out fully; once warm, the hedge waits for the primary's
+	// observed p95 and the stats snapshot is self-describing.
+	_, fastAddr := startServer(t)
+	_, slowAddr := startServerDelay(t, func() time.Duration { return 200 * time.Millisecond })
+	clFast := NewClient(fastAddr, 2*time.Second)
+	clSlow := NewClient(slowAddr, 2*time.Second)
+	rc := NewAdaptiveReplicatedClient(0.95, clFast, clSlow)
+	defer rc.Close()
+	ctx := context.Background()
+
+	if err := rc.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.GetResult(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Value) != "v" {
+		t.Errorf("value %q", res.Value)
+	}
+	if res.Launched != 2 {
+		t.Errorf("cold adaptive read launched %d copies, want 2 (immediate fallback)", res.Launched)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := rc.Get(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := rc.GroupStats()
+	if !strings.Contains(s.Strategy, "adaptive-hedge") || !strings.Contains(s.Strategy, "p95") {
+		t.Errorf("GroupStats.Strategy = %q", s.Strategy)
+	}
+	warm := false
+	for _, r := range s.Replicas {
+		if r.Observations >= 16 && r.P95 > 0 && r.P50 <= r.P95 {
+			warm = true
+		}
+	}
+	if !warm {
+		t.Errorf("no replica digest warmed past MinSamples: %+v", s.Replicas)
+	}
+
+	// Strategies swap through the snapshot without disturbing reads.
+	rc.SetStrategy(core.FullReplicate{Selection: core.SelectRandom})
+	res, err = rc.GetResult(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("full replication launched %d copies", res.Launched)
+	}
+	if got := rc.GroupStats().Strategy; !strings.Contains(got, "full-replicate") {
+		t.Errorf("after SetStrategy: %q", got)
+	}
+}

@@ -1,0 +1,244 @@
+// Hedged variants of the replication queueing model: instead of
+// enqueueing k copies at arrival (queueing.Run), a second copy is
+// enqueued only if the first has not completed after a delay — fixed
+// (the caller guesses), adaptive (the client hedges at an observed
+// quantile of its own response times, the production form of the
+// paper's §3.2 strategy), or zero (full replication).
+//
+// Unlike Run's single-pass Lindley recurrence, hedge copies arrive
+// *later* than their request, interleaved with subsequent arrivals, so
+// this model runs on the discrete-event engine (internal/sim): arrival,
+// hedge-launch, and completion events execute in virtual-time order,
+// which keeps every server FCFS-correct and makes the adaptive client's
+// digest causal (it only ever reflects responses that have completed).
+//
+// As in Run, copies are NOT cancelled when a sibling completes (the
+// paper's worst case): every launched copy consumes its full service
+// time. The client-side latency digest is the same lock-free
+// core.LatDigest the production engine uses per replica.
+package queueing
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"redundancy/internal/core"
+	"redundancy/internal/dist"
+	"redundancy/internal/sim"
+	"redundancy/internal/stats"
+)
+
+// HedgeMode selects when the second copy of a request is enqueued.
+type HedgeMode int
+
+const (
+	// HedgeNone never launches a second copy (the k=1 baseline).
+	HedgeNone HedgeMode = iota
+	// HedgeFixed launches the second copy after a fixed, caller-guessed
+	// delay if the first has not completed.
+	HedgeFixed
+	// HedgeAdaptive launches the second copy when the elapsed time
+	// exceeds the client's observed response-time quantile, self-tuning
+	// as the digest fills.
+	HedgeAdaptive
+	// HedgeFull launches the second copy immediately (full replication,
+	// k=2).
+	HedgeFull
+)
+
+func (m HedgeMode) String() string {
+	switch m {
+	case HedgeNone:
+		return "none"
+	case HedgeFixed:
+		return "fixed"
+	case HedgeAdaptive:
+		return "adaptive"
+	case HedgeFull:
+		return "full"
+	default:
+		return fmt.Sprintf("HedgeMode(%d)", int(m))
+	}
+}
+
+// HedgedConfig describes one run of the hedged queueing model.
+type HedgedConfig struct {
+	// Servers is N, the number of identical FCFS servers.
+	Servers int
+	// Load is the base per-server utilization of the unreplicated
+	// system. The realized utilization is Load * (mean copies per
+	// request), so HedgeFull requires Load < 1/2.
+	Load float64
+	// Service is the service-time distribution (typically unit mean).
+	Service dist.Dist
+	// Mode selects the hedging scheme.
+	Mode HedgeMode
+	// FixedDelay is the hedge delay for HedgeFixed, in service-time
+	// units.
+	FixedDelay float64
+	// Quantile is the response-time quantile at which HedgeAdaptive
+	// launches the second copy (default 0.95).
+	Quantile float64
+	// MinSamples is how many responses the adaptive client observes
+	// before it starts hedging (default 100; until then it runs
+	// single-copy, the measurement phase).
+	MinSamples int
+	// Requests is the number of measured requests.
+	Requests int
+	// Warmup is the number of initial requests discarded while queues
+	// fill; defaults to Requests/10.
+	Warmup int
+	// Seed seeds all randomness.
+	Seed int64
+}
+
+// HedgedResult is the outcome of one hedged run.
+type HedgedResult struct {
+	// Sample holds the measured response times.
+	Sample *stats.Sample
+	// HedgeRate is the fraction of measured requests that launched a
+	// second copy (so mean copies per request is 1 + HedgeRate).
+	HedgeRate float64
+}
+
+func (c HedgedConfig) validate() error {
+	if c.Servers < 2 {
+		return fmt.Errorf("queueing: hedged model needs Servers >= 2, got %d", c.Servers)
+	}
+	if c.Service == nil {
+		return fmt.Errorf("queueing: Service distribution is required")
+	}
+	if c.Requests < 1 {
+		return fmt.Errorf("queueing: Requests must be >= 1, got %d", c.Requests)
+	}
+	maxLoad := 1.0
+	if c.Mode == HedgeFull {
+		maxLoad = 0.5
+	}
+	if c.Load <= 0 || c.Load >= maxLoad {
+		return fmt.Errorf("queueing: Load must be in (0, %g) for mode %s, got %g", maxLoad, c.Mode, c.Load)
+	}
+	if c.Mode == HedgeFixed && c.FixedDelay < 0 {
+		return fmt.Errorf("queueing: FixedDelay must be >= 0, got %g", c.FixedDelay)
+	}
+	return nil
+}
+
+// secPerUnit scales model time units onto the digest's nanosecond bins.
+// One service-time unit maps to one second: the digest's log-scale range
+// (1 ns to ~292 years) dwarfs any simulated latency, and its 12.5% bin
+// width is the only approximation introduced.
+const digestUnit = float64(time.Second)
+
+// RunHedged simulates the hedged model and returns the measured
+// response-time sample and the realized hedge rate.
+func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
+	if err := cfg.validate(); err != nil {
+		return HedgedResult{}, err
+	}
+	warmup := cfg.Warmup
+	if warmup == 0 {
+		warmup = cfg.Requests / 10
+	}
+	quantile := cfg.Quantile
+	if quantile <= 0 || quantile >= 1 {
+		quantile = 0.95
+	}
+	minSamples := cfg.MinSamples
+	if minSamples <= 0 {
+		minSamples = 100
+	}
+
+	// Separate streams, as in Run: the arrival process is identical
+	// across modes with the same seed, pairing comparison arms.
+	arrivals := rand.New(rand.NewSource(cfg.Seed))
+	work := rand.New(rand.NewSource(cfg.Seed ^ 0x5e3779b97f4a7c15))
+
+	meanS := cfg.Service.Mean()
+	lambda := cfg.Load * float64(cfg.Servers) / meanS
+
+	eng := sim.NewEngine(cfg.Seed)
+	lastDep := make([]float64, cfg.Servers)
+	sample := stats.NewSample(cfg.Requests)
+	var digest core.LatDigest
+	hedges := 0
+	total := warmup + cfg.Requests
+	issued := 0
+
+	// enqueue places one copy on server s at the current virtual time
+	// and returns its completion time (FCFS Lindley step). Events run in
+	// time order, so lastDep is always up to date when read.
+	enqueue := func(s int, svc float64) float64 {
+		start := eng.Now()
+		if lastDep[s] > start {
+			start = lastDep[s]
+		}
+		done := start + svc
+		lastDep[s] = done
+		return done
+	}
+
+	var arrive func()
+	arrive = func() {
+		i := issued
+		issued++
+		t := eng.Now()
+		s0 := work.Intn(cfg.Servers)
+		c0 := enqueue(s0, cfg.Service.Sample(work))
+
+		hedge := false
+		delay := 0.0
+		switch cfg.Mode {
+		case HedgeFull:
+			hedge = true
+		case HedgeFixed:
+			hedge, delay = true, cfg.FixedDelay
+		case HedgeAdaptive:
+			if digest.Count() >= int64(minSamples) {
+				if q, ok := digest.Quantile(quantile); ok {
+					hedge, delay = true, float64(q)/digestUnit
+				}
+			}
+		}
+
+		complete := func(resp float64, hedged bool) {
+			digest.Observe(time.Duration(resp * digestUnit))
+			if i >= warmup {
+				sample.Add(resp)
+				if hedged {
+					hedges++
+				}
+			}
+		}
+		if hedge && c0-t > delay {
+			// The second copy becomes visible to its server only at
+			// t+delay, after any earlier arrivals have enqueued there.
+			eng.At(t+delay, func() {
+				s1 := work.Intn(cfg.Servers - 1)
+				if s1 >= s0 {
+					s1++
+				}
+				c1 := enqueue(s1, cfg.Service.Sample(work))
+				done := c0
+				if c1 < done {
+					done = c1
+				}
+				eng.At(done, func() { complete(done-t, true) })
+			})
+		} else {
+			eng.At(c0, func() { complete(c0-t, false) })
+		}
+
+		if issued < total {
+			eng.After(arrivals.ExpFloat64()/lambda, arrive)
+		}
+	}
+	eng.After(arrivals.ExpFloat64()/lambda, arrive)
+	eng.Run()
+
+	return HedgedResult{
+		Sample:    sample,
+		HedgeRate: float64(hedges) / float64(cfg.Requests),
+	}, nil
+}

@@ -1,0 +1,131 @@
+package queueing
+
+import (
+	"testing"
+
+	"redundancy/internal/dist"
+)
+
+func TestRunHedgedValidation(t *testing.T) {
+	svc := dist.Exponential{MeanV: 1}
+	for _, cfg := range []HedgedConfig{
+		{Servers: 1, Load: 0.3, Service: svc, Requests: 100},                   // too few servers
+		{Servers: 10, Load: 0, Service: svc, Requests: 100},                    // zero load
+		{Servers: 10, Load: 0.6, Service: svc, Requests: 100, Mode: HedgeFull}, // unstable under 2x
+		{Servers: 10, Load: 0.3, Requests: 100},                                // no service dist
+		{Servers: 10, Load: 0.3, Service: svc},                                 // no requests
+		{Servers: 10, Load: 0.3, Service: svc, Requests: 100, Mode: HedgeFixed, FixedDelay: -1},
+	} {
+		if _, err := RunHedged(cfg); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+	}
+}
+
+func TestHedgeModeStrings(t *testing.T) {
+	for m, want := range map[HedgeMode]string{
+		HedgeNone: "none", HedgeFixed: "fixed", HedgeAdaptive: "adaptive", HedgeFull: "full",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+// TestHedgedBaselineMatchesLindley cross-checks the event-driven model
+// against the single-pass Lindley model on the cases they share: no
+// hedging vs Copies=1, and full replication vs Copies=2 (both enqueue
+// every copy at arrival and never cancel).
+func TestHedgedBaselineMatchesLindley(t *testing.T) {
+	svc := dist.Exponential{MeanV: 1}
+	for _, tc := range []struct {
+		mode   HedgeMode
+		copies int
+	}{
+		{HedgeNone, 1},
+		{HedgeFull, 2},
+	} {
+		got, err := RunHedged(HedgedConfig{
+			Servers: 20, Load: 0.3, Service: svc, Requests: 60000, Seed: 7, Mode: tc.mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MeanResponse(Config{
+			Servers: 20, Copies: tc.copies, Load: 0.3, Service: svc, Requests: 60000, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := got.Sample.Mean()
+		if m < want*0.9 || m > want*1.1 {
+			t.Errorf("%s: mean %.4g vs Lindley k=%d %.4g (>10%% apart)", tc.mode, m, tc.copies, want)
+		}
+	}
+}
+
+func TestHedgedFullAlwaysHedges(t *testing.T) {
+	res, err := RunHedged(HedgedConfig{
+		Servers: 10, Load: 0.2, Service: dist.Exponential{MeanV: 1},
+		Requests: 5000, Seed: 1, Mode: HedgeFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HedgeRate != 1 {
+		t.Errorf("full replication hedge rate %.3f, want 1", res.HedgeRate)
+	}
+}
+
+func TestHedgedAdaptiveRateTracksQuantile(t *testing.T) {
+	// By construction the adaptive client hedges on roughly (1 - p) of
+	// requests once warm: it fires exactly when the response would have
+	// exceeded the observed p-quantile.
+	res, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.3, Service: dist.Exponential{MeanV: 1},
+		Requests: 60000, Seed: 3, Mode: HedgeAdaptive, Quantile: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HedgeRate < 0.03 || res.HedgeRate > 0.25 {
+		t.Errorf("adaptive p90 hedge rate %.3f, want ~0.1", res.HedgeRate)
+	}
+	// And it must actually cut the tail relative to no hedging.
+	base, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.3, Service: dist.Exponential{MeanV: 1},
+		Requests: 60000, Seed: 3, Mode: HedgeNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sample.P99() >= base.Sample.P99() {
+		t.Errorf("adaptive p99 %.4g not below baseline p99 %.4g",
+			res.Sample.P99(), base.Sample.P99())
+	}
+}
+
+func TestHedgedFixedRateMatchesTail(t *testing.T) {
+	// With a fixed delay d, the hedge launches exactly when the primary
+	// response exceeds d, so the hedge rate equals the baseline's
+	// fraction of responses above d (approximately: hedging adds load).
+	base, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.3, Service: dist.Exponential{MeanV: 1},
+		Requests: 60000, Seed: 5, Mode: HedgeNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d = 3.0
+	frac := base.Sample.FractionAbove(d)
+	res, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.3, Service: dist.Exponential{MeanV: 1},
+		Requests: 60000, Seed: 5, Mode: HedgeFixed, FixedDelay: d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HedgeRate < frac*0.5 || res.HedgeRate > frac*2 {
+		t.Errorf("fixed-delay hedge rate %.4f vs baseline tail fraction %.4f", res.HedgeRate, frac)
+	}
+}

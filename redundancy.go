@@ -78,8 +78,46 @@ type GroupStats = core.GroupStats
 // ReplicaStats describes one replica in a GroupStats snapshot.
 type ReplicaStats = core.ReplicaStats
 
-// Policy controls how a Group replicates each operation.
+// Policy is the declarative form of the static replication strategy; it
+// converts to the equivalent Fixed strategy via Policy.Strategy.
 type Policy = core.Policy
+
+// Strategy decides, per operation, how a Group replicates: fan-out,
+// replica selection, and launch schedule. Built-in implementations are
+// Fixed, AdaptiveHedge, and FullReplicate; custom implementations can
+// consult the per-replica latency digests passed to Schedule.
+type Strategy = core.Strategy
+
+// Fixed is the static strategy: fixed fan-out, optional fixed hedge
+// delay (the classic Policy semantics).
+type Fixed = core.Fixed
+
+// AdaptiveHedge hedges when the elapsed time exceeds an observed
+// latency quantile of the previous copy's replica, self-tuning as the
+// per-replica digests fill.
+type AdaptiveHedge = core.AdaptiveHedge
+
+// FullReplicate launches every copy immediately (the paper's §2 full
+// replication).
+type FullReplicate = core.FullReplicate
+
+// Digests is the read-only view of selected replicas' latency digests a
+// Strategy's Schedule receives.
+type Digests = core.Digests
+
+// DigestList adapts a slice of digests to Digests, for testing custom
+// strategies.
+type DigestList = core.DigestList
+
+// LatDigest is a lock-free per-replica latency digest: EWMA mean plus a
+// log-scale histogram exposing quantiles.
+type LatDigest = core.LatDigest
+
+// Default AdaptiveHedge tuning.
+const (
+	DefaultHedgeQuantile   = core.DefaultHedgeQuantile
+	DefaultHedgeMinSamples = core.DefaultHedgeMinSamples
+)
 
 // Selection chooses which replicas serve an operation.
 type Selection = core.Selection
@@ -138,6 +176,19 @@ func NewGroup[T any](policy Policy, opts ...GroupOption[T]) *Group[T] {
 // NewKeyedGroup creates a KeyedGroup with the given policy.
 func NewKeyedGroup[K, T any](policy Policy, opts ...KeyedGroupOption[K, T]) *KeyedGroup[K, T] {
 	return core.NewKeyedGroup(policy, opts...)
+}
+
+// NewStrategyGroup creates a Group with the given replication strategy
+// (e.g. AdaptiveHedge or FullReplicate; use NewGroup for the classic
+// Policy form).
+func NewStrategyGroup[T any](s Strategy, opts ...GroupOption[T]) *Group[T] {
+	return core.NewStrategyGroup[T](s, opts...)
+}
+
+// NewStrategyKeyedGroup creates a KeyedGroup with the given replication
+// strategy.
+func NewStrategyKeyedGroup[K, T any](s Strategy, opts ...KeyedGroupOption[K, T]) *KeyedGroup[K, T] {
+	return core.NewStrategyKeyedGroup[K, T](s, opts...)
 }
 
 // WithBudget attaches a hedging budget to a Group.

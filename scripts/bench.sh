@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — run the core hot-path benchmarks and emit BENCH_core.json,
+# a machine-readable {benchmark: {ns_op, b_op, allocs_op}} map so the
+# performance trajectory is comparable across PRs.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_core.json)
+#
+# Each benchmark runs 3 times at -benchtime 1s; the recorded figure is
+# the fastest run (least scheduler noise), matching common benchstat
+# practice for single-number summaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_core.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkCore' -benchtime 1s -count 3 . | tee "$raw"
+
+awk '
+/^BenchmarkCore/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+    ns = ""; b = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") b = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    # Keep the fastest of the -count runs.
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; bb[name] = b; aa[name] = allocs
+        if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+    }
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}%s\n", \
+            name, best[name], bb[name] == "" ? "null" : bb[name], \
+            aa[name] == "" ? "null" : aa[name], i < n ? "," : ""
+    }
+    printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"
