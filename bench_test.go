@@ -193,6 +193,27 @@ func BenchmarkCoreGroupDoParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreGroupDoQuorum measures the quorum path of the unified
+// call engine: same group as BenchmarkCoreGroupDo, but each call waits
+// for 2 successes and collects per-copy outcomes.
+func BenchmarkCoreGroupDoQuorum(b *testing.B) {
+	g := redundancy.NewGroup[int](redundancy.Policy{Copies: 3, Selection: redundancy.SelectRandom},
+		redundancy.WithSeed[int](1))
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 2, nil })
+	g.Add("c", func(ctx context.Context) (int, error) { return 3, nil })
+	ctx := context.Background()
+	var outs []redundancy.Outcome[int]
+	opts := []redundancy.CallOption{redundancy.WithQuorum(2), redundancy.WithCollectOutcomes(&outs)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Do(ctx, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCoreHedgedFastPrimary(b *testing.B) {
 	fast := func(ctx context.Context) (int, error) { return 1, nil }
 	ctx := context.Background()
@@ -208,3 +229,4 @@ func BenchmarkCoreHedgedFastPrimary(b *testing.B) {
 func BenchmarkAblationFatTree(b *testing.B)  { benchFig(b, "ablfattree", 0.05) }
 func BenchmarkAblationQueueing(b *testing.B) { benchFig(b, "ablqueueing", 0.05) }
 func BenchmarkAblationHedging(b *testing.B)  { benchFig(b, "ablhedge", 0.05) }
+func BenchmarkAblationQuorum(b *testing.B)   { benchFig(b, "ablquorum", 0.05) }

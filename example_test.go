@@ -92,6 +92,41 @@ func ExampleAdaptiveHedge() {
 	// Output: fast 2 adaptive-hedge(k=2, p95, ranked)
 }
 
+// Per-call options tune one operation over a shared group: a quorum read
+// waits for 2-of-3 agreement and collects each voter's outcome, while
+// every other caller keeps first-response semantics.
+func ExampleWithQuorum() {
+	g := redundancy.NewGroup[int](redundancy.Policy{Copies: 3})
+	g.Add("a", func(ctx context.Context) (int, error) { return 42, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 42, nil })
+	g.Add("c", func(ctx context.Context) (int, error) {
+		select { // a straggler the quorum does not wait for
+		case <-time.After(time.Second):
+			return 42, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	})
+
+	var outs []redundancy.Outcome[int]
+	res, err := g.Do(context.Background(),
+		redundancy.WithQuorum(2),
+		redundancy.WithCollectOutcomes(&outs),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	wins := 0
+	for _, o := range outs {
+		if o.Err == nil {
+			wins++
+		}
+	}
+	fmt.Println(res.Value, wins)
+	// Output: 42 2
+}
+
 // A Group tracks per-replica latency and replicates each operation to the
 // k best replicas, as the paper's DNS experiment does.
 func ExampleGroup() {

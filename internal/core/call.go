@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file is the single request execution engine behind every way of
+// performing a redundant operation: the free functions First, Hedged,
+// HedgedSchedule, Quorum, and All are thin shims over call, and
+// Group.Do/KeyedGroup.Do drive it with the per-call options assembled
+// from CallOptions. One engine means every completion rule (first wins,
+// R-of-N quorum, run-everything) composes with every launch schedule
+// (all at once, fixed hedge, adaptive hedge) and shares one error
+// taxonomy.
+
+// ReplicaError describes one replica's failure within a redundant
+// operation. Errors from a failed operation are joined with errors.Join,
+// so errors.As(&ReplicaError{}) recovers the first per-replica detail and
+// errors.Is reaches every underlying cause.
+type ReplicaError struct {
+	// Name is the replica's registration name; empty for the free
+	// functions, whose replicas are anonymous.
+	Name string
+	// Attempt is the copy's launch index within the operation (0 is the
+	// primary).
+	Attempt int
+	// Err is the replica's error.
+	Err error
+}
+
+// Error implements error. For anonymous replicas the format is
+// "replica <attempt>: <err>" (the historical format of First and Quorum);
+// named replicas include the name.
+func (e ReplicaError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("replica %s (copy %d): %v", e.Name, e.Attempt, e.Err)
+	}
+	return fmt.Sprintf("replica %d: %v", e.Attempt, e.Err)
+}
+
+// Unwrap returns the underlying replica error.
+func (e ReplicaError) Unwrap() error { return e.Err }
+
+// ErrQuorumUnreachable reports that an operation's quorum cannot be (or
+// could not be) met: too many replicas failed, or the requested quorum
+// exceeds the replica set. Match it with errors.Is; errors.As into a
+// *QuorumError recovers the partial outcomes.
+var ErrQuorumUnreachable = errors.New("redundancy: quorum unreachable")
+
+// QuorumError is the failure of a quorum (q > 1) call. It carries the
+// partial outcomes — every copy that completed, success or failure, in
+// completion order — so callers can salvage reads that reached some but
+// not all replicas. errors.Is(err, ErrQuorumUnreachable) matches it, and
+// errors.Is also reaches each replica's underlying error through the
+// joined ReplicaErrors in Err.
+type QuorumError[T any] struct {
+	// Need is the required number of successes; Wins is how many arrived.
+	Need, Wins int
+	// Outcomes are the completed copies' outcomes in completion order.
+	Outcomes []Outcome[T]
+	// Err is the joined per-replica failure detail.
+	Err error
+}
+
+// Error implements error.
+func (e *QuorumError[T]) Error() string {
+	return fmt.Sprintf("redundancy: quorum %d unreachable (%d succeeded): %v", e.Need, e.Wins, e.Err)
+}
+
+// Unwrap exposes both the ErrQuorumUnreachable sentinel and the joined
+// replica errors to errors.Is/errors.As.
+func (e *QuorumError[T]) Unwrap() []error { return []error{ErrQuorumUnreachable, e.Err} }
+
+// callSpec is one operation's execution plan, assembled by the shims and
+// by Group.Do.
+type callSpec[T any] struct {
+	// n is the number of copies that may launch.
+	n int
+	// quorum is the number of successes that completes the operation;
+	// values below 1 mean 1 (first response wins).
+	quorum int
+	// delays staggers launches: copy i launches delays[i] after copy i-1
+	// (delays[0] is ignored; the first copy always starts immediately).
+	// A non-positive delay launches its copy immediately, without a timer
+	// round-trip. nil launches every copy at once.
+	delays []time.Duration
+	// waitAll runs every copy to completion: no cancellation of losers,
+	// no early return on quorum or on failures (the measurement mode
+	// behind All).
+	waitAll bool
+	// run performs copy i. Errors it returns are wrapped in ReplicaError
+	// unless they already are one (Group wraps with the replica's name).
+	run func(ctx context.Context, i int) (T, error)
+	// collect, when non-nil, is reset to length zero and then appended
+	// with every completed copy's outcome (success and failure alike) in
+	// completion order. Copies cancelled before completing do not appear.
+	collect *[]Outcome[T]
+}
+
+// call executes one redundant operation. It returns the operation's
+// Result — Value/Index are the first success, Latency is the time to
+// completion (the quorum-th success), Launched the copies started — or,
+// on failure, the joined ReplicaErrors (quorum 1) or a *QuorumError
+// (quorum > 1). A call never leaks goroutines: losers are cancelled
+// through ctx and always deliver into a buffered channel.
+func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
+	var zero Result[T]
+	n := sp.n
+	if n == 0 {
+		return zero, ErrNoReplicas
+	}
+	q := sp.quorum
+	if q < 1 {
+		q = 1
+	}
+	if q > n {
+		return zero, fmt.Errorf("redundancy: quorum %d of %d replicas: %w", q, n, ErrQuorumUnreachable)
+	}
+	start := time.Now()
+	if !sp.waitAll {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+
+	// Buffered so losers can always deliver and exit: no goroutine leaks.
+	results := make(chan indexed[T], n)
+	launch := func(i int) {
+		go func() {
+			v, err := sp.run(ctx, i)
+			results <- indexed[T]{val: v, err: err, idx: i}
+		}()
+	}
+
+	launched := 0
+	if sp.delays == nil {
+		for i := 0; i < n; i++ {
+			launch(i)
+		}
+		launched = n
+	} else {
+		// Copy 0 always starts immediately; so does every consecutive
+		// copy whose delay is non-positive (a zero hedge delay means full
+		// replication, not a timer round-trip).
+		launch(0)
+		launched = 1
+		for launched < n && sp.delays[launched] <= 0 {
+			launch(launched)
+			launched++
+		}
+	}
+
+	collect := sp.collect
+	if collect == nil && q > 1 {
+		// Quorum failures carry partial outcomes even when the caller
+		// did not ask to collect them.
+		var local []Outcome[T]
+		collect = &local
+	}
+	if collect != nil {
+		*collect = (*collect)[:0]
+	}
+
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	if sp.delays != nil && launched < n {
+		timer = time.NewTimer(sp.delays[launched])
+		timerC = timer.C
+	}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	var ctxDone <-chan struct{}
+	if !sp.waitAll {
+		ctxDone = ctx.Done()
+	}
+
+	var (
+		errs     []error
+		wins     int
+		firstVal T
+		firstIdx int
+		done     int
+	)
+	for {
+		select {
+		case r := <-results:
+			done++
+			if r.err != nil {
+				if _, ok := r.err.(ReplicaError); !ok {
+					r.err = ReplicaError{Attempt: r.idx, Err: r.err}
+				}
+				errs = append(errs, r.err)
+			}
+			if collect != nil {
+				*collect = append(*collect, Outcome[T]{
+					Value: r.val, Err: r.err, Index: r.idx, Latency: time.Since(start),
+				})
+			}
+			if r.err == nil {
+				wins++
+				if wins == 1 {
+					firstVal, firstIdx = r.val, r.idx
+				}
+				if !sp.waitAll && wins == q {
+					return Result[T]{
+						Value:    firstVal,
+						Index:    firstIdx,
+						Latency:  time.Since(start),
+						Launched: launched,
+					}, nil
+				}
+			} else if !sp.waitAll && len(errs) > n-q {
+				// Too few replicas remain for the quorum; fail now rather
+				// than waiting out the stragglers.
+				return callFailed(q, wins, launched, errs, collect)
+			}
+			if done == n {
+				if wins >= q {
+					// waitAll completion (a non-waitAll call returned at
+					// the quorum-th success above).
+					return Result[T]{
+						Value:    firstVal,
+						Index:    firstIdx,
+						Latency:  time.Since(start),
+						Launched: launched,
+					}, nil
+				}
+				return callFailed(q, wins, launched, errs, collect)
+			}
+			if done == launched && launched < n && (sp.waitAll || wins < q) {
+				// Every outstanding copy has completed and the operation
+				// is not done: launch the next copy immediately rather
+				// than waiting out its hedge delay.
+				if timer != nil {
+					timer.Stop()
+				}
+				launch(launched)
+				launched++
+				for launched < n && sp.delays != nil && sp.delays[launched] <= 0 {
+					launch(launched)
+					launched++
+				}
+				if sp.delays != nil && launched < n {
+					timer = time.NewTimer(sp.delays[launched])
+					timerC = timer.C
+				} else {
+					timerC = nil
+				}
+			}
+		case <-timerC:
+			launch(launched)
+			launched++
+			for launched < n && sp.delays[launched] <= 0 {
+				launch(launched)
+				launched++
+			}
+			if launched < n {
+				timer = time.NewTimer(sp.delays[launched])
+				timerC = timer.C
+			} else {
+				timerC = nil
+			}
+		case <-ctxDone:
+			return Result[T]{Launched: launched}, ctx.Err()
+		}
+	}
+}
+
+// callFailed builds a failed call's result: for quorum 1 the joined
+// ReplicaErrors (the historical First/Hedged contract), for larger
+// quorums a *QuorumError carrying the partial outcomes. Launched is
+// reported even on failure: budget accounting and observers need the
+// real fan-out.
+func callFailed[T any](q, wins, launched int, errs []error, collect *[]Outcome[T]) (Result[T], error) {
+	joined := errors.Join(errs...)
+	if q == 1 {
+		return Result[T]{Launched: launched}, joined
+	}
+	var outs []Outcome[T]
+	if collect != nil {
+		// Clone: the error may outlive the caller's sink, which a retry
+		// through the same WithCollectOutcomes resets and refills.
+		outs = append(outs, *collect...)
+	}
+	return Result[T]{Launched: launched}, &QuorumError[T]{Need: q, Wins: wins, Outcomes: outs, Err: joined}
+}

@@ -1,0 +1,720 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- Zero / negative hedge delays launch immediately (no timer). ---
+
+func TestHedgedZeroDelayLaunchesAllImmediately(t *testing.T) {
+	// A zero delay means full replication: the hedge must win long before
+	// any timer tick could have fired against the stuck primary.
+	start := time.Now()
+	res, err := Hedged(context.Background(), 0,
+		sleeper("stuck", time.Hour),
+		sleeper("hedge", time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "hedge" {
+		t.Errorf("got %q, want hedge", res.Value)
+	}
+	if res.Launched != 2 {
+		t.Errorf("Launched = %d, want 2 (zero delay launches both)", res.Launched)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("zero-delay hedge took %v", elapsed)
+	}
+}
+
+func TestHedgedNegativeDelayLaunchesAllImmediately(t *testing.T) {
+	res, err := Hedged(context.Background(), -time.Second,
+		sleeper("stuck", time.Hour),
+		sleeper("hedge", time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "hedge" || res.Launched != 2 {
+		t.Errorf("res = %+v, want hedge with 2 launched", res)
+	}
+}
+
+func TestHedgedScheduleZeroPrefixLaunchesTogether(t *testing.T) {
+	// Copies 0 and 1 share a zero delay and must launch together; copy 2
+	// sits behind a delay no test should ever wait out.
+	var launches atomic.Int32
+	mk := func(v string, d time.Duration) Replica[string] {
+		inner := sleeper(v, d)
+		return func(ctx context.Context) (string, error) {
+			launches.Add(1)
+			return inner(ctx)
+		}
+	}
+	res, err := HedgedSchedule(context.Background(),
+		[]time.Duration{0, 0, time.Hour},
+		mk("stuck", time.Hour),
+		mk("fast", time.Millisecond),
+		mk("never", time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "fast" {
+		t.Errorf("got %q, want fast", res.Value)
+	}
+	if res.Launched != 2 {
+		t.Errorf("Launched = %d, want 2 (zero-delay prefix, hour-delayed tail)", res.Launched)
+	}
+	if n := launches.Load(); n != 2 {
+		t.Errorf("launched %d copies, want 2", n)
+	}
+}
+
+func TestHedgedScheduleZeroDelayAfterTimer(t *testing.T) {
+	// A zero entry behind a timed entry launches together with it once
+	// the timer fires: schedule {_, 5ms, 0} must start copies 1 and 2 at
+	// the same time.
+	res, err := HedgedSchedule(context.Background(),
+		[]time.Duration{0, 5 * time.Millisecond, 0},
+		sleeper("stuck", time.Hour),
+		sleeper("slow-hedge", time.Hour),
+		sleeper("fast-hedge", time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "fast-hedge" || res.Index != 2 {
+		t.Errorf("got %q from %d, want fast-hedge/2", res.Value, res.Index)
+	}
+	if res.Launched != 3 {
+		t.Errorf("Launched = %d, want 3", res.Launched)
+	}
+}
+
+// --- Typed errors. ---
+
+func TestFirstErrorsAreReplicaErrors(t *testing.T) {
+	cause := errors.New("boom")
+	_, err := First(context.Background(),
+		failer[int](cause, time.Millisecond),
+		failer[int](cause, time.Millisecond),
+	)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var re ReplicaError
+	if !errors.As(err, &re) {
+		t.Fatalf("errors.As(ReplicaError) failed on %v", err)
+	}
+	if re.Name != "" || !errors.Is(re.Err, cause) {
+		t.Errorf("ReplicaError = %+v", re)
+	}
+}
+
+func TestGroupDoErrorsCarryReplicaNames(t *testing.T) {
+	cause := errors.New("down")
+	g := NewGroup[int](Policy{Copies: 2})
+	g.Add("alpha", failer[int](cause, time.Millisecond))
+	g.Add("beta", failer[int](cause, time.Millisecond))
+	_, err := g.Do(context.Background())
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var re ReplicaError
+	if !errors.As(err, &re) {
+		t.Fatalf("errors.As(ReplicaError) failed on %v", err)
+	}
+	if re.Name != "alpha" && re.Name != "beta" {
+		t.Errorf("ReplicaError.Name = %q, want a replica name", re.Name)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("joined error lost the cause: %v", err)
+	}
+}
+
+func TestReplicaErrorFormat(t *testing.T) {
+	e := ReplicaError{Attempt: 3, Err: errors.New("x")}
+	if got := e.Error(); got != "replica 3: x" {
+		t.Errorf("anonymous format %q", got)
+	}
+	e.Name = "kv-1"
+	if got := e.Error(); got != "replica kv-1 (copy 3): x" {
+		t.Errorf("named format %q", got)
+	}
+}
+
+// --- WithQuorum on the group path. ---
+
+func TestGroupDoQuorumCollectsWins(t *testing.T) {
+	g := NewGroup[string](Policy{Copies: 3})
+	g.Add("a", sleeper("a", time.Millisecond))
+	g.Add("b", sleeper("b", 5*time.Millisecond))
+	g.Add("c", sleeper("c", 300*time.Millisecond))
+	var outs []Outcome[string]
+	res, err := g.Do(context.Background(), WithQuorum(2), WithCollectOutcomes(&outs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "a" {
+		t.Errorf("winner %q, want the first success a", res.Value)
+	}
+	wins := 0
+	for _, o := range outs {
+		if o.Err == nil {
+			wins++
+		}
+	}
+	if wins != 2 {
+		t.Errorf("collected %d wins, want 2", wins)
+	}
+	if res.Latency > 200*time.Millisecond {
+		t.Errorf("quorum of 2 waited for the slow replica: %v", res.Latency)
+	}
+}
+
+func TestGroupDoQuorumRaisesFanout(t *testing.T) {
+	// The group's strategy says one copy; a quorum of 2 must still launch
+	// two.
+	g := NewGroup[int](Policy{Copies: 1})
+	g.Add("a", sleeper(1, time.Millisecond))
+	g.Add("b", sleeper(2, time.Millisecond))
+	res, err := g.Do(context.Background(), WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("Launched = %d, want 2 (quorum outranks fan-out)", res.Launched)
+	}
+}
+
+func TestGroupDoQuorumUnreachable(t *testing.T) {
+	cause := errors.New("down")
+	g := NewGroup[int](Policy{Copies: 3})
+	g.Add("a", sleeper(1, time.Millisecond))
+	g.Add("b", failer[int](cause, time.Millisecond))
+	g.Add("c", failer[int](cause, time.Millisecond))
+	_, err := g.Do(context.Background(), WithQuorum(2))
+	if err == nil {
+		t.Fatal("2-of-3 with 2 failures must error")
+	}
+	if !errors.Is(err, ErrQuorumUnreachable) {
+		t.Errorf("errors.Is(ErrQuorumUnreachable) false: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("cause lost: %v", err)
+	}
+	var qe *QuorumError[int]
+	if !errors.As(err, &qe) {
+		t.Fatalf("errors.As(*QuorumError) failed on %v", err)
+	}
+	if qe.Need != 2 {
+		t.Errorf("Need = %d, want 2", qe.Need)
+	}
+	if len(qe.Outcomes) == 0 {
+		t.Error("QuorumError carries no partial outcomes")
+	}
+	var re ReplicaError
+	if !errors.As(err, &re) || re.Name == "" {
+		t.Errorf("per-replica detail missing: %+v", re)
+	}
+}
+
+func TestGroupDoQuorumExceedsReplicas(t *testing.T) {
+	g := NewGroup[int](Policy{Copies: 1})
+	g.Add("a", sleeper(1, time.Millisecond))
+	_, err := g.Do(context.Background(), WithQuorum(2))
+	if !errors.Is(err, ErrQuorumUnreachable) {
+		t.Errorf("quorum 2 of 1: got %v, want ErrQuorumUnreachable", err)
+	}
+}
+
+// --- Strategy override, fan-out cap, label, sink type check. ---
+
+func TestGroupDoStrategyOverride(t *testing.T) {
+	g := NewGroup[int](Policy{Copies: 1})
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+	}
+	res, err := g.Do(context.Background(), WithStrategyOverride(FullReplicate{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 3 {
+		t.Errorf("override to full replication launched %d, want 3", res.Launched)
+	}
+	// The group's installed strategy is untouched.
+	if got := g.Stats().Policy.Copies; got != 1 {
+		t.Errorf("group policy mutated: Copies = %d, want 1", got)
+	}
+	res, err = g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 1 {
+		t.Errorf("subsequent plain Do launched %d, want 1", res.Launched)
+	}
+}
+
+func TestGroupDoFanoutCap(t *testing.T) {
+	g := NewGroup[int](Policy{Copies: 3})
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+	}
+	res, err := g.Do(context.Background(), WithFanoutCap(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 1 {
+		t.Errorf("capped call launched %d, want 1", res.Launched)
+	}
+	// Quorum outranks the cap.
+	res, err = g.Do(context.Background(), WithFanoutCap(1), WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("quorum under cap launched %d, want 2", res.Launched)
+	}
+}
+
+func TestGroupDoLabelReachesObserver(t *testing.T) {
+	c := NewCounters()
+	g := NewGroup[int](Policy{Copies: 1}, WithObserver[int](c))
+	g.Add("a", sleeper(1, time.Millisecond))
+	for i := 0; i < 3; i++ {
+		if _, err := g.Do(context.Background(), WithLabel("checkout")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.Do(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LabelOps("checkout"); got != 3 {
+		t.Errorf("LabelOps(checkout) = %d, want 3", got)
+	}
+	if got := c.LabelOps("unknown"); got != 0 {
+		t.Errorf("LabelOps(unknown) = %d, want 0", got)
+	}
+	if c.Ops() != 4 {
+		t.Errorf("Ops = %d, want 4", c.Ops())
+	}
+	labels := c.Labels()
+	if len(labels) != 1 || labels[0].Label != "checkout" || labels[0].Ops != 3 {
+		t.Errorf("Labels() = %+v", labels)
+	}
+	if _, ok := c.LabelLatencyQuantile("checkout", 0.5); !ok {
+		t.Error("labeled latency digest empty")
+	}
+	if d := c.LabelLatencyDigest("checkout"); d == nil || d.Count() != 3 {
+		t.Errorf("LabelLatencyDigest = %v", d)
+	}
+}
+
+func TestGroupDoCollectSinkTypeMismatch(t *testing.T) {
+	g := NewGroup[int](Policy{Copies: 1})
+	g.Add("a", sleeper(1, time.Millisecond))
+	var wrong []Outcome[string]
+	_, err := g.Do(context.Background(), WithCollectOutcomes(&wrong))
+	if err == nil {
+		t.Fatal("mismatched sink type accepted")
+	}
+}
+
+func TestGroupDoCollectSinkReset(t *testing.T) {
+	g := NewGroup[int](Policy{Copies: 1})
+	g.Add("a", sleeper(1, time.Millisecond))
+	outs := make([]Outcome[int], 5) // stale entries must not survive
+	if _, err := g.Do(context.Background(), WithCollectOutcomes(&outs)); err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Errorf("sink has %d entries, want 1 (reset before collection)", len(outs))
+	}
+}
+
+// --- Budget accounting for quorum calls. ---
+
+// scheduleStrategy is a test strategy with an explicit launch schedule.
+type scheduleStrategy struct {
+	copies int
+	sched  []time.Duration
+}
+
+func (s scheduleStrategy) Fanout() (int, Selection) { return s.copies, SelectRanked }
+func (s scheduleStrategy) Schedule(Digests) []time.Duration {
+	return append([]time.Duration(nil), s.sched...)
+}
+func (s scheduleStrategy) String() string { return "test-schedule" }
+
+func TestGroupDoQuorumBudgetRefundsUnlaunched(t *testing.T) {
+	// 3 copies, quorum 2, schedule {0, 0, 1h}: the two quorum copies
+	// launch immediately and succeed, so the third (the only budgeted
+	// hedge) never launches and its token must come back — exactly once.
+	b := NewBudget(0, 1)
+	g := NewStrategyGroup[int](
+		scheduleStrategy{copies: 3, sched: []time.Duration{0, 0, time.Hour}},
+		WithBudget[int](b),
+	)
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+	}
+	res, err := g.Do(context.Background(), WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Fatalf("Launched = %d, want 2 (third copy behind 1h delay)", res.Launched)
+	}
+	if got := b.Available(); got != 1 {
+		t.Errorf("budget after refund = %d, want 1 (unlaunched hedge refunded once)", got)
+	}
+}
+
+func TestGroupDoQuorumBudgetConsumedWhenLaunched(t *testing.T) {
+	// Same shape, but the hedge launches immediately: its token is spent.
+	b := NewBudget(0, 1)
+	g := NewStrategyGroup[int](
+		scheduleStrategy{copies: 3, sched: []time.Duration{0, 0, 0}},
+		WithBudget[int](b),
+	)
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+	}
+	res, err := g.Do(context.Background(), WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 3 {
+		t.Fatalf("Launched = %d, want 3", res.Launched)
+	}
+	if got := b.Available(); got != 0 {
+		t.Errorf("budget = %d, want 0 (launched hedge consumes its token)", got)
+	}
+}
+
+func TestGroupDoQuorumBudgetExhaustedDegradesToQuorum(t *testing.T) {
+	// An empty budget must not cut the fan-out below the quorum: the q
+	// copies are mandatory, only hedges beyond them are budgeted.
+	b := NewBudget(0, 1)
+	if got := b.Acquire(1); got != 1 { // drain it
+		t.Fatalf("drain: %d", got)
+	}
+	g := NewGroup[int](Policy{Copies: 3}, WithBudget[int](b))
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+	}
+	res, err := g.Do(context.Background(), WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("Launched = %d, want 2 (quorum copies exempt from budget)", res.Launched)
+	}
+}
+
+func TestGroupDoQuorumBudgetAccountingUnderConcurrency(t *testing.T) {
+	// Hammer a budgeted quorum group from many goroutines; afterwards the
+	// bucket must hold exactly its burst again (every acquired token was
+	// either consumed by a launched copy — and the rate refill is zero, so
+	// consumption is visible — or refunded exactly once). All copies
+	// launch immediately here, so tokens are consumed, and with rate 0 the
+	// final Available is burst - consumed + refunded; using an all-zero
+	// schedule every granted token is consumed, so we instead check the
+	// invariant that Available never exceeds burst and never goes
+	// negative.
+	const burst = 4
+	b := NewBudget(0, burst)
+	g := NewStrategyGroup[int](
+		scheduleStrategy{copies: 3, sched: []time.Duration{0, 0, time.Hour}},
+		WithBudget[int](b),
+	)
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Microsecond))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				g.Do(context.Background(), WithQuorum(2))
+			}
+		}()
+	}
+	wg.Wait()
+	// Every hedge sat behind a 1h delay and never launched, so every
+	// granted token was refunded: the bucket must be exactly full.
+	if got := b.Available(); got != burst {
+		t.Errorf("budget after churn = %d, want %d (refund exactly once per call)", got, burst)
+	}
+}
+
+// --- Option matrix under replica churn (run with -race). ---
+
+func TestGroupDoOptionMatrixUnderChurn(t *testing.T) {
+	g := NewGroup[int](Policy{Copies: 2}, WithBudget[int](NewBudget(1e6, 64)))
+	var names []string
+	for i := 0; i < 6; i++ {
+		i := i
+		name := fmt.Sprintf("r%d", i)
+		names = append(names, name)
+		g.Add(name, sleeper(i, time.Microsecond))
+	}
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := names[rng.Intn(len(names))]
+			if g.Remove(name) {
+				g.Add(name, sleeper(0, time.Microsecond))
+			}
+			if i%7 == 0 {
+				g.SetStrategy(AdaptiveHedge{Copies: 2})
+			} else if i%5 == 0 {
+				g.SetPolicy(Policy{Copies: 2})
+			}
+		}
+	}()
+	options := [][]CallOption{
+		nil,
+		{WithQuorum(2)},
+		{WithStrategyOverride(FullReplicate{})},
+		{WithStrategyOverride(Fixed{Copies: 3, HedgeDelay: time.Microsecond})},
+		{WithQuorum(2), WithStrategyOverride(FullReplicate{}), WithLabel("matrix")},
+		{WithFanoutCap(1)},
+		{WithQuorum(3), WithFanoutCap(2)},
+	}
+	var workers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			var outs []Outcome[int]
+			for i := 0; i < 200; i++ {
+				opts := options[(i+w)%len(options)]
+				if i%11 == 0 {
+					opts = append(append([]CallOption(nil), opts...), WithCollectOutcomes(&outs))
+				}
+				_, err := g.Do(context.Background(), opts...)
+				// Membership churn can make any quorum temporarily
+				// unsatisfiable; only those errors are expected.
+				if err != nil && !errors.Is(err, ErrQuorumUnreachable) && !errors.Is(err, ErrNoReplicas) {
+					t.Errorf("Do: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	churn.Wait()
+}
+
+// --- Shim equivalence: the free functions against seed semantics. ---
+
+func TestShimEquivalenceFirstMatchesGroupSingleCall(t *testing.T) {
+	// First and a full-replicating Group.Do over the same replicas must
+	// pick the same winner and launch the same number of copies.
+	mk := func() []Replica[string] {
+		return []Replica[string]{
+			sleeper("slow", 100*time.Millisecond),
+			sleeper("fast", time.Millisecond),
+			sleeper("mid", 50*time.Millisecond),
+		}
+	}
+	res1, err := First(context.Background(), mk()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewStrategyGroup[string](FullReplicate{})
+	for i, r := range mk() {
+		g.Add(fmt.Sprintf("r%d", i), r)
+	}
+	res2, err := g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Value != res2.Value || res1.Launched != res2.Launched {
+		t.Errorf("First = %+v, Group.Do = %+v", res1, res2)
+	}
+}
+
+func TestShimEquivalenceQuorumMatchesGroupWithQuorum(t *testing.T) {
+	mkFree := func() []Replica[int] {
+		return []Replica[int]{
+			sleeper(0, time.Millisecond),
+			sleeper(1, 5*time.Millisecond),
+			sleeper(2, 200*time.Millisecond),
+		}
+	}
+	outs, err := Quorum(context.Background(), 2, mkFree()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewStrategyGroup[int](FullReplicate{})
+	for i, r := range mkFree() {
+		g.Add(fmt.Sprintf("r%d", i), r)
+	}
+	var gouts []Outcome[int]
+	if _, err := g.Do(context.Background(), WithQuorum(2), WithCollectOutcomes(&gouts)); err != nil {
+		t.Fatal(err)
+	}
+	wins := func(os []Outcome[int]) (vals []int) {
+		for _, o := range os {
+			if o.Err == nil {
+				vals = append(vals, o.Value)
+			}
+		}
+		return
+	}
+	w1, w2 := wins(outs), wins(gouts)
+	if len(w1) != 2 || len(w2) != 2 || w1[0] != w2[0] || w1[1] != w2[1] {
+		t.Errorf("free quorum wins %v, group quorum wins %v", w1, w2)
+	}
+}
+
+func TestShimEquivalenceErrorTexts(t *testing.T) {
+	// The historical error formats callers may have matched on.
+	e1 := errors.New("first bad")
+	_, err := First(context.Background(), failer[int](e1, time.Millisecond))
+	if err == nil || err.Error() != "replica 0: first bad" {
+		t.Errorf("First error text %q", err)
+	}
+	if _, err := Quorum(context.Background(), 0, sleeper(1, 0)); err == nil ||
+		err.Error() != "redundancy: quorum 0 of 1 replicas" {
+		t.Errorf("Quorum validation text %q", err)
+	}
+	// q > n is the unreachable taxonomy, like Group.Do.
+	if _, err := Quorum(context.Background(), 3, sleeper(1, 0), sleeper(2, 0)); !errors.Is(err, ErrQuorumUnreachable) {
+		t.Errorf("Quorum q > n: got %v, want ErrQuorumUnreachable", err)
+	}
+}
+
+func TestQuorumUnreachableIsTyped(t *testing.T) {
+	e := errors.New("down")
+	_, err := Quorum(context.Background(), 2,
+		failer[int](e, time.Millisecond),
+		failer[int](e, time.Millisecond),
+		sleeper(1, 5*time.Millisecond),
+	)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, ErrQuorumUnreachable) {
+		t.Errorf("free Quorum failure not typed: %v", err)
+	}
+	var qe *QuorumError[int]
+	if !errors.As(err, &qe) {
+		t.Fatalf("errors.As(*QuorumError) failed: %v", err)
+	}
+	if len(qe.Outcomes) < 2 {
+		t.Errorf("partial outcomes = %d, want >= 2", len(qe.Outcomes))
+	}
+}
+
+func TestGroupDoQuorumCopiesLaunchImmediately(t *testing.T) {
+	// The quorum copies are mandatory, so a hedging strategy must not
+	// serialize them: under Fixed{HedgeDelay: 1h} a quorum-2 call still
+	// launches both quorum copies at once and completes fast, while the
+	// third (true hedge) copy stays behind its delay.
+	g := NewGroup[int](Policy{Copies: 3, HedgeDelay: time.Hour})
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+	}
+	start := time.Now()
+	res, err := g.Do(context.Background(), WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("Launched = %d, want 2 (quorum copies immediate, hedge delayed)", res.Launched)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("quorum copies were serialized behind the hedge delay: %v", elapsed)
+	}
+}
+
+func TestQuorumErrorOutcomesSurviveSinkReuse(t *testing.T) {
+	// Partial outcomes in a QuorumError must not alias the caller's
+	// sink: a retry through the same sink resets and refills it.
+	cause := errors.New("down")
+	g := NewGroup[string](Policy{Copies: 2})
+	g.Add("ok", sleeper("salvage-me", time.Millisecond))
+	g.Add("bad", failer[string](cause, 5*time.Millisecond))
+	var outs []Outcome[string]
+	_, err := g.Do(context.Background(), WithQuorum(2), WithCollectOutcomes(&outs))
+	var qe *QuorumError[string]
+	if !errors.As(err, &qe) {
+		t.Fatalf("want QuorumError, got %v", err)
+	}
+	saved := make([]Outcome[string], len(qe.Outcomes))
+	copy(saved, qe.Outcomes)
+	// Reuse the sink for another failing call.
+	if _, err := g.Do(context.Background(), WithQuorum(2), WithCollectOutcomes(&outs)); err == nil {
+		t.Fatal("second call should fail too")
+	}
+	if len(qe.Outcomes) != len(saved) {
+		t.Fatalf("QuorumError outcomes changed length after sink reuse")
+	}
+	for i := range saved {
+		if qe.Outcomes[i].Index != saved[i].Index || qe.Outcomes[i].Value != saved[i].Value {
+			t.Errorf("outcome %d mutated by sink reuse: %+v vs %+v", i, qe.Outcomes[i], saved[i])
+		}
+	}
+}
+
+// --- The engine behind everything: no goroutine or timer leak on the
+// quorum path with hedged schedules. ---
+
+func TestGroupDoQuorumWithAdaptiveHedgeWarm(t *testing.T) {
+	// Quorum composes with a hedging schedule: a warm AdaptiveHedge group
+	// under WithQuorum(2) must still complete with two successes.
+	g := NewStrategyGroup[int](AdaptiveHedge{Copies: 3, MinSamples: 1, FallbackDelay: time.Millisecond})
+	for i := 0; i < 3; i++ {
+		i := i
+		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+	}
+	g.ProbeAll(context.Background())
+	var outs []Outcome[int]
+	res, err := g.Do(context.Background(), WithQuorum(2), WithCollectOutcomes(&outs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, o := range outs {
+		if o.Err == nil {
+			wins++
+		}
+	}
+	if wins != 2 {
+		t.Errorf("wins = %d, want 2", wins)
+	}
+	if res.Launched < 2 {
+		t.Errorf("Launched = %d, want >= 2", res.Launched)
+	}
+}

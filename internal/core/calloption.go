@@ -1,0 +1,79 @@
+package core
+
+// CallOption customizes a single Group.Do or KeyedGroup.Do operation,
+// composing over the group's installed strategy without touching shared
+// state: one latency-critical request can raise its quorum, override the
+// hedging strategy, cap its fan-out, or label itself for per-class
+// metrics while every other caller of the same group is unaffected.
+//
+// A zero-option call pays nothing for the mechanism: Do only assembles a
+// configuration when at least one option is passed.
+type CallOption func(*callOpts)
+
+// callOpts is the per-call configuration assembled from CallOptions.
+type callOpts struct {
+	quorum    int
+	fanoutCap int
+	label     string
+	strategy  Strategy
+	outcomes  any // *[]Outcome[T]; type-checked against the group's T in Do
+}
+
+// applyCallOptions folds opts into a callOpts. It is only called when at
+// least one option is present, so the zero-option hot path never
+// materializes (or heap-allocates) a configuration.
+func applyCallOptions(opts []CallOption) callOpts {
+	var co callOpts
+	for _, o := range opts {
+		if o != nil {
+			o(&co)
+		}
+	}
+	return co
+}
+
+// WithQuorum completes the call only after q replicas succeed (R-of-N
+// reads: the consistency side of redundancy). q = 1 is the default
+// first-response-wins; values below 1 mean 1. The fan-out is raised to at
+// least q, and the q quorum copies always launch immediately — they are
+// correctness requirements, so the strategy's hedge schedule applies only
+// to copies beyond them. A q larger than the replica set fails the call
+// with ErrQuorumUnreachable. On failure the error is a *QuorumError
+// carrying the partial outcomes.
+func WithQuorum(q int) CallOption {
+	return func(c *callOpts) { c.quorum = q }
+}
+
+// WithStrategyOverride runs this call under s instead of the group's
+// installed strategy — e.g. full replication for one latency-critical
+// request over a group that normally hedges. The group's strategy is
+// unchanged and concurrent callers are unaffected. A nil s leaves the
+// group's strategy in effect.
+func WithStrategyOverride(s Strategy) CallOption {
+	return func(c *callOpts) { c.strategy = s }
+}
+
+// WithFanoutCap caps the number of copies this call may launch,
+// overriding a larger strategy fan-out (e.g. degrade an expensive
+// operation to a single copy). Values below 1 mean no cap. A quorum
+// requirement takes precedence: the fan-out never drops below the call's
+// quorum.
+func WithFanoutCap(n int) CallOption {
+	return func(c *callOpts) { c.fanoutCap = n }
+}
+
+// WithLabel tags the call's Observation, so an Observer (e.g. Counters)
+// can aggregate metrics per traffic class — "checkout" vs "prefetch" —
+// through one shared group.
+func WithLabel(label string) CallOption {
+	return func(c *callOpts) { c.label = label }
+}
+
+// WithCollectOutcomes gathers the per-copy outcomes of the call into
+// *dst: every copy that completed before the call returned, success and
+// failure alike, in completion order (copies cancelled in flight do not
+// appear). dst is reset to length zero first. The element type must
+// match the group's result type, otherwise Do fails with an error.
+func WithCollectOutcomes[T any](dst *[]Outcome[T]) CallOption {
+	return func(c *callOpts) { c.outcomes = dst }
+}

@@ -8,6 +8,10 @@
 //
 // Design notes:
 //
+//   - Every way of performing an operation — First, Hedged, Quorum, All,
+//     and Group.Do with its per-call options — is a thin layer over one
+//     request engine (call.go), so completion rules, launch schedules,
+//     and the error taxonomy compose instead of forking.
 //   - Losing replicas are cancelled through context and their goroutines
 //     always run to completion against a buffered channel, so a call never
 //     leaks goroutines even when it returns early.
@@ -34,12 +38,14 @@ type Replica[T any] func(ctx context.Context) (T, error)
 
 // Result describes a completed redundant operation.
 type Result[T any] struct {
-	// Value is the winning replica's result.
+	// Value is the winning replica's result: the first success (for a
+	// quorum call, the quorum's fastest response).
 	Value T
 	// Index is the position (within the launched copies) of the winner.
 	Index int
 	// Latency is the time from the start of the operation (not of the
-	// individual copy) to the winning response.
+	// individual copy) to completion: the winning response, or for a
+	// quorum call the quorum-th success.
 	Latency time.Duration
 	// Launched is how many copies were actually started.
 	Launched int
@@ -57,14 +63,18 @@ type indexed[T any] struct {
 
 // First runs every replica concurrently and returns the first successful
 // result, cancelling the others. If every replica fails, it returns the
-// joined errors in launch order. First blocks until a winner emerges or all
-// replicas fail; it does NOT wait for cancelled losers to finish.
+// per-replica ReplicaErrors joined in completion order. First blocks until
+// a winner emerges or all replicas fail; it does NOT wait for cancelled
+// losers to finish.
 //
 // This is the paper's "initiate an operation multiple times, use the first
 // result which completes" in its purest form (k-way full replication).
 func First[T any](ctx context.Context, replicas ...Replica[T]) (Result[T], error) {
-	return race(ctx, nil, len(replicas), func(ctx context.Context, i int) (T, error) {
-		return replicas[i](ctx)
+	return call(ctx, callSpec[T]{
+		n: len(replicas),
+		run: func(ctx context.Context, i int) (T, error) {
+			return replicas[i](ctx)
+		},
 	})
 }
 
@@ -75,123 +85,37 @@ func FirstValue[T any](ctx context.Context, replicas ...Replica[T]) (T, error) {
 	return res.Value, err
 }
 
-// race launches n copies of call (all immediately if delays is nil,
-// otherwise copy i after delays[i]) and returns the first success. call
-// receives the copy's launch index; Group passes an indexer over its
-// picked members so the hot path needs no per-copy wrapper closures.
-func race[T any](ctx context.Context, delays []time.Duration, n int, call func(ctx context.Context, i int) (T, error)) (Result[T], error) {
-	var zero Result[T]
-	if n == 0 {
-		return zero, ErrNoReplicas
-	}
-	start := time.Now()
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	// Buffered so losers can always deliver and exit: no goroutine leaks.
-	results := make(chan indexed[T], n)
-	launch := func(i int) {
-		go func() {
-			v, err := call(ctx, i)
-			results <- indexed[T]{val: v, err: err, idx: i}
-		}()
-	}
-
-	launched := 0
-	if delays == nil {
-		for i := 0; i < n; i++ {
-			launch(i)
-		}
-		launched = n
-	} else {
-		launch(0)
-		launched = 1
-	}
-
-	var errs []error
-	done := 0
-	var timer *time.Timer
-	var timerC <-chan time.Time
-	if delays != nil && launched < n {
-		timer = time.NewTimer(delays[launched])
-		timerC = timer.C
-	}
-	defer func() {
-		if timer != nil {
-			timer.Stop()
-		}
-	}()
-	for {
-		select {
-		case r := <-results:
-			done++
-			if r.err == nil {
-				return Result[T]{
-					Value:    r.val,
-					Index:    r.idx,
-					Latency:  time.Since(start),
-					Launched: launched,
-				}, nil
-			}
-			errs = append(errs, fmt.Errorf("replica %d: %w", r.idx, r.err))
-			if done == launched && launched == n {
-				// Even on failure, report how many copies ran: budget
-				// accounting and observers need the real fan-out.
-				return Result[T]{Launched: launched}, errors.Join(errs...)
-			}
-			if done == launched && launched < n {
-				// Every outstanding copy failed; hedge immediately rather
-				// than waiting out the delay.
-				if timer != nil {
-					timer.Stop()
-				}
-				launch(launched)
-				launched++
-				if launched < n {
-					timer = time.NewTimer(delays[launched])
-					timerC = timer.C
-				} else {
-					timerC = nil
-				}
-			}
-		case <-timerC:
-			launch(launched)
-			launched++
-			if launched < n {
-				timer = time.NewTimer(delays[launched])
-				timerC = timer.C
-			} else {
-				timerC = nil
-			}
-		case <-ctx.Done():
-			return Result[T]{Launched: launched}, ctx.Err()
-		}
-	}
-}
-
 // Hedged runs replicas with a staggered start: replica 0 immediately, and
 // each subsequent replica only if no response has arrived delay after the
 // previous launch. If an outstanding copy fails, the next copy is launched
 // immediately. This is the "hedged request" variant of redundancy: most of
 // the tail-latency benefit of full replication at a small fraction of the
 // added load (only operations slower than delay incur extra copies).
+//
+// A non-positive delay launches every copy immediately — Hedged(ctx, 0,
+// rs...) is First(ctx, rs...) — with no timer on the path.
 func Hedged[T any](ctx context.Context, delay time.Duration, replicas ...Replica[T]) (Result[T], error) {
-	if len(replicas) == 0 {
-		var zero Result[T]
-		return zero, ErrNoReplicas
+	sp := callSpec[T]{
+		n: len(replicas),
+		run: func(ctx context.Context, i int) (T, error) {
+			return replicas[i](ctx)
+		},
 	}
-	delays := make([]time.Duration, len(replicas))
-	for i := range delays {
-		delays[i] = delay
+	if delay > 0 {
+		delays := make([]time.Duration, len(replicas))
+		for i := range delays {
+			delays[i] = delay
+		}
+		sp.delays = delays
 	}
-	return race(ctx, delays, len(replicas), func(ctx context.Context, i int) (T, error) {
-		return replicas[i](ctx)
-	})
+	return call(ctx, sp)
 }
 
 // HedgedSchedule is Hedged with an explicit per-copy delay schedule:
 // replica i+1 launches delays[i+1] after replica i (delays[0] is ignored;
-// the first copy always starts immediately).
+// the first copy always starts immediately). A non-positive entry launches
+// its copy immediately, together with its predecessor — zero entries
+// express full replication for a prefix of the schedule.
 func HedgedSchedule[T any](ctx context.Context, delays []time.Duration, replicas ...Replica[T]) (Result[T], error) {
 	if len(replicas) == 0 {
 		var zero Result[T]
@@ -201,7 +125,11 @@ func HedgedSchedule[T any](ctx context.Context, delays []time.Duration, replicas
 		var zero Result[T]
 		return zero, fmt.Errorf("redundancy: %d delays for %d replicas", len(delays), len(replicas))
 	}
-	return race(ctx, delays, len(replicas), func(ctx context.Context, i int) (T, error) {
-		return replicas[i](ctx)
+	return call(ctx, callSpec[T]{
+		n:      len(replicas),
+		delays: delays,
+		run: func(ctx context.Context, i int) (T, error) {
+			return replicas[i](ctx)
+		},
 	})
 }

@@ -379,24 +379,58 @@ func (g *KeyedGroup[K, T]) Stats() GroupStats {
 }
 
 // Do performs one redundant operation under the group's strategy, passing
-// arg to every launched replica.
-func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
+// arg to every launched replica. Per-call options compose over the
+// group's snapshot without touching shared state: WithQuorum completes
+// only after q successes, WithStrategyOverride swaps the strategy for
+// this call only, WithFanoutCap bounds the copies, WithLabel tags the
+// Observation, and WithCollectOutcomes gathers per-copy detail. A call
+// with no options runs the group's strategy with first-response-wins
+// semantics and pays nothing for the option machinery.
+func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (Result[T], error) {
 	st := g.state.Load()
 	n := len(st.members)
 	if n == 0 {
 		var zero Result[T]
 		return zero, ErrNoReplicas
 	}
+	var co callOpts
+	if len(opts) > 0 {
+		co = applyCallOptions(opts)
+	}
+	strat := st.strategy
+	if co.strategy != nil {
+		strat = co.strategy
+	}
+	var collect *[]Outcome[T]
+	if co.outcomes != nil {
+		c, ok := co.outcomes.(*[]Outcome[T])
+		if !ok {
+			var zero Result[T]
+			return zero, fmt.Errorf("redundancy: WithCollectOutcomes sink is %T; this group collects []Outcome with its own result type", co.outcomes)
+		}
+		collect = c
+	}
+	q := co.quorum
+	if q < 1 {
+		q = 1
+	}
+	if q > n {
+		var zero Result[T]
+		return zero, fmt.Errorf("redundancy: quorum %d of %d replicas: %w", q, n, ErrQuorumUnreachable)
+	}
 	// The built-in static strategies are fast-pathed by concrete type so
 	// the common case pays no interface dispatch and no Digests view.
-	fixed, isFixed := st.strategy.(Fixed)
+	fixed, isFixed := strat.(Fixed)
 	var k int
 	var sel Selection
 	switch {
 	case isFixed:
 		k, sel = fixed.Fanout()
 	default:
-		k, sel = st.strategy.Fanout()
+		k, sel = strat.Fanout()
+	}
+	if co.fanoutCap > 0 && k > co.fanoutCap {
+		k = co.fanoutCap
 	}
 	if k > n {
 		k = n
@@ -404,15 +438,23 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
 	if k < 1 {
 		k = 1
 	}
+	if k < q {
+		// A quorum needs at least q copies; the requirement outranks both
+		// the strategy's fan-out and WithFanoutCap (q <= n was checked).
+		k = q
+	}
 	picked := make([]*member[K, T], k)
 	g.pickInto(st, sel, picked)
 
+	// The first q copies are mandatory (they are the quorum, or for q = 1
+	// the operation itself); only copies beyond them are hedges charged
+	// against the budget.
 	copies := k
 	granted := 0
-	if extra := copies - 1; extra > 0 && g.budget != nil {
+	if extra := copies - q; extra > 0 && g.budget != nil {
 		granted = g.budget.Acquire(extra)
 		if granted < extra {
-			copies = 1 + granted
+			copies = q + granted
 			picked = picked[:copies]
 		}
 	}
@@ -425,19 +467,47 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
 				delays[i] = fixed.HedgeDelay
 			}
 		}
-	} else if _, full := st.strategy.(FullReplicate); !full && copies > 1 {
-		delays = st.strategy.Schedule(memberDigests[K, T]{ms: picked})
+	} else if _, full := strat.(FullReplicate); !full && copies > 1 {
+		delays = strat.Schedule(memberDigests[K, T]{ms: picked})
 		if delays != nil && len(delays) != copies {
 			delays = normalizeDelays(delays, copies)
 		}
 	}
-	res, err := race(ctx, delays, copies, func(ctx context.Context, i int) (T, error) {
-		return picked[i].rec(ctx, arg)
+	if q > 1 && delays != nil {
+		// The quorum copies are correctness requirements, not latency
+		// hedges: delaying them can only serialize the quorum. Launch the
+		// first q immediately; copies beyond the quorum keep the
+		// strategy's hedge schedule. Clone before zeroing — the schedule
+		// may be strategy-owned.
+		cloned := false
+		for i := 0; i < q && i < len(delays); i++ {
+			if delays[i] > 0 {
+				if !cloned {
+					delays = append([]time.Duration(nil), delays...)
+					cloned = true
+				}
+				delays[i] = 0
+			}
+		}
+	}
+	res, err := call(ctx, callSpec[T]{
+		n:       copies,
+		quorum:  q,
+		delays:  delays,
+		collect: collect,
+		run: func(ctx context.Context, i int) (T, error) {
+			v, err := picked[i].rec(ctx, arg)
+			if err != nil {
+				err = ReplicaError{Name: picked[i].name, Attempt: i, Err: err}
+			}
+			return v, err
+		},
 	})
-	// Tokens pay for copies actually launched; refund hedge copies the
-	// primary's fast response made unnecessary.
+	// Tokens pay for copies actually launched; refund hedge copies that a
+	// fast primary — or an early quorum — made unnecessary. This runs on
+	// every return path of call, success or failure, exactly once.
 	if granted > 0 {
-		used := res.Launched - 1
+		used := res.Launched - q
 		if used < 0 {
 			used = 0
 		}
@@ -455,6 +525,7 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K) (Result[T], error) {
 			Launched: res.Launched,
 			Latency:  res.Latency,
 			Err:      err,
+			Label:    co.label,
 		})
 	}
 	return res, err
@@ -606,9 +677,10 @@ func (g *Group[T]) Add(name string, fn Replica[T]) {
 	g.KeyedGroup.Add(name, func(ctx context.Context, _ struct{}) (T, error) { return fn(ctx) })
 }
 
-// Do performs one redundant operation under the group's strategy.
-func (g *Group[T]) Do(ctx context.Context) (Result[T], error) {
-	return g.KeyedGroup.Do(ctx, struct{}{})
+// Do performs one redundant operation under the group's strategy,
+// customized by any per-call options. See KeyedGroup.Do.
+func (g *Group[T]) Do(ctx context.Context, opts ...CallOption) (Result[T], error) {
+	return g.KeyedGroup.Do(ctx, struct{}{}, opts...)
 }
 
 // ProbeAll runs every replica once, concurrently and to completion,

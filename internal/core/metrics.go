@@ -16,6 +16,9 @@ type Observation struct {
 	Latency time.Duration
 	// Err is the operation's error, nil on success.
 	Err error
+	// Label is the call's traffic-class tag (set with WithLabel); empty
+	// for unlabeled calls.
+	Label string
 }
 
 // Observer receives per-operation metrics from a Group.
@@ -37,10 +40,19 @@ func (f ObserverFunc) Observe(o Observation) { f(o) }
 type Counters struct {
 	mu       sync.Mutex
 	wins     map[string]int64
+	labels   map[string]*labelAgg
 	ops      int64
 	failures int64
 	launched int64
 	totalLat time.Duration
+	lat      LatDigest // successful-operation latencies
+}
+
+// labelAgg aggregates one traffic class (one WithLabel value).
+type labelAgg struct {
+	ops      int64
+	failures int64
+	launched int64
 	lat      LatDigest // successful-operation latencies
 }
 
@@ -52,8 +64,24 @@ func (c *Counters) Observe(o Observation) {
 	c.mu.Lock()
 	c.ops++
 	c.launched += int64(o.Launched)
+	var la *labelAgg
+	if o.Label != "" {
+		if c.labels == nil {
+			c.labels = make(map[string]*labelAgg)
+		}
+		la = c.labels[o.Label]
+		if la == nil {
+			la = &labelAgg{}
+			c.labels[o.Label] = la
+		}
+		la.ops++
+		la.launched += int64(o.Launched)
+	}
 	if o.Err != nil {
 		c.failures++
+		if la != nil {
+			la.failures++
+		}
 		c.mu.Unlock()
 		return
 	}
@@ -61,6 +89,9 @@ func (c *Counters) Observe(o Observation) {
 	c.totalLat += o.Latency
 	c.mu.Unlock()
 	c.lat.Observe(o.Latency)
+	if la != nil {
+		la.lat.Observe(o.Latency)
+	}
 }
 
 // Ops returns the number of operations observed.
@@ -119,3 +150,65 @@ func (c *Counters) LatencyQuantile(p float64) (d time.Duration, ok bool) {
 // LatencyDigest exposes the aggregated latency distribution (mean,
 // quantiles, count) of successful operations.
 func (c *Counters) LatencyDigest() *LatDigest { return &c.lat }
+
+// LabelStats is the aggregate for one traffic class (one WithLabel
+// value) within a Counters.
+type LabelStats struct {
+	// Label is the class's tag.
+	Label string
+	// Ops and Failures count the class's operations.
+	Ops, Failures int64
+	// CopiesPerOp is the class's realized redundancy overhead.
+	CopiesPerOp float64
+}
+
+// Labels returns the per-class aggregates of every label observed so
+// far, in unspecified order. Unlabeled operations are not included; they
+// are visible only in the overall counters.
+func (c *Counters) Labels() []LabelStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LabelStats, 0, len(c.labels))
+	for label, la := range c.labels {
+		s := LabelStats{Label: label, Ops: la.ops, Failures: la.failures}
+		if la.ops > 0 {
+			s.CopiesPerOp = float64(la.launched) / float64(la.ops)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// LabelOps returns the number of operations observed under label.
+func (c *Counters) LabelOps(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if la := c.labels[label]; la != nil {
+		return la.ops
+	}
+	return 0
+}
+
+// LabelLatencyQuantile estimates the p-th latency quantile (p in [0, 1])
+// of successful operations under label; ok is false when the label has
+// no completed operations.
+func (c *Counters) LabelLatencyQuantile(label string, p float64) (d time.Duration, ok bool) {
+	c.mu.Lock()
+	la := c.labels[label]
+	c.mu.Unlock()
+	if la == nil {
+		return 0, false
+	}
+	return la.lat.Quantile(p)
+}
+
+// LabelLatencyDigest exposes the latency distribution of successful
+// operations under label, or nil if the label has not been observed.
+func (c *Counters) LabelLatencyDigest(label string) *LatDigest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if la := c.labels[label]; la != nil {
+		return &la.lat
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -22,51 +21,44 @@ type Outcome[T any] struct {
 // R-of-N quorum reads are redundancy with a success threshold.
 //
 // The returned outcomes are the q winning results in completion order.
-// If fewer than q replicas can succeed, Quorum returns the joined errors.
+// If fewer than q replicas can succeed, Quorum returns an error matching
+// ErrQuorumUnreachable; errors.As into a *QuorumError recovers the
+// partial outcomes, and errors.Is reaches each replica's underlying
+// error.
+//
+// For repeated quorum operations against a long-lived replica set, use
+// Group.Do with WithQuorum, which adds ranked selection, hedged
+// schedules, and budget control to the same engine.
 func Quorum[T any](ctx context.Context, q int, replicas ...Replica[T]) ([]Outcome[T], error) {
 	if len(replicas) == 0 {
 		return nil, ErrNoReplicas
 	}
-	if q < 1 || q > len(replicas) {
+	if q < 1 {
 		return nil, fmt.Errorf("redundancy: quorum %d of %d replicas", q, len(replicas))
 	}
-	start := time.Now()
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	results := make(chan indexed[T], len(replicas))
-	for i := range replicas {
-		i := i
-		go func() {
-			v, err := replicas[i](ctx)
-			results <- indexed[T]{val: v, err: err, idx: i}
-		}()
+	// q > len(replicas) falls through to the engine, which reports it as
+	// ErrQuorumUnreachable — the same taxonomy as Group.Do.
+	outs := make([]Outcome[T], 0, len(replicas))
+	_, err := call(ctx, callSpec[T]{
+		n:       len(replicas),
+		quorum:  q,
+		collect: &outs,
+		run: func(ctx context.Context, i int) (T, error) {
+			return replicas[i](ctx)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
-
-	var wins []Outcome[T]
-	var errs []error
-	for done := 0; done < len(replicas); done++ {
-		select {
-		case r := <-results:
-			if r.err != nil {
-				errs = append(errs, fmt.Errorf("replica %d: %w", r.idx, r.err))
-				if len(errs) > len(replicas)-q {
-					return nil, errors.Join(errs...)
-				}
-				continue
-			}
-			wins = append(wins, Outcome[T]{
-				Value: r.val, Index: r.idx, Latency: time.Since(start),
-			})
-			if len(wins) == q {
-				return wins, nil
-			}
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	// The engine collects every completed outcome; the quorum contract is
+	// the q winners, in completion order.
+	wins := outs[:0]
+	for _, o := range outs {
+		if o.Err == nil {
+			wins = append(wins, o)
 		}
 	}
-	// Unreachable: either q successes or > n-q failures occurs first.
-	return nil, errors.Join(errs...)
+	return wins, nil
 }
 
 // All runs every replica to completion (no cancellation on success) and
@@ -74,21 +66,26 @@ func Quorum[T any](ctx context.Context, q int, replicas ...Replica[T]) ([]Outcom
 // redundancy — the paper's DNS experiment stage 1 queries every server and
 // records each latency — and a building block for scatter-gather reads.
 func All[T any](ctx context.Context, replicas ...Replica[T]) []Outcome[T] {
-	out := make([]Outcome[T], len(replicas))
-	done := make(chan int, len(replicas))
-	start := time.Now()
-	for i := range replicas {
-		i := i
-		go func() {
-			v, err := replicas[i](ctx)
-			out[i] = Outcome[T]{Value: v, Err: err, Index: i, Latency: time.Since(start)}
-			done <- i
-		}()
+	n := len(replicas)
+	if n == 0 {
+		return []Outcome[T]{}
 	}
-	for range replicas {
-		<-done
+	outs := make([]Outcome[T], 0, n)
+	call(ctx, callSpec[T]{
+		n:       n,
+		waitAll: true,
+		collect: &outs,
+		run: func(ctx context.Context, i int) (T, error) {
+			return replicas[i](ctx)
+		},
+	})
+	// The engine collects in completion order; All's contract is replica
+	// order.
+	ordered := make([]Outcome[T], n)
+	for _, o := range outs {
+		ordered[o.Index] = o
 	}
-	return out
+	return ordered
 }
 
 // Fastest returns the successful outcomes of All, sorted by latency.

@@ -155,9 +155,13 @@ func (r *Resolver) serverReplica(srv string) core.ArgReplica[Question, *Message]
 	}
 }
 
-// Lookup resolves name/qtype through the replicated server set.
-func (r *Resolver) Lookup(ctx context.Context, name string, qtype Type) (*Message, error) {
-	res, err := r.group.Do(ctx, Question{Name: name, Type: qtype})
+// Lookup resolves name/qtype through the replicated server set. Per-call
+// options tune one lookup without touching the resolver: a
+// latency-critical query can core.WithStrategyOverride to full
+// replication while the resolver keeps hedging for everyone else, cap
+// its fan-out, or core.WithLabel its traffic class.
+func (r *Resolver) Lookup(ctx context.Context, name string, qtype Type, opts ...core.CallOption) (*Message, error) {
+	res, err := r.group.Do(ctx, Question{Name: name, Type: qtype}, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +170,8 @@ func (r *Resolver) Lookup(ctx context.Context, name string, qtype Type) (*Messag
 
 // LookupResult is Lookup with redundancy metadata (winning server, latency,
 // copies sent).
-func (r *Resolver) LookupResult(ctx context.Context, name string, qtype Type) (core.Result[*Message], error) {
-	return r.group.Do(ctx, Question{Name: name, Type: qtype})
+func (r *Resolver) LookupResult(ctx context.Context, name string, qtype Type, opts ...core.CallOption) (core.Result[*Message], error) {
+	return r.group.Do(ctx, Question{Name: name, Type: qtype}, opts...)
 }
 
 // RankedServers returns the resolver's servers ordered by estimated
@@ -202,8 +206,8 @@ func (r *Resolver) Probe(ctx context.Context, name string, qtype Type) int {
 
 // LookupA resolves name to IPv4 addresses, following one level of CNAME
 // indirection within the same response.
-func (r *Resolver) LookupA(ctx context.Context, name string) ([]net.IP, error) {
-	resp, err := r.Lookup(ctx, name, TypeA)
+func (r *Resolver) LookupA(ctx context.Context, name string, opts ...core.CallOption) ([]net.IP, error) {
+	resp, err := r.Lookup(ctx, name, TypeA, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package dnswire
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"net"
 	"strings"
@@ -385,5 +386,88 @@ func TestAdaptiveResolver(t *testing.T) {
 	r.SetStrategy(core.Fixed{Copies: 1, Selection: core.SelectRanked})
 	if got := r.GroupStats().Strategy; !strings.Contains(got, "fixed(k=1") {
 		t.Errorf("after SetStrategy: %q", got)
+	}
+}
+
+func TestResolverPerLookupStrategyOverride(t *testing.T) {
+	// The resolver is configured to contact one server per lookup; a
+	// latency-critical lookup overrides to full replication for itself
+	// only.
+	_, addrA := startDNS(t, staticZone())
+	_, addrB := startDNS(t, staticZone())
+	cl := NewClient(2 * time.Second)
+	res := NewResolver(cl, core.Policy{Copies: 1, Selection: core.SelectRandom}, addrA, addrB)
+
+	result, err := res.LookupResult(context.Background(), "www.example.com", TypeA,
+		core.WithStrategyOverride(core.FullReplicate{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Launched != 2 {
+		t.Errorf("override lookup queried %d servers, want 2", result.Launched)
+	}
+
+	// Without the override the resolver's own policy applies.
+	result, err = res.LookupResult(context.Background(), "www.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Launched != 1 {
+		t.Errorf("plain lookup queried %d servers, want 1", result.Launched)
+	}
+}
+
+func TestResolverQuorumLookup(t *testing.T) {
+	// A quorum-2 lookup over two healthy servers completes with both
+	// answers collected (the unreachable case is
+	// TestResolverQuorumUnreachableNamesServer).
+	_, addrA := startDNS(t, staticZone())
+	_, addrB := startDNS(t, staticZone())
+	cl := NewClient(time.Second)
+	res := NewResolver(cl, core.Policy{Copies: 2}, addrA, addrB)
+
+	var outs []core.Outcome[*Message]
+	_, err := res.LookupResult(context.Background(), "www.example.com", TypeA,
+		core.WithQuorum(2), core.WithCollectOutcomes(&outs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, o := range outs {
+		if o.Err == nil {
+			wins++
+		}
+	}
+	if wins != 2 {
+		t.Errorf("quorum lookup collected %d answers, want 2", wins)
+	}
+}
+
+func TestResolverQuorumUnreachableNamesServer(t *testing.T) {
+	// A quorum-2 lookup over one healthy and one black-hole server cannot
+	// complete; the typed failure names the dropping server.
+	lossy := NewServer(staticZone())
+	lossy.DropProb = 1.0
+	lossy.Rand = func() float64 { return 0 }
+	lossyAddr, err := lossy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	_, okAddr := startDNS(t, staticZone())
+
+	cl := NewClient(200 * time.Millisecond)
+	res := NewResolver(cl, core.Policy{Copies: 2}, lossyAddr.String(), okAddr)
+	_, lerr := res.LookupResult(context.Background(), "www.example.com", TypeA,
+		core.WithQuorum(2))
+	if lerr == nil {
+		t.Fatal("quorum 2 with a black-hole server must fail")
+	}
+	if !errors.Is(lerr, core.ErrQuorumUnreachable) {
+		t.Errorf("got %v, want ErrQuorumUnreachable", lerr)
+	}
+	var re core.ReplicaError
+	if !errors.As(lerr, &re) || re.Name != lossyAddr.String() {
+		t.Errorf("ReplicaError = %+v, want name %s", re, lossyAddr)
 	}
 }

@@ -111,6 +111,7 @@ func All() []Experiment {
 		{"ablfattree", "Ablation: replica count and priority class in the fat-tree", AblationFatTree},
 		{"ablqueueing", "Ablation: server count N and replication factor k in the queueing model", AblationQueueing},
 		{"ablhedge", "Ablation: fixed-delay vs adaptive-quantile hedging vs full replication across loads", AblationHedging},
+		{"ablquorum", "Ablation: R-of-N quorum reads vs first-response — the latency price of consistency", AblationQuorum},
 	}
 }
 

@@ -283,8 +283,9 @@ func validateKey(key string) error {
 
 // ReplicatedClient reads from several replicas of the same data using the
 // redundancy core: Get issues the query to every replica (or hedges) and
-// returns the first response. Writes go to all replicas and succeed only
-// if every replica stores the value (read-my-write for the winning read).
+// returns the first response, or — per read, with ReadQuorum — waits for
+// R-of-N agreement. Writes go to all replicas and succeed only if every
+// replica stores the value (read-my-write for the winning read).
 type ReplicatedClient struct {
 	mu      sync.RWMutex // guards clients; the read group has its own engine
 	clients []*Client
@@ -325,9 +326,19 @@ func NewAdaptiveReplicatedClient(quantile float64, clients ...*Client) *Replicat
 		clients...)
 }
 
-// Get returns the first replica's response for key.
-func (rc *ReplicatedClient) Get(ctx context.Context, key string) ([]byte, error) {
-	res, err := rc.group.Do(ctx, key)
+// ReadQuorum is the per-read consistency knob: a Get with ReadQuorum(q)
+// completes only after q replicas returned the key, so a read can insist
+// on R-of-N agreement (e.g. 2 of 3 to mask one stale or failed replica)
+// while the default read keeps first-response latency. Combine with
+// core.WithCollectOutcomes to inspect each replica's returned value.
+func ReadQuorum(q int) core.CallOption { return core.WithQuorum(q) }
+
+// Get returns the first replica's response for key. Per-call options
+// tune one read without touching the shared client: ReadQuorum(q) for
+// R-of-N consistency, core.WithStrategyOverride for a one-off hedging
+// policy, core.WithLabel to tag the read's traffic class.
+func (rc *ReplicatedClient) Get(ctx context.Context, key string, opts ...core.CallOption) ([]byte, error) {
+	res, err := rc.group.Do(ctx, key, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -336,8 +347,8 @@ func (rc *ReplicatedClient) Get(ctx context.Context, key string) ([]byte, error)
 
 // GetResult is Get with the full redundancy metadata (winner, latency,
 // copies launched).
-func (rc *ReplicatedClient) GetResult(ctx context.Context, key string) (core.Result[[]byte], error) {
-	return rc.group.Do(ctx, key)
+func (rc *ReplicatedClient) GetResult(ctx context.Context, key string, opts ...core.CallOption) (core.Result[[]byte], error) {
+	return rc.group.Do(ctx, key, opts...)
 }
 
 // GroupStats reports the replica set's policy, membership, and per-replica

@@ -491,3 +491,77 @@ func TestAdaptiveReplicatedClient(t *testing.T) {
 		t.Errorf("after SetStrategy: %q", got)
 	}
 }
+
+func TestReplicatedClientReadQuorum(t *testing.T) {
+	// Three replicas; a quorum-2 read succeeds with one dead replica and
+	// carries per-replica outcomes, while two dead replicas make the
+	// quorum unreachable with named failure detail.
+	srvA, addrA := startServer(t)
+	srvB, addrB := startServer(t)
+	_, addrC := startServer(t)
+	clA := NewClient(addrA, time.Second)
+	clB := NewClient(addrB, time.Second)
+	clC := NewClient(addrC, time.Second)
+	rc := NewReplicatedClient(core.Policy{Copies: 3}, clA, clB, clC)
+	defer rc.Close()
+	ctx := context.Background()
+	if err := rc.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	var outs []core.Outcome[[]byte]
+	res, err := rc.GetResult(ctx, "k", ReadQuorum(2), core.WithCollectOutcomes(&outs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Value) != "v" {
+		t.Errorf("value %q", res.Value)
+	}
+	wins := 0
+	for _, o := range outs {
+		if o.Err == nil {
+			wins++
+			if string(o.Value) != "v" {
+				t.Errorf("quorum outcome value %q", o.Value)
+			}
+		}
+	}
+	if wins != 2 {
+		t.Errorf("quorum read collected %d wins, want 2", wins)
+	}
+
+	srvA.Close() // one dead replica: 2-of-3 still reachable
+	if _, err := rc.Get(ctx, "k", ReadQuorum(2)); err != nil {
+		t.Fatalf("quorum read with one dead replica: %v", err)
+	}
+
+	srvB.Close() // two dead: 2-of-3 unreachable
+	_, err = rc.Get(ctx, "k", ReadQuorum(2))
+	if !errors.Is(err, core.ErrQuorumUnreachable) {
+		t.Fatalf("got %v, want ErrQuorumUnreachable", err)
+	}
+	var re core.ReplicaError
+	if !errors.As(err, &re) || re.Name == "" {
+		t.Errorf("quorum failure lacks named replica detail: %v", err)
+	}
+}
+
+func TestReplicatedClientPerReadLabelAndCap(t *testing.T) {
+	_, addrA := startServer(t)
+	_, addrB := startServer(t)
+	clA := NewClient(addrA, time.Second)
+	clB := NewClient(addrB, time.Second)
+	rc := NewReplicatedClient(core.Policy{Copies: 2}, clA, clB)
+	defer rc.Close()
+	ctx := context.Background()
+	if err := rc.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.GetResult(ctx, "k", core.WithFanoutCap(1), core.WithLabel("prefetch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 1 {
+		t.Errorf("capped read launched %d copies, want 1", res.Launched)
+	}
+}

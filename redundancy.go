@@ -11,6 +11,9 @@
 //
 // # Quick start
 //
+// Every operation flows through one request engine. For a one-shot race,
+// use First:
+//
 //	ctx := context.Background()
 //	res, err := redundancy.First(ctx,
 //	    func(ctx context.Context) (string, error) { return queryServer(ctx, "a.example") },
@@ -18,10 +21,27 @@
 //	)
 //	// res.Value is the fastest server's answer; the slower query was cancelled.
 //
-// For repeated operations against a fixed replica set, use Group, which
-// tracks per-replica latency and can replicate to the k fastest (the
-// paper's DNS strategy), hedge after a delay, and bound added load with a
-// Budget.
+// For repeated operations against a long-lived replica set, use Group: it
+// tracks per-replica latency, replicates to the k fastest (the paper's
+// DNS strategy), hedges after a fixed or adaptive delay, and bounds added
+// load with a Budget. Per-call options then tune a single operation
+// without touching the shared group:
+//
+//	g := redundancy.NewGroup[string](redundancy.Policy{Copies: 2})
+//	g.Add("a.example", queryA)
+//	g.Add("b.example", queryB)
+//	g.Add("c.example", queryC)
+//
+//	res, err := g.Do(ctx)                                  // first response wins
+//	res, err = g.Do(ctx, redundancy.WithQuorum(2),         // 2-of-3 read...
+//	    redundancy.WithLabel("checkout"))                  // ...tagged for metrics
+//	res, err = g.Do(ctx,                                   // SLO-critical request:
+//	    redundancy.WithStrategyOverride(redundancy.FullReplicate{}))
+//
+// Failures are typed: errors.As recovers each ReplicaError (which replica,
+// which attempt), and a failed quorum matches
+// errors.Is(err, redundancy.ErrQuorumUnreachable) with partial outcomes in
+// the QuorumError.
 //
 // # When does this help?
 //
@@ -140,11 +160,53 @@ type (
 	ObserverFunc = core.ObserverFunc
 	// Counters is a ready-made aggregating Observer.
 	Counters = core.Counters
+	// LabelStats is the per-traffic-class aggregate Counters.Labels
+	// reports for calls tagged with WithLabel.
+	LabelStats = core.LabelStats
 )
+
+// CallOption customizes a single Group.Do or KeyedGroup.Do operation —
+// quorum, strategy override, fan-out cap, label, outcome collection —
+// without touching the group's shared state.
+type CallOption = core.CallOption
+
+// ReplicaError describes one replica's failure within a redundant
+// operation; failed operations join them with errors.Join.
+type ReplicaError = core.ReplicaError
+
+// QuorumError is the failure of a quorum call, carrying the partial
+// outcomes. errors.Is(err, ErrQuorumUnreachable) matches it.
+type QuorumError[T any] = core.QuorumError[T]
 
 // ErrNoReplicas is returned when an operation is attempted with zero
 // replicas.
 var ErrNoReplicas = core.ErrNoReplicas
+
+// ErrQuorumUnreachable reports that a call's quorum cannot be met: too
+// many replicas failed, or the quorum exceeds the replica set.
+var ErrQuorumUnreachable = core.ErrQuorumUnreachable
+
+// WithQuorum completes the call only after q replicas succeed (R-of-N
+// reads); the fan-out is raised to at least q.
+func WithQuorum(q int) CallOption { return core.WithQuorum(q) }
+
+// WithStrategyOverride runs one call under s instead of the group's
+// installed strategy, leaving the group and concurrent callers untouched.
+func WithStrategyOverride(s Strategy) CallOption { return core.WithStrategyOverride(s) }
+
+// WithFanoutCap caps the number of copies one call may launch; a quorum
+// requirement takes precedence.
+func WithFanoutCap(n int) CallOption { return core.WithFanoutCap(n) }
+
+// WithLabel tags the call's Observation so Counters can aggregate
+// metrics per traffic class.
+func WithLabel(label string) CallOption { return core.WithLabel(label) }
+
+// WithCollectOutcomes gathers the call's per-copy outcomes (success and
+// failure alike, in completion order) into *dst.
+func WithCollectOutcomes[T any](dst *[]Outcome[T]) CallOption {
+	return core.WithCollectOutcomes(dst)
+}
 
 // First runs every replica concurrently and returns the first successful
 // result, cancelling the rest.

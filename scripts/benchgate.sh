@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# benchgate.sh — the hot-path regression gate for the unified call
+# engine. Runs the zero-options Group.Do benchmark (the path every
+# redundant operation shares) and fails if it
+#
+#   * exceeds MAX_ALLOCS allocs/op (the option machinery must stay free
+#     for callers who pass no options), or
+#   * regresses more than TOLERANCE_PCT in ns/op against the committed
+#     BENCH_core.json baseline (refresh the baseline deliberately with
+#     scripts/bench.sh when a slowdown is accepted).
+#
+# Usage: scripts/benchgate.sh [baseline.json]   (default BENCH_core.json)
+# Env:   MAX_ALLOCS (default 12), TOLERANCE_PCT (default 15),
+#        BENCH_COUNT (default 3; the fastest run is compared, matching
+#        how bench.sh records the baseline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_core.json}"
+bench="BenchmarkCoreGroupDo"
+max_allocs="${MAX_ALLOCS:-12}"
+tolerance_pct="${TOLERANCE_PCT:-15}"
+count="${BENCH_COUNT:-3}"
+
+if [ ! -f "$baseline" ]; then
+    echo "benchgate: baseline $baseline missing (generate with scripts/bench.sh)" >&2
+    exit 1
+fi
+
+base_ns=$(grep -F "\"$bench\":" "$baseline" | sed -En 's/.*"ns_op": *([0-9]+).*/\1/p' | head -1)
+if [ -z "$base_ns" ]; then
+    echo "benchgate: $bench not found in $baseline" >&2
+    exit 1
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "^${bench}\$" -benchtime 1s -count "$count" . | tee "$raw"
+
+# Fastest ns/op across the -count runs; allocs/op is deterministic, so
+# any run's figure serves.
+read -r ns allocs <<EOF
+$(awk -v b="$bench" '
+$1 ~ "^"b"(-[0-9]+)?$" {
+    ns = ""; al = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "allocs/op") al = $i
+    }
+    if (ns == "") next
+    if (best == "" || ns + 0 < best + 0) best = ns
+    alloc = al
+}
+END { print best, alloc }' "$raw")
+EOF
+
+if [ -z "${ns:-}" ] || [ -z "${allocs:-}" ]; then
+    echo "benchgate: could not parse benchmark output" >&2
+    exit 1
+fi
+
+echo "benchgate: $bench measured ${ns} ns/op, ${allocs} allocs/op (baseline ${base_ns} ns/op, limits: ${max_allocs} allocs, +${tolerance_pct}% ns)"
+
+fail=0
+if [ "$allocs" -gt "$max_allocs" ]; then
+    echo "benchgate: FAIL — ${allocs} allocs/op exceeds the ${max_allocs}-alloc budget for the zero-options hot path" >&2
+    fail=1
+fi
+limit=$(awk -v b="$base_ns" -v t="$tolerance_pct" 'BEGIN { printf "%.0f", b * (1 + t / 100) }')
+if awk -v n="$ns" -v l="$limit" 'BEGIN { exit !(n + 0 > l + 0) }'; then
+    echo "benchgate: FAIL — ${ns} ns/op regresses past ${limit} ns/op (baseline ${base_ns} + ${tolerance_pct}%)" >&2
+    fail=1
+fi
+exit "$fail"
