@@ -230,3 +230,4 @@ func BenchmarkAblationFatTree(b *testing.B)  { benchFig(b, "ablfattree", 0.05) }
 func BenchmarkAblationQueueing(b *testing.B) { benchFig(b, "ablqueueing", 0.05) }
 func BenchmarkAblationHedging(b *testing.B)  { benchFig(b, "ablhedge", 0.05) }
 func BenchmarkAblationQuorum(b *testing.B)   { benchFig(b, "ablquorum", 0.05) }
+func BenchmarkAblationCancel(b *testing.B)   { benchFig(b, "ablcancel", 0.05) }

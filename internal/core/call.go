@@ -74,6 +74,36 @@ func (e *QuorumError[T]) Error() string {
 // replica errors to errors.Is/errors.As.
 func (e *QuorumError[T]) Unwrap() []error { return []error{ErrQuorumUnreachable, e.Err} }
 
+// copyCtx is the per-copy derived context: every launched copy receives
+// its own context value whose Done channel closes the moment the
+// operation completes — first win, quorum met, unrecoverable failure, or
+// caller cancel — so losing copies stop work and release their replica
+// promptly. All copies of one call are cancelled at the same instant, so
+// the per-copy values share a single done channel; deadlines and values
+// pass through from the caller's context. This costs one small
+// allocation per copy instead of a full context.WithCancel chain.
+type copyCtx struct {
+	context.Context // parent: Deadline and Value pass through
+	done            <-chan struct{}
+}
+
+// Done implements context.Context.
+func (c *copyCtx) Done() <-chan struct{} { return c.done }
+
+// Err implements context.Context. Once the call completes, the copy is
+// cancelled; a caller-level cancellation cause is preserved.
+func (c *copyCtx) Err() error {
+	select {
+	case <-c.done:
+		if err := c.Context.Err(); err != nil {
+			return err
+		}
+		return context.Canceled
+	default:
+		return c.Context.Err()
+	}
+}
+
 // callSpec is one operation's execution plan, assembled by the shims and
 // by Group.Do.
 type callSpec[T any] struct {
@@ -102,10 +132,11 @@ type callSpec[T any] struct {
 
 // call executes one redundant operation. It returns the operation's
 // Result — Value/Index are the first success, Latency is the time to
-// completion (the quorum-th success), Launched the copies started — or,
-// on failure, the joined ReplicaErrors (quorum 1) or a *QuorumError
-// (quorum > 1). A call never leaks goroutines: losers are cancelled
-// through ctx and always deliver into a buffered channel.
+// completion (the quorum-th success), Launched the copies started,
+// Cancelled the copies reclaimed in flight — or, on failure, the joined
+// ReplicaErrors (quorum 1) or a *QuorumError (quorum > 1). A call never
+// leaks goroutines: each copy runs under a derived copyCtx cancelled at
+// call completion, and losers always deliver into a buffered channel.
 func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 	var zero Result[T]
 	n := sp.n
@@ -120,17 +151,24 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 		return zero, fmt.Errorf("redundancy: quorum %d of %d replicas: %w", q, n, ErrQuorumUnreachable)
 	}
 	start := time.Now()
+	// copyDone closes the moment the call completes, cancelling every
+	// copy still in flight. waitAll (the measurement mode behind All)
+	// never cancels: copies get the caller's context directly.
+	var copyDone chan struct{}
 	if !sp.waitAll {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithCancel(ctx)
-		defer cancel()
+		copyDone = make(chan struct{})
+		defer close(copyDone)
 	}
 
 	// Buffered so losers can always deliver and exit: no goroutine leaks.
 	results := make(chan indexed[T], n)
 	launch := func(i int) {
+		cctx := ctx
+		if copyDone != nil {
+			cctx = &copyCtx{Context: ctx, done: copyDone}
+		}
 		go func() {
-			v, err := sp.run(ctx, i)
+			v, err := sp.run(cctx, i)
 			results <- indexed[T]{val: v, err: err, idx: i}
 		}()
 	}
@@ -181,16 +219,16 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 	}
 
 	var (
-		errs     []error
-		wins     int
-		firstVal T
-		firstIdx int
-		done     int
+		errs      []error
+		wins      int
+		firstVal  T
+		firstIdx  int
+		completed int
 	)
 	for {
 		select {
 		case r := <-results:
-			done++
+			completed++
 			if r.err != nil {
 				if _, ok := r.err.(ReplicaError); !ok {
 					r.err = ReplicaError{Attempt: r.idx, Err: r.err}
@@ -209,18 +247,19 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 				}
 				if !sp.waitAll && wins == q {
 					return Result[T]{
-						Value:    firstVal,
-						Index:    firstIdx,
-						Latency:  time.Since(start),
-						Launched: launched,
+						Value:     firstVal,
+						Index:     firstIdx,
+						Latency:   time.Since(start),
+						Launched:  launched,
+						Cancelled: cancelledAt(results, launched, completed),
 					}, nil
 				}
 			} else if !sp.waitAll && len(errs) > n-q {
 				// Too few replicas remain for the quorum; fail now rather
 				// than waiting out the stragglers.
-				return callFailed(q, wins, launched, errs, collect)
+				return callFailed(q, wins, launched, cancelledAt(results, launched, completed), errs, collect)
 			}
-			if done == n {
+			if completed == n {
 				if wins >= q {
 					// waitAll completion (a non-waitAll call returned at
 					// the quorum-th success above).
@@ -231,9 +270,9 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 						Launched: launched,
 					}, nil
 				}
-				return callFailed(q, wins, launched, errs, collect)
+				return callFailed(q, wins, launched, 0, errs, collect)
 			}
-			if done == launched && launched < n && (sp.waitAll || wins < q) {
+			if completed == launched && launched < n && (sp.waitAll || wins < q) {
 				// Every outstanding copy has completed and the operation
 				// is not done: launch the next copy immediately rather
 				// than waiting out its hedge delay.
@@ -267,20 +306,39 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 				timerC = nil
 			}
 		case <-ctxDone:
-			return Result[T]{Launched: launched}, ctx.Err()
+			return Result[T]{Launched: launched, Cancelled: cancelledAt(results, launched, completed)}, ctx.Err()
+		}
+	}
+}
+
+// cancelledAt reports how many copies are genuinely still in flight at
+// call completion. Results already delivered into the buffered channel
+// but not yet drained belong to copies that completed before the call
+// did — no capacity was reclaimed from them, so counting them as
+// cancelled would overstate the reclaim metric. They are deliberately
+// not folded into wins or outcome collection: the call's semantic
+// result was already decided when it returned.
+func cancelledAt[T any](results <-chan indexed[T], launched, completed int) int {
+	for {
+		select {
+		case <-results:
+			completed++
+		default:
+			return launched - completed
 		}
 	}
 }
 
 // callFailed builds a failed call's result: for quorum 1 the joined
 // ReplicaErrors (the historical First/Hedged contract), for larger
-// quorums a *QuorumError carrying the partial outcomes. Launched is
-// reported even on failure: budget accounting and observers need the
-// real fan-out.
-func callFailed[T any](q, wins, launched int, errs []error, collect *[]Outcome[T]) (Result[T], error) {
+// quorums a *QuorumError carrying the partial outcomes. Launched and
+// Cancelled are reported even on failure: budget accounting and
+// observers need the real fan-out and the copies reclaimed in flight.
+func callFailed[T any](q, wins, launched, cancelled int, errs []error, collect *[]Outcome[T]) (Result[T], error) {
 	joined := errors.Join(errs...)
+	res := Result[T]{Launched: launched, Cancelled: cancelled}
 	if q == 1 {
-		return Result[T]{Launched: launched}, joined
+		return res, joined
 	}
 	var outs []Outcome[T]
 	if collect != nil {
@@ -288,5 +346,5 @@ func callFailed[T any](q, wins, launched int, errs []error, collect *[]Outcome[T
 		// through the same WithCollectOutcomes resets and refills.
 		outs = append(outs, *collect...)
 	}
-	return Result[T]{Launched: launched}, &QuorumError[T]{Need: q, Wins: wins, Outcomes: outs, Err: joined}
+	return res, &QuorumError[T]{Need: q, Wins: wins, Outcomes: outs, Err: joined}
 }

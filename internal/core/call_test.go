@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"redundancy/internal/core/coretest"
 )
 
 // --- Zero / negative hedge delays launch immediately (no timer). ---
@@ -18,8 +20,8 @@ func TestHedgedZeroDelayLaunchesAllImmediately(t *testing.T) {
 	// any timer tick could have fired against the stuck primary.
 	start := time.Now()
 	res, err := Hedged(context.Background(), 0,
-		sleeper("stuck", time.Hour),
-		sleeper("hedge", time.Millisecond),
+		coretest.Sleeper("stuck", time.Hour),
+		coretest.Sleeper("hedge", time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -37,8 +39,8 @@ func TestHedgedZeroDelayLaunchesAllImmediately(t *testing.T) {
 
 func TestHedgedNegativeDelayLaunchesAllImmediately(t *testing.T) {
 	res, err := Hedged(context.Background(), -time.Second,
-		sleeper("stuck", time.Hour),
-		sleeper("hedge", time.Millisecond),
+		coretest.Sleeper("stuck", time.Hour),
+		coretest.Sleeper("hedge", time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +55,7 @@ func TestHedgedScheduleZeroPrefixLaunchesTogether(t *testing.T) {
 	// sits behind a delay no test should ever wait out.
 	var launches atomic.Int32
 	mk := func(v string, d time.Duration) Replica[string] {
-		inner := sleeper(v, d)
+		inner := coretest.Sleeper(v, d)
 		return func(ctx context.Context) (string, error) {
 			launches.Add(1)
 			return inner(ctx)
@@ -85,9 +87,9 @@ func TestHedgedScheduleZeroDelayAfterTimer(t *testing.T) {
 	// the same time.
 	res, err := HedgedSchedule(context.Background(),
 		[]time.Duration{0, 5 * time.Millisecond, 0},
-		sleeper("stuck", time.Hour),
-		sleeper("slow-hedge", time.Hour),
-		sleeper("fast-hedge", time.Millisecond),
+		coretest.Sleeper("stuck", time.Hour),
+		coretest.Sleeper("slow-hedge", time.Hour),
+		coretest.Sleeper("fast-hedge", time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -105,8 +107,8 @@ func TestHedgedScheduleZeroDelayAfterTimer(t *testing.T) {
 func TestFirstErrorsAreReplicaErrors(t *testing.T) {
 	cause := errors.New("boom")
 	_, err := First(context.Background(),
-		failer[int](cause, time.Millisecond),
-		failer[int](cause, time.Millisecond),
+		coretest.Failer[int](cause, time.Millisecond),
+		coretest.Failer[int](cause, time.Millisecond),
 	)
 	if err == nil {
 		t.Fatal("want error")
@@ -123,8 +125,8 @@ func TestFirstErrorsAreReplicaErrors(t *testing.T) {
 func TestGroupDoErrorsCarryReplicaNames(t *testing.T) {
 	cause := errors.New("down")
 	g := NewGroup[int](Policy{Copies: 2})
-	g.Add("alpha", failer[int](cause, time.Millisecond))
-	g.Add("beta", failer[int](cause, time.Millisecond))
+	g.Add("alpha", coretest.Failer[int](cause, time.Millisecond))
+	g.Add("beta", coretest.Failer[int](cause, time.Millisecond))
 	_, err := g.Do(context.Background())
 	if err == nil {
 		t.Fatal("want error")
@@ -156,9 +158,9 @@ func TestReplicaErrorFormat(t *testing.T) {
 
 func TestGroupDoQuorumCollectsWins(t *testing.T) {
 	g := NewGroup[string](Policy{Copies: 3})
-	g.Add("a", sleeper("a", time.Millisecond))
-	g.Add("b", sleeper("b", 5*time.Millisecond))
-	g.Add("c", sleeper("c", 300*time.Millisecond))
+	g.Add("a", coretest.Sleeper("a", time.Millisecond))
+	g.Add("b", coretest.Sleeper("b", 5*time.Millisecond))
+	g.Add("c", coretest.Sleeper("c", 300*time.Millisecond))
 	var outs []Outcome[string]
 	res, err := g.Do(context.Background(), WithQuorum(2), WithCollectOutcomes(&outs))
 	if err != nil {
@@ -185,8 +187,8 @@ func TestGroupDoQuorumRaisesFanout(t *testing.T) {
 	// The group's strategy says one copy; a quorum of 2 must still launch
 	// two.
 	g := NewGroup[int](Policy{Copies: 1})
-	g.Add("a", sleeper(1, time.Millisecond))
-	g.Add("b", sleeper(2, time.Millisecond))
+	g.Add("a", coretest.Sleeper(1, time.Millisecond))
+	g.Add("b", coretest.Sleeper(2, time.Millisecond))
 	res, err := g.Do(context.Background(), WithQuorum(2))
 	if err != nil {
 		t.Fatal(err)
@@ -199,9 +201,9 @@ func TestGroupDoQuorumRaisesFanout(t *testing.T) {
 func TestGroupDoQuorumUnreachable(t *testing.T) {
 	cause := errors.New("down")
 	g := NewGroup[int](Policy{Copies: 3})
-	g.Add("a", sleeper(1, time.Millisecond))
-	g.Add("b", failer[int](cause, time.Millisecond))
-	g.Add("c", failer[int](cause, time.Millisecond))
+	g.Add("a", coretest.Sleeper(1, time.Millisecond))
+	g.Add("b", coretest.Failer[int](cause, time.Millisecond))
+	g.Add("c", coretest.Failer[int](cause, time.Millisecond))
 	_, err := g.Do(context.Background(), WithQuorum(2))
 	if err == nil {
 		t.Fatal("2-of-3 with 2 failures must error")
@@ -230,7 +232,7 @@ func TestGroupDoQuorumUnreachable(t *testing.T) {
 
 func TestGroupDoQuorumExceedsReplicas(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 1})
-	g.Add("a", sleeper(1, time.Millisecond))
+	g.Add("a", coretest.Sleeper(1, time.Millisecond))
 	_, err := g.Do(context.Background(), WithQuorum(2))
 	if !errors.Is(err, ErrQuorumUnreachable) {
 		t.Errorf("quorum 2 of 1: got %v, want ErrQuorumUnreachable", err)
@@ -243,7 +245,7 @@ func TestGroupDoStrategyOverride(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 1})
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Millisecond))
 	}
 	res, err := g.Do(context.Background(), WithStrategyOverride(FullReplicate{}))
 	if err != nil {
@@ -269,7 +271,7 @@ func TestGroupDoFanoutCap(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 3})
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Millisecond))
 	}
 	res, err := g.Do(context.Background(), WithFanoutCap(1))
 	if err != nil {
@@ -291,7 +293,7 @@ func TestGroupDoFanoutCap(t *testing.T) {
 func TestGroupDoLabelReachesObserver(t *testing.T) {
 	c := NewCounters()
 	g := NewGroup[int](Policy{Copies: 1}, WithObserver[int](c))
-	g.Add("a", sleeper(1, time.Millisecond))
+	g.Add("a", coretest.Sleeper(1, time.Millisecond))
 	for i := 0; i < 3; i++ {
 		if _, err := g.Do(context.Background(), WithLabel("checkout")); err != nil {
 			t.Fatal(err)
@@ -323,7 +325,7 @@ func TestGroupDoLabelReachesObserver(t *testing.T) {
 
 func TestGroupDoCollectSinkTypeMismatch(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 1})
-	g.Add("a", sleeper(1, time.Millisecond))
+	g.Add("a", coretest.Sleeper(1, time.Millisecond))
 	var wrong []Outcome[string]
 	_, err := g.Do(context.Background(), WithCollectOutcomes(&wrong))
 	if err == nil {
@@ -333,7 +335,7 @@ func TestGroupDoCollectSinkTypeMismatch(t *testing.T) {
 
 func TestGroupDoCollectSinkReset(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 1})
-	g.Add("a", sleeper(1, time.Millisecond))
+	g.Add("a", coretest.Sleeper(1, time.Millisecond))
 	outs := make([]Outcome[int], 5) // stale entries must not survive
 	if _, err := g.Do(context.Background(), WithCollectOutcomes(&outs)); err != nil {
 		t.Fatal(err)
@@ -368,7 +370,7 @@ func TestGroupDoQuorumBudgetRefundsUnlaunched(t *testing.T) {
 	)
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Millisecond))
 	}
 	res, err := g.Do(context.Background(), WithQuorum(2))
 	if err != nil {
@@ -391,7 +393,7 @@ func TestGroupDoQuorumBudgetConsumedWhenLaunched(t *testing.T) {
 	)
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Millisecond))
 	}
 	res, err := g.Do(context.Background(), WithQuorum(2))
 	if err != nil {
@@ -415,7 +417,7 @@ func TestGroupDoQuorumBudgetExhaustedDegradesToQuorum(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 3}, WithBudget[int](b))
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Millisecond))
 	}
 	res, err := g.Do(context.Background(), WithQuorum(2))
 	if err != nil {
@@ -444,7 +446,7 @@ func TestGroupDoQuorumBudgetAccountingUnderConcurrency(t *testing.T) {
 	)
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Microsecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Microsecond))
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -473,7 +475,7 @@ func TestGroupDoOptionMatrixUnderChurn(t *testing.T) {
 		i := i
 		name := fmt.Sprintf("r%d", i)
 		names = append(names, name)
-		g.Add(name, sleeper(i, time.Microsecond))
+		g.Add(name, coretest.Sleeper(i, time.Microsecond))
 	}
 	stop := make(chan struct{})
 	var churn sync.WaitGroup
@@ -489,7 +491,7 @@ func TestGroupDoOptionMatrixUnderChurn(t *testing.T) {
 			}
 			name := names[rng.Intn(len(names))]
 			if g.Remove(name) {
-				g.Add(name, sleeper(0, time.Microsecond))
+				g.Add(name, coretest.Sleeper(0, time.Microsecond))
 			}
 			if i%7 == 0 {
 				g.SetStrategy(AdaptiveHedge{Copies: 2})
@@ -541,9 +543,9 @@ func TestShimEquivalenceFirstMatchesGroupSingleCall(t *testing.T) {
 	// pick the same winner and launch the same number of copies.
 	mk := func() []Replica[string] {
 		return []Replica[string]{
-			sleeper("slow", 100*time.Millisecond),
-			sleeper("fast", time.Millisecond),
-			sleeper("mid", 50*time.Millisecond),
+			coretest.Sleeper("slow", 100*time.Millisecond),
+			coretest.Sleeper("fast", time.Millisecond),
+			coretest.Sleeper("mid", 50*time.Millisecond),
 		}
 	}
 	res1, err := First(context.Background(), mk()...)
@@ -566,9 +568,9 @@ func TestShimEquivalenceFirstMatchesGroupSingleCall(t *testing.T) {
 func TestShimEquivalenceQuorumMatchesGroupWithQuorum(t *testing.T) {
 	mkFree := func() []Replica[int] {
 		return []Replica[int]{
-			sleeper(0, time.Millisecond),
-			sleeper(1, 5*time.Millisecond),
-			sleeper(2, 200*time.Millisecond),
+			coretest.Sleeper(0, time.Millisecond),
+			coretest.Sleeper(1, 5*time.Millisecond),
+			coretest.Sleeper(2, 200*time.Millisecond),
 		}
 	}
 	outs, err := Quorum(context.Background(), 2, mkFree()...)
@@ -600,16 +602,16 @@ func TestShimEquivalenceQuorumMatchesGroupWithQuorum(t *testing.T) {
 func TestShimEquivalenceErrorTexts(t *testing.T) {
 	// The historical error formats callers may have matched on.
 	e1 := errors.New("first bad")
-	_, err := First(context.Background(), failer[int](e1, time.Millisecond))
+	_, err := First(context.Background(), coretest.Failer[int](e1, time.Millisecond))
 	if err == nil || err.Error() != "replica 0: first bad" {
 		t.Errorf("First error text %q", err)
 	}
-	if _, err := Quorum(context.Background(), 0, sleeper(1, 0)); err == nil ||
+	if _, err := Quorum(context.Background(), 0, coretest.Sleeper(1, 0)); err == nil ||
 		err.Error() != "redundancy: quorum 0 of 1 replicas" {
 		t.Errorf("Quorum validation text %q", err)
 	}
 	// q > n is the unreachable taxonomy, like Group.Do.
-	if _, err := Quorum(context.Background(), 3, sleeper(1, 0), sleeper(2, 0)); !errors.Is(err, ErrQuorumUnreachable) {
+	if _, err := Quorum(context.Background(), 3, coretest.Sleeper(1, 0), coretest.Sleeper(2, 0)); !errors.Is(err, ErrQuorumUnreachable) {
 		t.Errorf("Quorum q > n: got %v, want ErrQuorumUnreachable", err)
 	}
 }
@@ -617,9 +619,9 @@ func TestShimEquivalenceErrorTexts(t *testing.T) {
 func TestQuorumUnreachableIsTyped(t *testing.T) {
 	e := errors.New("down")
 	_, err := Quorum(context.Background(), 2,
-		failer[int](e, time.Millisecond),
-		failer[int](e, time.Millisecond),
-		sleeper(1, 5*time.Millisecond),
+		coretest.Failer[int](e, time.Millisecond),
+		coretest.Failer[int](e, time.Millisecond),
+		coretest.Sleeper(1, 5*time.Millisecond),
 	)
 	if err == nil {
 		t.Fatal("want error")
@@ -644,7 +646,7 @@ func TestGroupDoQuorumCopiesLaunchImmediately(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 3, HedgeDelay: time.Hour})
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Millisecond))
 	}
 	start := time.Now()
 	res, err := g.Do(context.Background(), WithQuorum(2))
@@ -664,8 +666,8 @@ func TestQuorumErrorOutcomesSurviveSinkReuse(t *testing.T) {
 	// sink: a retry through the same sink resets and refills it.
 	cause := errors.New("down")
 	g := NewGroup[string](Policy{Copies: 2})
-	g.Add("ok", sleeper("salvage-me", time.Millisecond))
-	g.Add("bad", failer[string](cause, 5*time.Millisecond))
+	g.Add("ok", coretest.Sleeper("salvage-me", time.Millisecond))
+	g.Add("bad", coretest.Failer[string](cause, 5*time.Millisecond))
 	var outs []Outcome[string]
 	_, err := g.Do(context.Background(), WithQuorum(2), WithCollectOutcomes(&outs))
 	var qe *QuorumError[string]
@@ -697,7 +699,7 @@ func TestGroupDoQuorumWithAdaptiveHedgeWarm(t *testing.T) {
 	g := NewStrategyGroup[int](AdaptiveHedge{Copies: 3, MinSamples: 1, FallbackDelay: time.Millisecond})
 	for i := 0; i < 3; i++ {
 		i := i
-		g.Add(fmt.Sprintf("r%d", i), sleeper(i, time.Millisecond))
+		g.Add(fmt.Sprintf("r%d", i), coretest.Sleeper(i, time.Millisecond))
 	}
 	g.ProbeAll(context.Background())
 	var outs []Outcome[int]
@@ -716,5 +718,158 @@ func TestGroupDoQuorumWithAdaptiveHedgeWarm(t *testing.T) {
 	}
 	if res.Launched < 2 {
 		t.Errorf("Launched = %d, want >= 2", res.Launched)
+	}
+}
+
+// --- Cancellation edges: derived per-copy contexts and the cancelled
+// accounting, separate from failures. ---
+
+func TestCallerCancelMidQuorum(t *testing.T) {
+	// Quorum 2 of 3: one instant win, two copies blocked. The caller
+	// cancels mid-quorum; the call must return the caller's error and
+	// report both outstanding copies cancelled, and the blocked copies
+	// must observe cancellation through their derived contexts.
+	g := NewGroup[int](Policy{Copies: 3})
+	c1 := coretest.NewGate()
+	c2 := coretest.NewGate()
+	g.Add("win", coretest.Instant(1))
+	g.Add("b1", coretest.CancelReporting(c1, coretest.Blocked(2, coretest.NewGate())))
+	g.Add("b2", coretest.CancelReporting(c2, coretest.Blocked(3, coretest.NewGate())))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var res Result[int]
+	var err error
+	go func() {
+		defer close(done)
+		res, err = g.Do(ctx, WithQuorum(2))
+	}()
+	cancel()
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res.Launched != 3 {
+		t.Errorf("Launched = %d, want 3", res.Launched)
+	}
+	// The instant winner may or may not have completed before the cancel
+	// won the race; the blocked copies never complete.
+	if res.Cancelled < 2 || res.Cancelled > 3 {
+		t.Errorf("Cancelled = %d, want 2 or 3", res.Cancelled)
+	}
+	for _, gate := range []*coretest.Gate{c1, c2} {
+		select {
+		case <-gate.C():
+		case <-time.After(2 * time.Second):
+			t.Fatal("blocked quorum copy never observed cancellation")
+		}
+	}
+}
+
+func TestWinnerCompletesWhileHedgeStillDialing(t *testing.T) {
+	// The hedge is mid-"dial" (blocked before doing any work) when the
+	// primary completes: it must be cancelled through its derived
+	// context, counted in Result.Cancelled, and recorded per replica —
+	// not as a failure.
+	c := NewCounters()
+	g := NewStrategyGroup[string](
+		scheduleStrategy{copies: 2, sched: []time.Duration{0, 0}},
+		WithObserver[string](c),
+	)
+	release := coretest.NewGate()
+	hedgeCancelled := coretest.NewGate()
+	g.Add("primary", coretest.Blocked("primary", release))
+	g.Add("hedge", coretest.CancelReporting(hedgeCancelled, coretest.Blocked("hedge", coretest.NewGate())))
+	// Rank the primary fastest so selection order is deterministic.
+	g.Digest("primary").Observe(time.Millisecond)
+	g.Digest("hedge").Observe(time.Hour)
+
+	release.Release()
+	res, err := g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "primary" {
+		t.Fatalf("winner %q", res.Value)
+	}
+	if res.Launched != 2 || res.Cancelled != 1 {
+		t.Errorf("Launched/Cancelled = %d/%d, want 2/1", res.Launched, res.Cancelled)
+	}
+	select {
+	case <-hedgeCancelled.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("dialing hedge never observed cancellation")
+	}
+	// Observer accounting: one op, one cancelled copy, zero failures.
+	if got := c.CancelledCopies(); got != 1 {
+		t.Errorf("CancelledCopies = %d, want 1", got)
+	}
+	if c.Failures() != 0 {
+		t.Errorf("Failures = %d, want 0 (cancellation is not failure)", c.Failures())
+	}
+	// Per-replica stats converge once the cancelled goroutine finishes.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if statsCancelled(g.Stats(), "hedge") == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := statsCancelled(g.Stats(), "hedge"); got != 1 {
+		t.Errorf("hedge ReplicaStats.Cancelled = %d, want 1", got)
+	}
+	if got := statsCancelled(g.Stats(), "primary"); got != 0 {
+		t.Errorf("primary ReplicaStats.Cancelled = %d, want 0", got)
+	}
+}
+
+func statsCancelled(s GroupStats, name string) int64 {
+	for _, r := range s.Replicas {
+		if r.Name == name {
+			return r.Cancelled
+		}
+	}
+	return -1
+}
+
+func TestCancelledCopiesLabelled(t *testing.T) {
+	c := NewCounters()
+	g := NewGroup[string](Policy{Copies: 2}, WithObserver[string](c))
+	g.Add("fast", coretest.Instant("fast"))
+	g.Add("stuck", coretest.Blocked("stuck", coretest.NewGate()))
+	for i := 0; i < 3; i++ {
+		if _, err := g.Do(context.Background(), WithLabel("reads")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CancelledCopies(); got != 3 {
+		t.Errorf("CancelledCopies = %d, want 3", got)
+	}
+	labels := c.Labels()
+	if len(labels) != 1 || labels[0].Cancelled != 3 {
+		t.Errorf("Labels() = %+v, want reads with 3 cancelled", labels)
+	}
+}
+
+func TestAllRunsEverythingNoCancellation(t *testing.T) {
+	// The measurement mode must not cancel anything: every copy completes
+	// and Cancelled stays 0.
+	gate := coretest.NewGate()
+	gate.Release()
+	outs := All(context.Background(),
+		coretest.Instant(1),
+		coretest.Blocked(2, gate),
+		coretest.Fail[int](errors.New("x")),
+	)
+	if len(outs) != 3 {
+		t.Fatalf("outcomes %d", len(outs))
+	}
+	for i, o := range outs {
+		if i == 2 && o.Err == nil {
+			t.Error("failing replica reported success")
+		}
+		if i != 2 && o.Err != nil {
+			t.Errorf("replica %d failed: %v", i, o.Err)
+		}
 	}
 }

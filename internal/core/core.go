@@ -49,6 +49,11 @@ type Result[T any] struct {
 	Latency time.Duration
 	// Launched is how many copies were actually started.
 	Launched int
+	// Cancelled is how many launched copies were still in flight when the
+	// operation completed and were cancelled through their derived
+	// contexts — reclaimed capacity, counted separately from failures.
+	// (Always zero for All, which runs every copy to completion.)
+	Cancelled int
 }
 
 // ErrNoReplicas is returned when an operation is attempted with zero

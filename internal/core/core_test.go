@@ -9,38 +9,14 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"redundancy/internal/core/coretest"
 )
-
-// sleeper returns a replica that returns v after d, or ctx.Err() if
-// cancelled first.
-func sleeper[T any](v T, d time.Duration) Replica[T] {
-	return func(ctx context.Context) (T, error) {
-		select {
-		case <-time.After(d):
-			return v, nil
-		case <-ctx.Done():
-			var zero T
-			return zero, ctx.Err()
-		}
-	}
-}
-
-func failer[T any](err error, d time.Duration) Replica[T] {
-	return func(ctx context.Context) (T, error) {
-		var zero T
-		select {
-		case <-time.After(d):
-			return zero, err
-		case <-ctx.Done():
-			return zero, ctx.Err()
-		}
-	}
-}
 
 func TestFirstReturnsFastest(t *testing.T) {
 	res, err := First(context.Background(),
-		sleeper("slow", 200*time.Millisecond),
-		sleeper("fast", 5*time.Millisecond),
+		coretest.Sleeper("slow", 200*time.Millisecond),
+		coretest.Sleeper("fast", 5*time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -57,33 +33,29 @@ func TestFirstReturnsFastest(t *testing.T) {
 }
 
 func TestFirstCancelsLosers(t *testing.T) {
-	var cancelled atomic.Bool
-	loser := func(ctx context.Context) (string, error) {
-		select {
-		case <-ctx.Done():
-			cancelled.Store(true)
-			return "", ctx.Err()
-		case <-time.After(5 * time.Second):
-			return "too slow", nil
-		}
-	}
-	_, err := First(context.Background(), sleeper("win", time.Millisecond), loser)
+	// The loser blocks on an unreleased gate, so it can only finish by
+	// observing its context's cancellation — reported through a second
+	// gate the test waits on, with no polling.
+	cancelled := coretest.NewGate()
+	loser := coretest.CancelReporting(cancelled, coretest.Blocked("too slow", coretest.NewGate()))
+	res, err := First(context.Background(), coretest.Instant("win"), loser)
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(time.Second)
-	for !cancelled.Load() && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	if res.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1", res.Cancelled)
 	}
-	if !cancelled.Load() {
+	select {
+	case <-cancelled.C():
+	case <-time.After(2 * time.Second):
 		t.Error("loser was not cancelled after winner returned")
 	}
 }
 
 func TestFirstSkipsFailuresAndUsesSlowerSuccess(t *testing.T) {
 	res, err := First(context.Background(),
-		failer[string](errors.New("boom"), time.Millisecond),
-		sleeper("ok", 20*time.Millisecond),
+		coretest.Failer[string](errors.New("boom"), time.Millisecond),
+		coretest.Sleeper("ok", 20*time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -96,8 +68,8 @@ func TestFirstSkipsFailuresAndUsesSlowerSuccess(t *testing.T) {
 func TestFirstAllFailJoinsErrors(t *testing.T) {
 	e1, e2 := errors.New("first bad"), errors.New("second bad")
 	_, err := First(context.Background(),
-		failer[int](e1, time.Millisecond),
-		failer[int](e2, 2*time.Millisecond),
+		coretest.Failer[int](e1, time.Millisecond),
+		coretest.Failer[int](e2, 2*time.Millisecond),
 	)
 	if err == nil {
 		t.Fatal("want error when all replicas fail")
@@ -118,23 +90,32 @@ func TestFirstNoReplicas(t *testing.T) {
 }
 
 func TestFirstParentContextCancel(t *testing.T) {
+	// Cancel once the replica is demonstrably running (it signals via the
+	// started gate and then blocks forever): no sleep-guessed delay.
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := coretest.NewGate()
+	never := coretest.NewGate()
+	rep := func(ctx context.Context) (string, error) {
+		started.Release()
+		return coretest.Blocked("never", never)(ctx)
+	}
 	go func() {
-		time.Sleep(10 * time.Millisecond)
+		<-started.C()
 		cancel()
 	}()
 	start := time.Now()
-	_, err := First(ctx, sleeper("never", 5*time.Second))
+	_, err := First(ctx, rep)
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("got %v, want context.Canceled", err)
 	}
-	if time.Since(start) > time.Second {
+	if time.Since(start) > 2*time.Second {
 		t.Error("cancel did not unblock First promptly")
 	}
 }
 
 func TestFirstValue(t *testing.T) {
-	v, err := FirstValue(context.Background(), sleeper(42, time.Millisecond))
+	v, err := FirstValue(context.Background(), coretest.Sleeper(42, time.Millisecond))
 	if err != nil || v != 42 {
 		t.Errorf("FirstValue = (%v, %v), want (42, nil)", v, err)
 	}
@@ -144,9 +125,9 @@ func TestFirstNoGoroutineLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for i := 0; i < 50; i++ {
 		_, err := First(context.Background(),
-			sleeper("fast", time.Millisecond),
-			sleeper("slow", 30*time.Millisecond),
-			failer[string](errors.New("x"), 10*time.Millisecond),
+			coretest.Sleeper("fast", time.Millisecond),
+			coretest.Sleeper("slow", 30*time.Millisecond),
+			coretest.Failer[string](errors.New("x"), 10*time.Millisecond),
 		)
 		if err != nil {
 			t.Fatal(err)
@@ -164,17 +145,12 @@ func TestFirstNoGoroutineLeak(t *testing.T) {
 }
 
 func TestHedgedSingleCopyWhenFast(t *testing.T) {
+	// An instant primary against a generous hedge delay: the hedge (which
+	// would block forever) must never launch.
 	var launches atomic.Int32
-	mk := func(v string, d time.Duration) Replica[string] {
-		inner := sleeper(v, d)
-		return func(ctx context.Context) (string, error) {
-			launches.Add(1)
-			return inner(ctx)
-		}
-	}
 	res, err := Hedged(context.Background(), 100*time.Millisecond,
-		mk("primary", 5*time.Millisecond),
-		mk("hedge", 5*time.Millisecond),
+		coretest.Counting(&launches, coretest.Instant("primary")),
+		coretest.Counting(&launches, coretest.Blocked("hedge", coretest.NewGate())),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -191,9 +167,11 @@ func TestHedgedSingleCopyWhenFast(t *testing.T) {
 }
 
 func TestHedgedLaunchesSecondWhenSlow(t *testing.T) {
+	// The primary blocks forever, so only the hedge can win — and it can
+	// only launch after the hedge delay expires.
 	res, err := Hedged(context.Background(), 10*time.Millisecond,
-		sleeper("slow-primary", 500*time.Millisecond),
-		sleeper("hedge", 5*time.Millisecond),
+		coretest.Blocked("slow-primary", coretest.NewGate()),
+		coretest.Instant("hedge"),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -201,8 +179,8 @@ func TestHedgedLaunchesSecondWhenSlow(t *testing.T) {
 	if res.Value != "hedge" || res.Index != 1 {
 		t.Errorf("got %q from %d, want hedge/1", res.Value, res.Index)
 	}
-	if res.Latency > 200*time.Millisecond {
-		t.Errorf("hedge too slow: %v", res.Latency)
+	if res.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1 (the blocked primary)", res.Cancelled)
 	}
 }
 
@@ -210,9 +188,9 @@ func TestHedgedImmediateOnFailure(t *testing.T) {
 	// If the primary fails fast, the hedge launches immediately rather
 	// than waiting out the delay.
 	start := time.Now()
-	res, err := Hedged(context.Background(), 5*time.Second,
-		failer[string](errors.New("down"), time.Millisecond),
-		sleeper("backup", time.Millisecond),
+	res, err := Hedged(context.Background(), time.Hour,
+		coretest.Fail[string](errors.New("down")),
+		coretest.Instant("backup"),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -227,8 +205,8 @@ func TestHedgedImmediateOnFailure(t *testing.T) {
 
 func TestHedgedAllFail(t *testing.T) {
 	_, err := Hedged(context.Background(), time.Millisecond,
-		failer[int](errors.New("a"), time.Millisecond),
-		failer[int](errors.New("b"), time.Millisecond),
+		coretest.Fail[int](errors.New("a")),
+		coretest.Fail[int](errors.New("b")),
 	)
 	if err == nil || !strings.Contains(err.Error(), "a") || !strings.Contains(err.Error(), "b") {
 		t.Errorf("want joined errors, got %v", err)
@@ -244,7 +222,7 @@ func TestHedgedScheduleLengthMismatch(t *testing.T) {
 
 	// Shorter than the replica slice.
 	if _, err := HedgedSchedule(context.Background(), []time.Duration{0},
-		sleeper(1, time.Millisecond), sleeper(2, time.Millisecond)); err == nil {
+		coretest.Sleeper(1, time.Millisecond), coretest.Sleeper(2, time.Millisecond)); err == nil {
 		t.Error("short schedule accepted")
 	}
 	// Longer than the replica slice.
@@ -276,17 +254,18 @@ func TestHedgedScheduleLengthMismatch(t *testing.T) {
 func TestHedgedScheduleStaggers(t *testing.T) {
 	var order []int
 	mu := newChanLock()
-	mk := func(i int, d time.Duration) Replica[int] {
+	never := coretest.NewGate()
+	mk := func(i int, inner func(context.Context) (int, error)) Replica[int] {
 		return func(ctx context.Context) (int, error) {
 			mu.Lock()
 			order = append(order, i)
 			mu.Unlock()
-			return sleeper(i, d)(ctx)
+			return inner(ctx)
 		}
 	}
 	res, err := HedgedSchedule(context.Background(),
 		[]time.Duration{0, 5 * time.Millisecond, 5 * time.Millisecond},
-		mk(0, time.Hour), mk(1, time.Hour), mk(2, time.Millisecond),
+		mk(0, coretest.Blocked(0, never)), mk(1, coretest.Blocked(1, never)), mk(2, coretest.Instant(2)),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -312,14 +291,14 @@ func (l *chanLock) Lock()   { l.ch <- struct{}{} }
 func (l *chanLock) Unlock() { <-l.ch }
 
 func TestFirstManyReplicas(t *testing.T) {
+	// 63 replicas block forever; only replica 17 can win — no race
+	// between 64 wall-clock timers.
+	never := coretest.NewGate()
 	reps := make([]Replica[int], 64)
 	for i := range reps {
-		d := time.Duration(i+1) * 10 * time.Millisecond
-		if i == 17 {
-			d = time.Millisecond
-		}
-		reps[i] = sleeper(i, d)
+		reps[i] = coretest.Blocked(i, never)
 	}
+	reps[17] = coretest.Instant(17)
 	res, err := First(context.Background(), reps...)
 	if err != nil {
 		t.Fatal(err)
@@ -327,10 +306,13 @@ func TestFirstManyReplicas(t *testing.T) {
 	if res.Value != 17 {
 		t.Errorf("winner %d, want 17", res.Value)
 	}
+	if res.Cancelled != 63 {
+		t.Errorf("Cancelled = %d, want 63", res.Cancelled)
+	}
 }
 
 func TestResultLatencyMeasured(t *testing.T) {
-	res, err := First(context.Background(), sleeper("x", 30*time.Millisecond))
+	res, err := First(context.Background(), coretest.Sleeper("x", 30*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}

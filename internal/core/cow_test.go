@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"redundancy/internal/core/coretest"
 )
 
 // --- Copy-on-write engine: dynamic membership. ---
@@ -57,9 +59,9 @@ func TestGroupRemoveKeepsEstimates(t *testing.T) {
 	// Membership changes must not reset surviving replicas' estimates:
 	// members are shared across snapshots.
 	g := NewGroup[string](Policy{Copies: 2})
-	g.Add("a", sleeper("a", time.Millisecond))
-	g.Add("b", sleeper("b", time.Millisecond))
-	g.Add("c", sleeper("c", time.Millisecond))
+	g.Add("a", coretest.Sleeper("a", time.Millisecond))
+	g.Add("b", coretest.Sleeper("b", time.Millisecond))
+	g.Add("c", coretest.Sleeper("c", time.Millisecond))
 	if ok := g.ProbeAll(context.Background()); ok != 3 {
 		t.Fatalf("ProbeAll = %d", ok)
 	}
@@ -211,8 +213,8 @@ func TestGroupConcurrentStatsConsistency(t *testing.T) {
 
 func TestGroupStatsObservations(t *testing.T) {
 	g := NewGroup[string](Policy{Copies: 1})
-	g.Add("a", sleeper("a", time.Millisecond))
-	g.Add("b", sleeper("b", 2*time.Millisecond))
+	g.Add("a", coretest.Sleeper("a", time.Millisecond))
+	g.Add("b", coretest.Sleeper("b", 2*time.Millisecond))
 	s := g.Stats()
 	for _, r := range s.Replicas {
 		if r.Observed || r.Observations != 0 || r.EstimatedLatency != 0 {
@@ -277,8 +279,8 @@ func TestGroupBudgetConsumedByFailedCopies(t *testing.T) {
 	b := NewBudget(0, 1)
 	g := NewGroup[int](Policy{Copies: 2, Selection: SelectRandom},
 		WithBudget[int](b), WithSeed[int](6))
-	g.Add("bad1", failer[int](errors.New("down"), time.Millisecond))
-	g.Add("bad2", failer[int](errors.New("down"), time.Millisecond))
+	g.Add("bad1", coretest.Failer[int](errors.New("down"), time.Millisecond))
+	g.Add("bad2", coretest.Failer[int](errors.New("down"), time.Millisecond))
 	res, err := g.Do(context.Background())
 	if err == nil {
 		t.Fatal("want error from all-failing replicas")
@@ -396,9 +398,9 @@ func TestKeyedGroupConcurrentKeys(t *testing.T) {
 
 func TestRankedSelectionMatchesRankedNames(t *testing.T) {
 	g := NewGroup[string](Policy{Copies: 2, Selection: SelectRanked})
-	g.Add("slow", sleeper("slow", 20*time.Millisecond))
-	g.Add("mid", sleeper("mid", 8*time.Millisecond))
-	g.Add("fast", sleeper("fast", time.Millisecond))
+	g.Add("slow", coretest.Sleeper("slow", 20*time.Millisecond))
+	g.Add("mid", coretest.Sleeper("mid", 8*time.Millisecond))
+	g.Add("fast", coretest.Sleeper("fast", time.Millisecond))
 	if ok := g.ProbeAll(context.Background()); ok != 3 {
 		t.Fatalf("ProbeAll = %d", ok)
 	}

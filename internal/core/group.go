@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -114,6 +115,10 @@ type member[K, T any] struct {
 	// call's latency into the digest — no per-operation closures.
 	rec ArgReplica[K, T]
 	lat LatDigest
+	// cancelled counts this replica's copies that observed their derived
+	// context's cancellation and returned its error — losing copies the
+	// engine reclaimed, kept separate from real failures.
+	cancelled atomic.Int64
 }
 
 // memberDigests adapts a picked-member slice to the Digests view a
@@ -175,6 +180,10 @@ func (g *KeyedGroup[K, T]) Add(name string, fn ArgReplica[K, T]) {
 		v, err := fn(ctx, arg)
 		if err == nil {
 			m.lat.observe(float64(time.Since(t0)))
+		} else if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			// The copy lost and honored its derived context: reclaimed
+			// work, not a replica failure.
+			m.cancelled.Add(1)
 		}
 		return v, err
 	}
@@ -331,6 +340,9 @@ type ReplicaStats struct {
 	Observed bool
 	// Observations counts the successful calls folded into the digest.
 	Observations int64
+	// Cancelled counts this replica's copies cancelled in flight (losing
+	// copies that honored their derived context), separate from failures.
+	Cancelled int64
 	// P50, P95, P99 are latency-quantile estimates from the replica's
 	// digest (zero if unobserved).
 	P50, P95, P99 time.Duration
@@ -370,6 +382,7 @@ func (g *KeyedGroup[K, T]) Stats() GroupStats {
 			EstimatedLatency: time.Duration(v),
 			Observed:         ok,
 			Observations:     m.lat.Count(),
+			Cancelled:        m.cancelled.Load(),
 			P50:              qs[0],
 			P95:              qs[1],
 			P99:              qs[2],
@@ -400,6 +413,15 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 	strat := st.strategy
 	if co.strategy != nil {
 		strat = co.strategy
+	}
+	// A load-aware strategy carries a Governor: feed it one utilization
+	// sample per operation (in-flight copies per replica, the offered
+	// load including redundancy) before Fanout consults its EWMA, and
+	// account this call's copies against it below.
+	var gov *Governor
+	if gs, ok := strat.(*GovernedStrategy); ok {
+		gov = gs.gov
+		gov.sample(n)
 	}
 	var collect *[]Outcome[T]
 	if co.outcomes != nil {
@@ -437,6 +459,13 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 	}
 	if k < 1 {
 		k = 1
+	}
+	if gov != nil {
+		// Gate against the group-clamped fan-out so "all replicas"
+		// strategies shed from the real group size. The quorum raise
+		// below outranks the governor: quorum copies are correctness
+		// requirements, not shed-able hedges.
+		k = gov.Allow(k)
 	}
 	if k < q {
 		// A quorum needs at least q copies; the requirement outranks both
@@ -496,6 +525,10 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 		delays:  delays,
 		collect: collect,
 		run: func(ctx context.Context, i int) (T, error) {
+			if gov != nil {
+				gov.copyStarted()
+				defer gov.copyDone()
+			}
 			v, err := picked[i].rec(ctx, arg)
 			if err != nil {
 				err = ReplicaError{Name: picked[i].name, Attempt: i, Err: err}
@@ -521,11 +554,12 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 			name = picked[res.Index].name
 		}
 		g.observer.Observe(Observation{
-			Winner:   name,
-			Launched: res.Launched,
-			Latency:  res.Latency,
-			Err:      err,
-			Label:    co.label,
+			Winner:    name,
+			Launched:  res.Launched,
+			Cancelled: res.Cancelled,
+			Latency:   res.Latency,
+			Err:       err,
+			Label:     co.label,
 		})
 	}
 	return res, err

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"redundancy/internal/core/coretest"
 )
 
 func TestGroupEmptyErrors(t *testing.T) {
@@ -53,8 +55,8 @@ func TestGroupCopiesClampedToSize(t *testing.T) {
 
 func TestGroupRankedPrefersFastReplica(t *testing.T) {
 	g := NewGroup[string](Policy{Copies: 1, Selection: SelectRanked}, WithSeed[string](2))
-	g.Add("slow", sleeper("slow", 30*time.Millisecond))
-	g.Add("fast", sleeper("fast", time.Millisecond))
+	g.Add("slow", coretest.Sleeper("slow", 30*time.Millisecond))
+	g.Add("fast", coretest.Sleeper("fast", time.Millisecond))
 	// Warm up estimates: ranked selection probes unprobed replicas first,
 	// so two operations measure both.
 	for i := 0; i < 2; i++ {
@@ -78,8 +80,8 @@ func TestGroupRankedPrefersFastReplica(t *testing.T) {
 
 func TestGroupEstimatedLatency(t *testing.T) {
 	g := NewGroup[string](Policy{Copies: 2})
-	g.Add("a", sleeper("a", 5*time.Millisecond))
-	g.Add("b", sleeper("b", 5*time.Millisecond))
+	g.Add("a", coretest.Sleeper("a", 5*time.Millisecond))
+	g.Add("b", coretest.Sleeper("b", 5*time.Millisecond))
 	if _, ok := g.EstimatedLatency("a"); ok {
 		t.Error("latency known before any operation")
 	}
@@ -128,12 +130,7 @@ func TestGroupBudgetDegradesToFewerCopies(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 2, Selection: SelectRandom},
 		WithBudget[int](b), WithSeed[int](3))
 	for i := 0; i < 4; i++ {
-		i := i
-		g.Add(string(rune('a'+i)), func(ctx context.Context) (int, error) {
-			launched.Add(1)
-			time.Sleep(time.Millisecond)
-			return i, nil
-		})
+		g.Add(string(rune('a'+i)), coretest.Counting(&launched, coretest.Instant(i)))
 	}
 	// Burst 2 tokens, Release returns them after each op, so every op can
 	// hedge. Use AcquireN directly to drain:
@@ -160,8 +157,8 @@ func TestGroupBudgetDegradesToFewerCopies(t *testing.T) {
 func TestGroupObserverSeesWins(t *testing.T) {
 	c := NewCounters()
 	g := NewGroup[string](Policy{Copies: 2}, WithObserver[string](c))
-	g.Add("fast", sleeper("fast", time.Millisecond))
-	g.Add("slow", sleeper("slow", 100*time.Millisecond))
+	g.Add("fast", coretest.Sleeper("fast", time.Millisecond))
+	g.Add("slow", coretest.Sleeper("slow", 100*time.Millisecond))
 	// First two ops probe; then fast should win consistently.
 	for i := 0; i < 10; i++ {
 		if _, err := g.Do(context.Background()); err != nil {
@@ -189,7 +186,7 @@ func TestGroupObserverSeesWins(t *testing.T) {
 func TestGroupObserverSeesFailures(t *testing.T) {
 	c := NewCounters()
 	g := NewGroup[int](Policy{Copies: 1}, WithObserver[int](c))
-	g.Add("bad", failer[int](errors.New("down"), time.Millisecond))
+	g.Add("bad", coretest.Failer[int](errors.New("down"), time.Millisecond))
 	if _, err := g.Do(context.Background()); err == nil {
 		t.Fatal("want error")
 	}
@@ -238,7 +235,7 @@ func TestGroupConcurrentDo(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 2, Selection: SelectRandom}, WithSeed[int](5))
 	for i := 0; i < 8; i++ {
 		i := i
-		g.Add(string(rune('a'+i)), sleeper(i, time.Millisecond))
+		g.Add(string(rune('a'+i)), coretest.Sleeper(i, time.Millisecond))
 	}
 	done := make(chan error, 32)
 	for i := 0; i < 32; i++ {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// FuzzLatDigestQuantile checks the digest's advertised accuracy contract
+// against a sorted-sample oracle for arbitrary observation streams: the
+// histogram has 8 sub-bins per octave, so a quantile estimate (the upper
+// edge of the bin holding the quantile rank) must never be below the
+// true sample quantile and never more than 12.5% above it (plus 1 ns of
+// integer-edge slack).
+func FuzzLatDigestQuantile(f *testing.F) {
+	seed := func(vals ...uint64) []byte {
+		b := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		return b
+	}
+	f.Add(seed(0), byte(50))
+	f.Add(seed(1, 2, 3, 4, 5, 6, 7, 8, 9), byte(90))
+	f.Add(seed(1000, 1000, 1000), byte(99))
+	f.Add(seed(1, 1<<40, 17, 3), byte(0))
+	f.Add(seed(999999999, 1, 999999999, 2, 5), byte(100))
+
+	f.Fuzz(func(t *testing.T, data []byte, pByte byte) {
+		if len(data) < 8 {
+			t.Skip("need at least one observation")
+		}
+		// Cap observations so float64 round-trips exactly (observe folds
+		// through float64) and the +12.5% bound cannot overflow.
+		const maxNS = 1 << 52
+		var (
+			d    LatDigest
+			vals []uint64
+		)
+		for i := 0; i+8 <= len(data) && len(vals) < 4096; i += 8 {
+			v := binary.LittleEndian.Uint64(data[i:i+8]) % maxNS
+			vals = append(vals, v)
+			d.Observe(time.Duration(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+		ps := []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1, float64(pByte%101) / 100}
+		total := len(vals)
+		for _, p := range ps {
+			got, ok := d.Quantile(p)
+			if !ok {
+				t.Fatalf("Quantile(%g) reported no data with %d observations", p, total)
+			}
+			// The digest's rank convention: the ceil(p*total)-th smallest
+			// observation (clamped to at least the 1st).
+			rank := int(math.Ceil(p * float64(total)))
+			if rank < 1 {
+				rank = 1
+			}
+			want := vals[rank-1]
+			est := uint64(got)
+			if est < want {
+				t.Errorf("Quantile(%g) = %d below true quantile %d (n=%d)", p, est, want, total)
+			}
+			if limit := want + want/8 + 1; est > limit {
+				t.Errorf("Quantile(%g) = %d exceeds true quantile %d by more than 12.5%% (+1ns) (n=%d)",
+					p, est, want, total)
+			}
+		}
+
+		// The batched path must agree with the one-shot path exactly.
+		out := make([]time.Duration, len(ps))
+		if !d.Quantiles(ps, out) {
+			t.Fatal("Quantiles reported no data")
+		}
+		for i, p := range ps {
+			if one, _ := d.Quantile(p); out[i] != one {
+				t.Errorf("Quantiles[%d] = %v disagrees with Quantile(%g) = %v", i, out[i], p, one)
+			}
+		}
+	})
+}

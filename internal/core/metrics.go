@@ -12,6 +12,9 @@ type Observation struct {
 	Winner string
 	// Launched is how many copies were started.
 	Launched int
+	// Cancelled is how many launched copies were cancelled in flight when
+	// the operation completed — reclaimed work, not failures.
+	Cancelled int
 	// Latency is the end-to-end operation latency.
 	Latency time.Duration
 	// Err is the operation's error, nil on success.
@@ -38,22 +41,24 @@ func (f ObserverFunc) Observe(o Observation) { f(o) }
 // available without retaining per-operation samples). All methods are
 // safe for concurrent use.
 type Counters struct {
-	mu       sync.Mutex
-	wins     map[string]int64
-	labels   map[string]*labelAgg
-	ops      int64
-	failures int64
-	launched int64
-	totalLat time.Duration
-	lat      LatDigest // successful-operation latencies
+	mu        sync.Mutex
+	wins      map[string]int64
+	labels    map[string]*labelAgg
+	ops       int64
+	failures  int64
+	launched  int64
+	cancelled int64
+	totalLat  time.Duration
+	lat       LatDigest // successful-operation latencies
 }
 
 // labelAgg aggregates one traffic class (one WithLabel value).
 type labelAgg struct {
-	ops      int64
-	failures int64
-	launched int64
-	lat      LatDigest // successful-operation latencies
+	ops       int64
+	failures  int64
+	launched  int64
+	cancelled int64
+	lat       LatDigest // successful-operation latencies
 }
 
 // NewCounters returns an empty Counters.
@@ -64,6 +69,7 @@ func (c *Counters) Observe(o Observation) {
 	c.mu.Lock()
 	c.ops++
 	c.launched += int64(o.Launched)
+	c.cancelled += int64(o.Cancelled)
 	var la *labelAgg
 	if o.Label != "" {
 		if c.labels == nil {
@@ -76,6 +82,7 @@ func (c *Counters) Observe(o Observation) {
 		}
 		la.ops++
 		la.launched += int64(o.Launched)
+		la.cancelled += int64(o.Cancelled)
 	}
 	if o.Err != nil {
 		c.failures++
@@ -119,6 +126,17 @@ func (c *Counters) Wins() map[string]int64 {
 	return out
 }
 
+// CancelledCopies returns the total number of copies cancelled in flight
+// — work the engine reclaimed when operations completed before every
+// copy did. The realized extra load is (launched - cancelled) / ops
+// copies per operation, not launched / ops, whenever replicas honor
+// cancellation.
+func (c *Counters) CancelledCopies() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelled
+}
+
 // CopiesPerOp returns the average number of copies launched per operation —
 // the realized redundancy overhead (1.0 means no redundancy used).
 func (c *Counters) CopiesPerOp() float64 {
@@ -158,6 +176,8 @@ type LabelStats struct {
 	Label string
 	// Ops and Failures count the class's operations.
 	Ops, Failures int64
+	// Cancelled counts the class's copies cancelled in flight.
+	Cancelled int64
 	// CopiesPerOp is the class's realized redundancy overhead.
 	CopiesPerOp float64
 }
@@ -170,7 +190,7 @@ func (c *Counters) Labels() []LabelStats {
 	defer c.mu.Unlock()
 	out := make([]LabelStats, 0, len(c.labels))
 	for label, la := range c.labels {
-		s := LabelStats{Label: label, Ops: la.ops, Failures: la.failures}
+		s := LabelStats{Label: label, Ops: la.ops, Failures: la.failures, Cancelled: la.cancelled}
 		if la.ops > 0 {
 			s.CopiesPerOp = float64(la.launched) / float64(la.ops)
 		}

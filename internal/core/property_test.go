@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"redundancy/internal/core/coretest"
 )
 
 // Property: First returns the value of a replica whose index is among the
@@ -30,7 +32,7 @@ func TestFirstPicksNearMinimumProperty(t *testing.T) {
 		reps := make([]Replica[int], len(delays))
 		for i := range delays {
 			i := i
-			reps[i] = sleeper(i, delays[i])
+			reps[i] = coretest.Sleeper(i, delays[i])
 		}
 		res, err := First(context.Background(), reps...)
 		if err != nil {
@@ -62,9 +64,9 @@ func TestFirstSuccessIffAnySucceedsProperty(t *testing.T) {
 			}
 			i := i
 			if fails {
-				reps[i] = failer[int](boom, time.Microsecond)
+				reps[i] = coretest.Failer[int](boom, time.Microsecond)
 			} else {
-				reps[i] = sleeper(i, time.Microsecond)
+				reps[i] = coretest.Sleeper(i, time.Microsecond)
 			}
 		}
 		res, err := First(context.Background(), reps...)
@@ -93,9 +95,9 @@ func TestQuorumCountProperty(t *testing.T) {
 		for i := range reps {
 			i := i
 			if i < fails {
-				reps[i] = failer[int](errors.New("down"), time.Microsecond)
+				reps[i] = coretest.Failer[int](errors.New("down"), time.Microsecond)
 			} else {
-				reps[i] = sleeper(i, time.Duration(i)*time.Millisecond)
+				reps[i] = coretest.Sleeper(i, time.Duration(i)*time.Millisecond)
 			}
 		}
 		outs, err := Quorum(context.Background(), qq, reps...)
@@ -121,9 +123,9 @@ func TestQuorumCountProperty(t *testing.T) {
 
 func TestProbeAllMeasuresEveryReplica(t *testing.T) {
 	g := NewGroup[string](Policy{Copies: 2})
-	g.Add("fast", sleeper("fast", time.Millisecond))
-	g.Add("slow", sleeper("slow", 25*time.Millisecond))
-	g.Add("bad", failer[string](errors.New("down"), time.Millisecond))
+	g.Add("fast", coretest.Sleeper("fast", time.Millisecond))
+	g.Add("slow", coretest.Sleeper("slow", 25*time.Millisecond))
+	g.Add("bad", coretest.Failer[string](errors.New("down"), time.Millisecond))
 	ok := g.ProbeAll(context.Background())
 	if ok != 2 {
 		t.Fatalf("ProbeAll reported %d successes, want 2", ok)

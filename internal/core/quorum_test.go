@@ -5,13 +5,15 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"redundancy/internal/core/coretest"
 )
 
 func TestQuorumFirstQSuccesses(t *testing.T) {
 	outs, err := Quorum(context.Background(), 2,
-		sleeper("a", 5*time.Millisecond),
-		sleeper("b", 10*time.Millisecond),
-		sleeper("c", 500*time.Millisecond),
+		coretest.Sleeper("a", 5*time.Millisecond),
+		coretest.Sleeper("b", 10*time.Millisecond),
+		coretest.Sleeper("c", 500*time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -29,8 +31,8 @@ func TestQuorumFirstQSuccesses(t *testing.T) {
 
 func TestQuorumOfOneIsFirst(t *testing.T) {
 	outs, err := Quorum(context.Background(), 1,
-		sleeper(1, 50*time.Millisecond),
-		sleeper(2, time.Millisecond),
+		coretest.Sleeper(1, 50*time.Millisecond),
+		coretest.Sleeper(2, time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -42,9 +44,9 @@ func TestQuorumOfOneIsFirst(t *testing.T) {
 
 func TestQuorumToleratesFailuresUpToNMinusQ(t *testing.T) {
 	outs, err := Quorum(context.Background(), 2,
-		failer[int](errors.New("down"), time.Millisecond),
-		sleeper(1, 5*time.Millisecond),
-		sleeper(2, 10*time.Millisecond),
+		coretest.Failer[int](errors.New("down"), time.Millisecond),
+		coretest.Sleeper(1, 5*time.Millisecond),
+		coretest.Sleeper(2, 10*time.Millisecond),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -57,9 +59,9 @@ func TestQuorumToleratesFailuresUpToNMinusQ(t *testing.T) {
 func TestQuorumFailsWhenImpossible(t *testing.T) {
 	e1, e2 := errors.New("one"), errors.New("two")
 	_, err := Quorum(context.Background(), 2,
-		failer[int](e1, time.Millisecond),
-		failer[int](e2, time.Millisecond),
-		sleeper(1, 5*time.Millisecond),
+		coretest.Failer[int](e1, time.Millisecond),
+		coretest.Failer[int](e2, time.Millisecond),
+		coretest.Sleeper(1, 5*time.Millisecond),
 	)
 	if err == nil {
 		t.Fatal("2-of-3 quorum with 2 failures should error")
@@ -73,10 +75,10 @@ func TestQuorumValidation(t *testing.T) {
 	if _, err := Quorum[int](context.Background(), 1); !errors.Is(err, ErrNoReplicas) {
 		t.Errorf("empty: %v", err)
 	}
-	if _, err := Quorum(context.Background(), 0, sleeper(1, 0)); err == nil {
+	if _, err := Quorum(context.Background(), 0, coretest.Sleeper(1, 0)); err == nil {
 		t.Error("q=0 accepted")
 	}
-	if _, err := Quorum(context.Background(), 3, sleeper(1, 0), sleeper(2, 0)); err == nil {
+	if _, err := Quorum(context.Background(), 3, coretest.Sleeper(1, 0), coretest.Sleeper(2, 0)); err == nil {
 		t.Error("q > n accepted")
 	}
 }
@@ -84,7 +86,7 @@ func TestQuorumValidation(t *testing.T) {
 func TestQuorumContextCancel(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, err := Quorum(ctx, 1, sleeper(1, 5*time.Second))
+	_, err := Quorum(ctx, 1, coretest.Sleeper(1, 5*time.Second))
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("got %v", err)
 	}
@@ -92,9 +94,9 @@ func TestQuorumContextCancel(t *testing.T) {
 
 func TestAllRunsEverything(t *testing.T) {
 	outs := All(context.Background(),
-		sleeper("x", time.Millisecond),
-		failer[string](errors.New("bad"), time.Millisecond),
-		sleeper("z", 20*time.Millisecond),
+		coretest.Sleeper("x", time.Millisecond),
+		coretest.Failer[string](errors.New("bad"), time.Millisecond),
+		coretest.Sleeper("z", 20*time.Millisecond),
 	)
 	if len(outs) != 3 {
 		t.Fatalf("got %d outcomes", len(outs))
@@ -116,9 +118,9 @@ func TestAllRunsEverything(t *testing.T) {
 
 func TestFastestSortsAndFilters(t *testing.T) {
 	outs := All(context.Background(),
-		sleeper("slow", 30*time.Millisecond),
-		failer[string](errors.New("x"), time.Millisecond),
-		sleeper("fast", time.Millisecond),
+		coretest.Sleeper("slow", 30*time.Millisecond),
+		coretest.Failer[string](errors.New("x"), time.Millisecond),
+		coretest.Sleeper("fast", time.Millisecond),
 	)
 	fastest := Fastest(outs)
 	if len(fastest) != 2 {

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"redundancy/internal/core/coretest"
 )
 
 func TestFixedStrategyMatchesPolicy(t *testing.T) {
@@ -101,17 +103,8 @@ func TestAdaptiveHedgeColdStartLaunchesImmediately(t *testing.T) {
 	// With no fallback delay and cold digests, adaptive hedging degrades
 	// to full replication: both copies launch immediately.
 	g := NewStrategyGroup[string](AdaptiveHedge{Copies: 2, Selection: SelectRandom}, WithSeed[string](3))
-	block := make(chan struct{})
-	defer close(block)
-	g.Add("slow", func(ctx context.Context) (string, error) {
-		select {
-		case <-block:
-			return "slow", nil
-		case <-ctx.Done():
-			return "", ctx.Err()
-		}
-	})
-	g.Add("fast", func(ctx context.Context) (string, error) { return "fast", nil })
+	g.Add("slow", coretest.Blocked("slow", coretest.NewGate()))
+	g.Add("fast", coretest.Instant("fast"))
 	res, err := g.Do(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -202,15 +195,9 @@ func (o oddSchedule) Schedule(Digests) []time.Duration { return o.delays }
 func (o oddSchedule) String() string                   { return "odd-schedule" }
 
 func TestStrategyScheduleNormalized(t *testing.T) {
-	slow := func(ctx context.Context) (int, error) {
-		select {
-		case <-time.After(300 * time.Millisecond):
-			return 0, nil
-		case <-ctx.Done():
-			return 0, ctx.Err()
-		}
-	}
-	fast := func(ctx context.Context) (int, error) { return 1, nil }
+	never := coretest.NewGate()
+	slow := coretest.Blocked(0, never)
+	fast := coretest.Instant(1)
 
 	// Too-short schedule: padded with its last entry, so the launch still
 	// proceeds past the declared entries instead of panicking.
@@ -283,10 +270,7 @@ func TestGroupStatsSelfDescribing(t *testing.T) {
 
 func TestGroupStatsQuantiles(t *testing.T) {
 	g := NewGroup[int](Policy{Copies: 1})
-	g.Add("a", func(ctx context.Context) (int, error) {
-		time.Sleep(2 * time.Millisecond)
-		return 1, nil
-	})
+	g.Add("a", coretest.Sleeper(1, 2*time.Millisecond))
 	for i := 0; i < 10; i++ {
 		if _, err := g.Do(context.Background()); err != nil {
 			t.Fatal(err)
@@ -363,6 +347,10 @@ func TestStrategyChurnRace(t *testing.T) {
 			}
 		}()
 	}
+	// A shared governed strategy churns in and out of the rotation while
+	// another goroutine slams its governor across the gate threshold, so
+	// operations race against governor flips mid-call.
+	governed := LoadAware(Fixed{Copies: 2, Selection: SelectRandom}, 2.0)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -370,7 +358,9 @@ func TestStrategyChurnRace(t *testing.T) {
 			Fixed{Copies: 2, Selection: SelectRandom},
 			AdaptiveHedge{Copies: 3, Quantile: 0.9, MinSamples: 2},
 			FullReplicate{Selection: SelectRoundRobin},
+			governed,
 			Fixed{Copies: 1},
+			governed,
 		}
 		for i := 0; i < 200; i++ {
 			g.SetStrategy(strategies[i%len(strategies)])
@@ -381,7 +371,31 @@ func TestStrategyChurnRace(t *testing.T) {
 			g.Stats() // reads quantiles concurrently with observes
 		}
 	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Alternate saturated and idle so the gate flips repeatedly
+			// while calls are in flight.
+			util := 0.0
+			if i/16%2 == 0 {
+				util = 10.0
+			}
+			for j := 0; j < 16; j++ {
+				governed.Governor().Observe(util)
+			}
+			governed.Governor().Stats()
+		}
+	}()
 	time.Sleep(50 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+	if f := governed.Governor().Stats().Flips; f == 0 {
+		t.Log("governor never flipped during churn (acceptable, but unexpected)")
+	}
 }

@@ -64,14 +64,25 @@ func (c *Client) Exchange(ctx context.Context, server string, query *Message) (*
 		deadline = cd
 	}
 	conn.SetDeadline(deadline)
+	// Abandon the socket wait the moment ctx is cancelled: when a
+	// redundant lookup's winner arrives, the losing queries' contexts are
+	// cancelled and their sockets must not sit out the full timeout.
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 
 	if _, err := conn.Write(wire); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
 	buf := make([]byte, 4096)
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, err
 		}
 		resp, err := Decode(buf[:n])

@@ -471,3 +471,68 @@ func TestResolverQuorumUnreachableNamesServer(t *testing.T) {
 		t.Errorf("ReplicaError = %+v, want name %s", re, lossyAddr)
 	}
 }
+
+func TestExchangeAbandonsSocketWaitOnCancel(t *testing.T) {
+	// A black-hole server and a 10s client timeout: cancelling the context
+	// must abandon the blocked socket read immediately, not wait out the
+	// timeout — this is how the resolver reclaims losing copies the moment
+	// a redundant lookup's winner arrives.
+	srv := NewServer(staticZone())
+	srv.DropProb = 1.0
+	srv.Rand = func() float64 { return 0 }
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := NewClient(10 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, qerr := cl.Query(ctx, addr.String(), "www.example.com", TypeA)
+		done <- qerr
+	}()
+	cancel()
+	select {
+	case qerr := <-done:
+		if !errors.Is(qerr, context.Canceled) {
+			t.Errorf("got %v, want context.Canceled", qerr)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Errorf("cancelled query returned after %v; socket wait not abandoned", el)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled query still blocked after 5s")
+	}
+}
+
+func TestResolverCancelsLosingQuery(t *testing.T) {
+	// One fast server and one black hole, full replication: the winner
+	// completes while the loser is still waiting on its socket, and the
+	// result reports the loser as cancelled in flight.
+	lossy := NewServer(staticZone())
+	lossy.DropProb = 1.0
+	lossy.Rand = func() float64 { return 0 }
+	lossyAddr, err := lossy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lossy.Close()
+	_, okAddr := startDNS(t, staticZone())
+
+	cl := NewClient(10 * time.Second)
+	res := NewResolver(cl, core.Policy{Copies: 2}, lossyAddr.String(), okAddr)
+	start := time.Now()
+	lres, lerr := res.LookupResult(context.Background(), "www.example.com", TypeA)
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	if lres.Launched != 2 || lres.Cancelled != 1 {
+		t.Errorf("Launched/Cancelled = %d/%d, want 2/1", lres.Launched, lres.Cancelled)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("lookup took %v; winner should not wait for the black hole", el)
+	}
+}

@@ -112,6 +112,7 @@ func All() []Experiment {
 		{"ablqueueing", "Ablation: server count N and replication factor k in the queueing model", AblationQueueing},
 		{"ablhedge", "Ablation: fixed-delay vs adaptive-quantile hedging vs full replication across loads", AblationHedging},
 		{"ablquorum", "Ablation: R-of-N quorum reads vs first-response — the latency price of consistency", AblationQuorum},
+		{"ablcancel", "Ablation: load-aware governor vs fixed fan-out-2 across the threshold load", AblationCancel},
 	}
 }
 

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+
+	"redundancy/internal/dist"
+	"redundancy/internal/queueing"
+)
+
+// AblationCancel reproduces the paper's threshold crossing end-to-end
+// with the load-aware governor in the loop: blind fixed fan-out-2
+// replication collapses once base load passes the threshold (its
+// realized utilization is 2x the offered load), while a governed group —
+// the production core.Governor gating on measured in-flight copies per
+// server, driven here inside the deterministic queueing model — sheds
+// its own redundancy and degrades gracefully to single copies.
+//
+// The governor's congestion signal is in-flight copies per server. By
+// Little's law an FCFS server at realized utilization rho holds about
+// rho/(1-rho) copies in flight, so the paper's exponential-service
+// threshold (duplication stops paying past base load 1/3, realized 2/3)
+// is (2/3)/(1/3) = 2 copies in flight — exactly
+// core.DefaultGovernorThreshold, which this experiment uses unchanged.
+//
+// Reading the table: below the threshold (loads 0.2, 0.25) the governed
+// column tracks fixed fan-out-2 within a few percent and gates (almost)
+// never; above it (0.42, 0.48) fixed-2 queues explode toward saturation
+// while the governed system's p99 stays near the unreplicated baseline.
+// Operating points right at the threshold (around 0.3-0.35) sit inside
+// the governor's dithering band — in-flight copies fluctuate across the
+// gate, so it sheds part-time and lands between the two arms; that band
+// is the price of a measurement-driven gate and is why the hysteresis
+// exists at all. The model runs copies to completion (the paper's
+// no-cancellation worst case); the live engine does better still,
+// because cancelled losers return capacity immediately (see DESIGN.md
+// "Cancellation & the load governor").
+func AblationCancel(o Options) ([]*Table, error) {
+	requests := o.scale(200000)
+	type scheme struct {
+		name string
+		mode queueing.HedgeMode
+	}
+	schemes := []scheme{
+		{"no hedging", queueing.HedgeNone},
+		{"fixed fan-out 2", queueing.HedgeFull},
+		{"governed fan-out 2", queueing.HedgeGoverned},
+	}
+	loads := []float64{0.2, 0.25, 0.42, 0.48}
+
+	tab := &Table{
+		Title: "Ablation: load-aware governor vs fixed fan-out-2 across the threshold (exponential service, mean 1, N=20)",
+		Caption: "below the threshold (1/3 base load) governed == fixed within noise; above it fixed-2 collapses " +
+			"(realized load -> 1) while the governor gates and p99 falls back to the k=1 baseline",
+		Columns: []string{"load", "scheme", "mean", "p95", "p99", "copies/op", "gated%"},
+	}
+	svc := dist.Exponential{MeanV: 1}
+	for _, load := range loads {
+		for _, sc := range schemes {
+			res, err := queueing.RunHedged(queueing.HedgedConfig{
+				Servers:  20,
+				Load:     load,
+				Service:  svc,
+				Mode:     sc.mode,
+				Requests: requests,
+				Seed:     o.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s at load %g: %w", sc.name, load, err)
+			}
+			tab.Add(load, sc.name, res.Sample.Mean(), res.Sample.Quantile(0.95),
+				res.Sample.P99(), 1+res.HedgeRate, fmt.Sprintf("%.1f", res.GatedRate*100))
+		}
+	}
+	return []*Table{tab}, nil
+}

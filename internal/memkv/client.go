@@ -94,8 +94,15 @@ func (c *Client) deadline(ctx context.Context, cc *clientConn) {
 	cc.c.SetDeadline(d)
 }
 
+// aLongTimeAgo is a deadline in the distant past: setting it makes any
+// blocked connection read or write return immediately.
+var aLongTimeAgo = time.Unix(1, 0)
+
 // roundTrip runs fn with a pooled connection, discarding the connection on
-// error (it may hold unconsumed protocol state).
+// error (it may hold unconsumed protocol state). Cancelling ctx mid-request
+// yanks the connection deadline so a blocked read returns immediately —
+// when the redundancy engine cancels a losing copy, the copy stops
+// reading and releases its server instead of waiting out the response.
 func (c *Client) roundTrip(ctx context.Context, fn func(cc *clientConn) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -105,12 +112,27 @@ func (c *Client) roundTrip(ctx context.Context, fn func(cc *clientConn) error) e
 		return err
 	}
 	c.deadline(ctx, cc)
-	if err := fn(cc); err != nil {
+	stop := context.AfterFunc(ctx, func() { cc.c.SetDeadline(aLongTimeAgo) })
+	err = fn(cc)
+	stop()
+	if err != nil {
 		cc.c.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The request was cancelled, not refused: report the
+			// cancellation, whatever transport error the yanked deadline
+			// surfaced as.
+			return ctxErr
+		}
 		// Sentinel errors pass through; transport errors are wrapped.
 		return err
 	}
-	c.putConn(cc)
+	if ctx.Err() != nil {
+		// ctx fired between fn returning and stop(): the connection's
+		// deadline may be poisoned, so don't pool it.
+		cc.c.Close()
+	} else {
+		c.putConn(cc)
+	}
 	return nil
 }
 

@@ -565,3 +565,130 @@ func TestReplicatedClientPerReadLabelAndCap(t *testing.T) {
 		t.Errorf("capped read launched %d copies, want 1", res.Launched)
 	}
 }
+
+// waitCounter polls an atomic-backed getter until it reaches want or the
+// deadline passes; it returns the final value. Polling a monotone counter
+// with a bounded deadline is race-free (the assertion is on the final
+// value, not the timing).
+func waitCounter(t *testing.T, get func() int64, want int64) int64 {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for get() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	return get()
+}
+
+func TestServerAbortsDelayedWorkWhenClientGone(t *testing.T) {
+	// The server is mid-delay when its client disconnects: it must abandon
+	// the request (and count it) instead of sleeping out the full delay.
+	srv, addr := startServerDelay(t, func() time.Duration { return time.Minute })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "get k\r\n")
+	conn.Close()
+	if got := waitCounter(t, srv.aborted.Load, 1); got != 1 {
+		t.Fatalf("aborted_ops = %d, want 1 (server slept out the delay?)", got)
+	}
+	// Close must not wait out the minute-long delay either.
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("Close took %v with an aborted delayed request", el)
+	}
+}
+
+func TestServerAbortStatExposed(t *testing.T) {
+	_, addr := startServer(t)
+	cl := NewClient(addr, time.Second)
+	defer cl.Close()
+	stats, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stats["aborted_ops"]; !ok {
+		t.Errorf("stats missing aborted_ops: %+v", stats)
+	}
+}
+
+func TestClientStopsReadingOnCancel(t *testing.T) {
+	// The client is blocked reading a delayed response with a generous
+	// request timeout; cancelling the context must abandon the read
+	// immediately — the cancellation path the redundancy engine relies on
+	// to reclaim losing copies.
+	_, addr := startServerDelay(t, func() time.Duration { return time.Minute })
+	cl := NewClient(addr, 10*time.Minute)
+	defer cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, gerr := cl.Get(ctx, "k")
+		done <- gerr
+	}()
+	cancel()
+	select {
+	case gerr := <-done:
+		if !errors.Is(gerr, context.Canceled) {
+			t.Errorf("got %v, want context.Canceled", gerr)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Errorf("cancelled Get returned after %v", el)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Get still blocked after 5s")
+	}
+}
+
+func TestReplicatedClientCancelsLosingCopy(t *testing.T) {
+	// End-to-end copy cancellation: a fast and a stalled replica, full
+	// fan-out. The fast replica wins, the loser is cancelled in flight,
+	// the client abandons its read, and the stalled server aborts the
+	// delayed request — capacity reclaimed at every layer.
+	_, fastAddr := startServer(t)
+	slowSrv, slowAddr := startServerDelay(t, func() time.Duration { return time.Minute })
+	clFast := NewClient(fastAddr, 10*time.Minute)
+	clSlow := NewClient(slowAddr, 10*time.Minute)
+	rc := NewReplicatedClient(core.Policy{Copies: 2}, clFast, clSlow)
+	defer rc.Close()
+	ctx := context.Background()
+	if err := clFast.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	res, err := rc.GetResult(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Value) != "v" {
+		t.Errorf("value %q", res.Value)
+	}
+	if res.Launched != 2 || res.Cancelled != 1 {
+		t.Errorf("Launched/Cancelled = %d/%d, want 2/1", res.Launched, res.Cancelled)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("read took %v; the stalled replica was waited out", el)
+	}
+	// The stalled server saw its client vanish and abandoned the request.
+	if got := waitCounter(t, slowSrv.aborted.Load, 1); got < 1 {
+		t.Errorf("slow server aborted_ops = %d, want >= 1", got)
+	}
+	// The group's stats record the reclaimed copy against the replica.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		cancelled := int64(0)
+		for _, r := range rc.GroupStats().Replicas {
+			cancelled += r.Cancelled
+		}
+		if cancelled >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("no replica recorded a cancelled copy: %+v", rc.GroupStats().Replicas)
+}

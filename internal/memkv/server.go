@@ -158,6 +158,11 @@ type Server struct {
 	cmdSet    atomic.Int64
 	getHits   atomic.Int64
 	getMisses atomic.Int64
+	// aborted counts requests abandoned mid-delay because the client went
+	// away — the server-side half of copy cancellation: a cancelled
+	// redundant read closes its connection, and the server stops burning
+	// capacity on an answer nobody will read.
+	aborted atomic.Int64
 }
 
 // NewServer creates a server around the given store (a fresh one if nil).
@@ -239,32 +244,60 @@ func (s *Server) Close() error {
 	return err
 }
 
+// request is one parsed protocol command, produced by the connection's
+// reader goroutine.
+type request struct {
+	fields []string
+	// data, flags, and exptime are the set command's fully parsed
+	// arguments; zero for every other command.
+	data    []byte
+	flags   uint32
+	exptime int64
+	// bad, when non-empty, is a protocol error to report instead of
+	// executing the command.
+	bad string
+}
+
+// serveConn splits each connection between a reader goroutine (parses
+// requests, detects the peer going away) and this handler loop (executes
+// them, including the Delay hook). The split is what makes server-side
+// work cancellable: a redundant client cancels a losing copy by closing
+// its connection, the blocked reader sees the close immediately, and the
+// handler abandons any in-progress delay instead of sleeping it out and
+// writing an answer nobody will read.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
+	handlerGone := make(chan struct{})
+	defer close(handlerGone)
+	readerGone := make(chan struct{})
+	reqCh := make(chan request)
+	go s.readRequests(conn, reqCh, readerGone, handlerGone)
+
 	w := bufio.NewWriter(conn)
 	for {
-		line, err := readLine(r)
-		if err != nil {
+		var req request
+		// An unbuffered reqCh means a ready receive implies a live
+		// sender, so readerGone and a pending request are never ready
+		// together: no request is lost by selecting on both.
+		select {
+		case req = <-reqCh:
+		case <-readerGone:
 			return
 		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
 		if s.Delay != nil {
-			if d := s.Delay(); d > 0 {
-				time.Sleep(d)
+			if d := s.Delay(); d > 0 && !s.sleep(d, readerGone) {
+				s.aborted.Add(1)
+				return
 			}
 		}
-		switch fields[0] {
+		switch req.fields[0] {
 		case "get", "gets":
-			if len(fields) < 2 {
-				writeClientError(w, "get requires a key")
-				continue
+			if req.bad != "" {
+				writeClientError(w, req.bad)
+				break
 			}
 			s.cmdGet.Add(1)
-			for _, key := range fields[1:] {
+			for _, key := range req.fields[1:] {
 				if val, flags, ok := s.store.Get(key); ok {
 					s.getHits.Add(1)
 					fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(val))
@@ -276,15 +309,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			w.WriteString("END\r\n")
 		case "set":
-			if err := s.handleSet(r, w, fields); err != nil {
-				return
+			if req.bad != "" {
+				writeClientError(w, req.bad)
+				break
 			}
+			s.cmdSet.Add(1)
+			s.store.SetTTL(req.fields[1], req.flags, req.data, time.Duration(req.exptime)*time.Second)
+			w.WriteString("STORED\r\n")
 		case "delete":
-			if len(fields) != 2 {
-				writeClientError(w, "delete requires exactly one key")
-				continue
+			if req.bad != "" {
+				writeClientError(w, req.bad)
+				break
 			}
-			if s.store.Delete(fields[1]) {
+			if s.store.Delete(req.fields[1]) {
 				w.WriteString("DELETED\r\n")
 			} else {
 				w.WriteString("NOT_FOUND\r\n")
@@ -295,6 +332,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			fmt.Fprintf(w, "STAT get_hits %d\r\n", s.getHits.Load())
 			fmt.Fprintf(w, "STAT get_misses %d\r\n", s.getMisses.Load())
 			fmt.Fprintf(w, "STAT curr_items %d\r\n", s.store.Len())
+			fmt.Fprintf(w, "STAT aborted_ops %d\r\n", s.aborted.Load())
 			w.WriteString("END\r\n")
 		case "quit":
 			w.Flush()
@@ -308,38 +346,96 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// handleSet parses "set <key> <flags> <exptime> <bytes>" plus the data
-// block. Protocol errors are reported to the client; IO errors close the
-// connection.
-func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, fields []string) error {
-	if len(fields) != 5 {
-		writeClientError(w, "set requires 4 arguments")
-		return w.Flush()
+// sleep waits out the Delay hook's duration, aborting early (returning
+// false) if the connection's reader goroutine dies — the client is gone,
+// so the pending response is worthless.
+func (s *Server) sleep(d time.Duration, abort <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-abort:
+		return false
 	}
-	key := fields[1]
-	if len(key) > maxKeyLen {
-		writeClientError(w, "key too long")
-		return w.Flush()
+}
+
+// readRequests parses commands off the connection and delivers them to
+// the handler. It closes readerGone — aborting any delayed request in
+// the handler — as soon as a read fails, which for an idle-then-closed
+// connection is the moment the peer disconnects, because the reader
+// always has a Read pending for the next command.
+func (s *Server) readRequests(conn net.Conn, reqCh chan<- request, readerGone chan struct{}, handlerGone <-chan struct{}) {
+	defer close(readerGone)
+	r := bufio.NewReader(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		req := request{fields: fields}
+		switch fields[0] {
+		case "get", "gets":
+			if len(fields) < 2 {
+				req.bad = "get requires a key"
+			}
+		case "set":
+			var readErr error
+			req, readErr = parseSet(r, fields)
+			if readErr != nil {
+				return
+			}
+		case "delete":
+			if len(fields) != 2 {
+				req.bad = "delete requires exactly one key"
+			}
+		}
+		select {
+		case reqCh <- req:
+		case <-handlerGone:
+			return
+		}
+	}
+}
+
+// parseSet parses "set <key> <flags> <exptime> <bytes>" and, when the
+// command line is well-formed, its data block. A malformed command line
+// is reported without consuming a data block (matching memcached and the
+// previous in-line parser); a short or unterminated data block is an IO
+// error that closes the connection.
+func parseSet(r *bufio.Reader, fields []string) (request, error) {
+	req := request{fields: fields}
+	if len(fields) != 5 {
+		req.bad = "set requires 4 arguments"
+		return req, nil
+	}
+	if len(fields[1]) > maxKeyLen {
+		req.bad = "key too long"
+		return req, nil
 	}
 	flags, err1 := strconv.ParseUint(fields[2], 10, 32)
 	exptime, err2 := strconv.ParseInt(fields[3], 10, 64) // relative seconds, 0 = never
 	n, err3 := strconv.ParseInt(fields[4], 10, 64)
 	if err1 != nil || err2 != nil || err3 != nil || exptime < 0 || n < 0 || n > maxValueLen {
-		writeClientError(w, "bad command line format")
-		return w.Flush()
+		req.bad = "bad command line format"
+		return req, nil
 	}
 	data := make([]byte, n+2)
 	if _, err := io.ReadFull(r, data); err != nil {
-		return err
+		return req, err
 	}
 	if string(data[n:]) != "\r\n" {
-		writeClientError(w, "bad data chunk")
-		return w.Flush()
+		req.bad = "bad data chunk"
+		return req, nil
 	}
-	s.cmdSet.Add(1)
-	s.store.SetTTL(key, uint32(flags), data[:n], time.Duration(exptime)*time.Second)
-	w.WriteString("STORED\r\n")
-	return w.Flush()
+	req.data = data[:n]
+	req.flags = uint32(flags)
+	req.exptime = exptime
+	return req, nil
 }
 
 func writeClientError(w *bufio.Writer, msg string) {

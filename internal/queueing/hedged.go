@@ -45,6 +45,12 @@ const (
 	// HedgeFull launches the second copy immediately (full replication,
 	// k=2).
 	HedgeFull
+	// HedgeGoverned replicates like HedgeFull, but only while a
+	// load-aware governor (the production core.Governor, driven with the
+	// simulator's utilization signal) affords it: past the threshold the
+	// second copy is withheld and the system degrades to k=1 instead of
+	// collapsing. This is the model behind the ablcancel experiment.
+	HedgeGoverned
 )
 
 func (m HedgeMode) String() string {
@@ -57,6 +63,8 @@ func (m HedgeMode) String() string {
 		return "adaptive"
 	case HedgeFull:
 		return "full"
+	case HedgeGoverned:
+		return "governed"
 	default:
 		return fmt.Sprintf("HedgeMode(%d)", int(m))
 	}
@@ -84,6 +92,15 @@ type HedgedConfig struct {
 	// before it starts hedging (default 100; until then it runs
 	// single-copy, the measurement phase).
 	MinSamples int
+	// GovernOn is the utilization (in-flight copies per server, the same
+	// congestion signal the production Governor samples) at which
+	// HedgeGoverned stops replicating; default core.DefaultGovernorThreshold.
+	GovernOn float64
+	// GovernOff is the utilization below which replication re-enables
+	// after gating (the hysteresis low-water mark, strictly below
+	// GovernOn); default 0.3 * GovernOn. The gap must absorb the load
+	// drop that gating itself causes, or the governor flaps.
+	GovernOff float64
 	// Requests is the number of measured requests.
 	Requests int
 	// Warmup is the number of initial requests discarded while queues
@@ -100,6 +117,9 @@ type HedgedResult struct {
 	// HedgeRate is the fraction of measured requests that launched a
 	// second copy (so mean copies per request is 1 + HedgeRate).
 	HedgeRate float64
+	// GatedRate is the fraction of measured requests that arrived while
+	// the governor withheld replication (HedgeGoverned only).
+	GatedRate float64
 }
 
 func (c HedgedConfig) validate() error {
@@ -114,6 +134,8 @@ func (c HedgedConfig) validate() error {
 	}
 	maxLoad := 1.0
 	if c.Mode == HedgeFull {
+		// A governed system sheds its own replication load, so only
+		// unconditional full replication needs the static stability cap.
 		maxLoad = 0.5
 	}
 	if c.Load <= 0 || c.Load >= maxLoad {
@@ -121,6 +143,15 @@ func (c HedgedConfig) validate() error {
 	}
 	if c.Mode == HedgeFixed && c.FixedDelay < 0 {
 		return fmt.Errorf("queueing: FixedDelay must be >= 0, got %g", c.FixedDelay)
+	}
+	if c.Mode == HedgeGoverned && c.GovernOff > 0 {
+		on := c.GovernOn
+		if on <= 0 {
+			on = core.DefaultGovernorThreshold
+		}
+		if c.GovernOff >= on {
+			return fmt.Errorf("queueing: GovernOff %g must be below GovernOn %g", c.GovernOff, on)
+		}
 	}
 	return nil
 }
@@ -163,12 +194,31 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 	sample := stats.NewSample(cfg.Requests)
 	var digest core.LatDigest
 	hedges := 0
+	gatedArrivals := 0
 	total := warmup + cfg.Requests
 	issued := 0
 
+	// The governed mode drives the production core.Governor — the same
+	// gate-with-hysteresis decision the live engine's LoadAware strategy
+	// runs — with the simulator's in-flight-copies-per-server signal.
+	var gov *core.Governor
+	if cfg.Mode == HedgeGoverned {
+		on := cfg.GovernOn
+		if on <= 0 {
+			on = core.DefaultGovernorThreshold
+		}
+		off := cfg.GovernOff
+		if off <= 0 || off >= on {
+			off = on * 0.3
+		}
+		gov = core.NewGovernor(on, on-off)
+	}
+	inflight := 0
+
 	// enqueue places one copy on server s at the current virtual time
 	// and returns its completion time (FCFS Lindley step). Events run in
-	// time order, so lastDep is always up to date when read.
+	// time order, so lastDep is always up to date when read. The copy
+	// counts as in flight until its completion time.
 	enqueue := func(s int, svc float64) float64 {
 		start := eng.Now()
 		if lastDep[s] > start {
@@ -176,6 +226,8 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 		}
 		done := start + svc
 		lastDep[s] = done
+		inflight++
+		eng.At(done, func() { inflight-- })
 		return done
 	}
 
@@ -184,6 +236,17 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 		i := issued
 		issued++
 		t := eng.Now()
+		// The governor samples utilization at arrival, before this
+		// request's own copies enqueue — arrivals see the state the
+		// system is in, Poisson-style.
+		gated := false
+		if gov != nil {
+			gov.Observe(float64(inflight) / float64(cfg.Servers))
+			gated = gov.Allow(2) < 2
+			if gated && i >= warmup {
+				gatedArrivals++
+			}
+		}
 		s0 := work.Intn(cfg.Servers)
 		c0 := enqueue(s0, cfg.Service.Sample(work))
 
@@ -192,6 +255,8 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 		switch cfg.Mode {
 		case HedgeFull:
 			hedge = true
+		case HedgeGoverned:
+			hedge = !gated
 		case HedgeFixed:
 			hedge, delay = true, cfg.FixedDelay
 		case HedgeAdaptive:
@@ -240,5 +305,6 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 	return HedgedResult{
 		Sample:    sample,
 		HedgeRate: float64(hedges) / float64(cfg.Requests),
+		GatedRate: float64(gatedArrivals) / float64(cfg.Requests),
 	}, nil
 }

@@ -129,3 +129,82 @@ func TestHedgedFixedRateMatchesTail(t *testing.T) {
 		t.Errorf("fixed-delay hedge rate %.4f vs baseline tail fraction %.4f", res.HedgeRate, frac)
 	}
 }
+
+func TestHedgedGovernedBelowThresholdMatchesFull(t *testing.T) {
+	// Well below the threshold the governor stays out of the way: almost
+	// every arrival replicates (transient spike responses may gate a
+	// fraction of a percent) and the latency profile matches unconditional
+	// full replication closely.
+	svc := dist.Exponential{MeanV: 1}
+	full, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.2, Service: svc, Requests: 30000, Seed: 9, Mode: HedgeFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.2, Service: svc, Requests: 30000, Seed: 9, Mode: HedgeGoverned,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gov.GatedRate > 0.02 {
+		t.Errorf("governed gated %.2f%% of arrivals at load 0.2, want < 2%%", gov.GatedRate*100)
+	}
+	if gov.HedgeRate < 0.98 {
+		t.Errorf("governed hedge rate %.3f at load 0.2, want ~1", gov.HedgeRate)
+	}
+	g, f := gov.Sample.Mean(), full.Sample.Mean()
+	if g > f*1.05 || g < f*0.95 {
+		t.Errorf("governed mean %.4g vs full mean %.4g: > 5%% apart below threshold", g, f)
+	}
+	if gp, fp := gov.Sample.P99(), full.Sample.P99(); gp > fp*1.10 {
+		t.Errorf("governed p99 %.4g vs full p99 %.4g: > 10%% apart below threshold", gp, fp)
+	}
+}
+
+func TestHedgedGovernedGatesAboveThreshold(t *testing.T) {
+	// Past the threshold (base load 0.48, realized 0.96 under blind
+	// duplication) the governor must shed replication: most arrivals run
+	// single-copy and the tail stays far below collapsed full replication.
+	svc := dist.Exponential{MeanV: 1}
+	full, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.48, Service: svc, Requests: 30000, Seed: 9, Mode: HedgeFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov, err := RunHedged(HedgedConfig{
+		Servers: 20, Load: 0.48, Service: svc, Requests: 30000, Seed: 9, Mode: HedgeGoverned,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gov.GatedRate < 0.5 {
+		t.Errorf("governed gated only %.2f%% of arrivals at load 0.48", gov.GatedRate*100)
+	}
+	if gov.Sample.P99() >= full.Sample.P99() {
+		t.Errorf("governed p99 %.4g not below collapsed full-replication p99 %.4g",
+			gov.Sample.P99(), full.Sample.P99())
+	}
+}
+
+func TestHedgedGovernedValidation(t *testing.T) {
+	svc := dist.Exponential{MeanV: 1}
+	if _, err := RunHedged(HedgedConfig{
+		Servers: 10, Load: 0.3, Service: svc, Requests: 100,
+		Mode: HedgeGoverned, GovernOn: 1.0, GovernOff: 1.5,
+	}); err == nil {
+		t.Error("GovernOff above GovernOn validated")
+	}
+	// Governed runs are legal above the full-replication stability cap:
+	// the governor sheds its own load.
+	if _, err := RunHedged(HedgedConfig{
+		Servers: 10, Load: 0.6, Service: svc, Requests: 500, Seed: 2, Mode: HedgeGoverned,
+	}); err != nil {
+		t.Errorf("governed at load 0.6 rejected: %v", err)
+	}
+	if got := HedgeGoverned.String(); got != "governed" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -121,6 +121,26 @@ type AdaptiveHedge = core.AdaptiveHedge
 // replication).
 type FullReplicate = core.FullReplicate
 
+// GovernedStrategy wraps an inner Strategy with a load-aware Governor:
+// the inner strategy decides how to replicate, the governor decides
+// whether the measured load affords it, degrading fan-out toward 1 as
+// utilization crosses the paper's threshold. Build one with LoadAware.
+type GovernedStrategy = core.GovernedStrategy
+
+// Governor measures a replica set's offered load (EWMA of in-flight
+// copies per replica) and gates redundancy with hysteresis once it
+// crosses a threshold — the paper's "redundancy stops paying" regime.
+type Governor = core.Governor
+
+// GovernorStats is a point-in-time view of a Governor: utilization
+// estimate, in-flight copies, gate state, and flip count.
+type GovernorStats = core.GovernorStats
+
+// DefaultGovernorThreshold is the default gate-on utilization, in
+// in-flight copies per replica (2.0: by Little's law, the paper's
+// exponential-service threshold of 1/3 base load).
+const DefaultGovernorThreshold = core.DefaultGovernorThreshold
+
 // Digests is the read-only view of selected replicas' latency digests a
 // Strategy's Schedule receives.
 type Digests = core.Digests
@@ -281,6 +301,27 @@ func WithKeyedSeed[K, T any](seed int64) KeyedGroupOption[K, T] {
 // NewBudget creates a Budget refilling at rate extra copies per second
 // with the given burst capacity.
 func NewBudget(rate, burst float64) *Budget { return core.NewBudget(rate, burst) }
+
+// NewGovernor creates a Governor gating redundancy at threshold
+// utilization (in-flight copies per replica; non-positive means
+// DefaultGovernorThreshold) with the given hysteresis below it.
+func NewGovernor(threshold, hysteresis float64) *Governor {
+	return core.NewGovernor(threshold, hysteresis)
+}
+
+// LoadAware wraps inner with a fresh Governor gating at threshold: the
+// resulting strategy replicates like inner while measured load affords
+// it and degrades fan-out toward 1 past the threshold. Install it like
+// any other strategy (NewStrategyGroup, SetStrategy).
+func LoadAware(inner Strategy, threshold float64) *GovernedStrategy {
+	return core.LoadAware(inner, threshold)
+}
+
+// LoadAwareWith wraps inner with an existing Governor, so several groups
+// can share one load measurement.
+func LoadAwareWith(inner Strategy, gov *Governor) *GovernedStrategy {
+	return core.LoadAwareWith(inner, gov)
+}
 
 // NewCounters returns an empty Counters observer.
 func NewCounters() *Counters { return core.NewCounters() }

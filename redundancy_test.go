@@ -99,3 +99,54 @@ func TestPublicSelectionStrings(t *testing.T) {
 		t.Error("Selection.String() wrong")
 	}
 }
+
+func TestPublicLoadAware(t *testing.T) {
+	gs := redundancy.LoadAware(redundancy.Fixed{Copies: 2}, redundancy.DefaultGovernorThreshold)
+	g := redundancy.NewStrategyGroup[int](gs)
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 2, nil })
+	res, err := g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("cold load-aware Do launched %d, want 2", res.Launched)
+	}
+	// Drive the governor into the gated regime through the public surface.
+	for i := 0; i < 64; i++ {
+		gs.Governor().Observe(10)
+	}
+	res, err = g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 1 {
+		t.Errorf("gated load-aware Do launched %d, want 1", res.Launched)
+	}
+	st := gs.Governor().Stats()
+	if !st.Gated || !st.Observed {
+		t.Errorf("GovernorStats = %+v", st)
+	}
+}
+
+func TestPublicResultReportsCancelled(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	res, err := redundancy.First(context.Background(),
+		func(ctx context.Context) (string, error) {
+			select {
+			case <-block:
+				return "never", nil
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		},
+		func(ctx context.Context) (string, error) { return "fast", nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cancelled != 1 {
+		t.Errorf("Cancelled = %d, want 1 (the blocked loser)", res.Cancelled)
+	}
+}
