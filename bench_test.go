@@ -162,6 +162,27 @@ func BenchmarkCoreGroupDo(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreRingDo is the sharded-routing hot path: hash the key,
+// binary-search the route table, walk to the primary + successor, and
+// run the same call engine as Group.Do over that subset. The routing
+// must stay within the same alloc budget as the unrouted path
+// (benchgate enforces <= 12 allocs/op).
+func BenchmarkCoreRingDo(b *testing.B) {
+	r := redundancy.NewRing[string, int](redundancy.Policy{Copies: 2}.Strategy())
+	for i := 0; i < 8; i++ {
+		i := i
+		r.Add(string(rune('a'+i)), func(ctx context.Context, _ string) (int, error) { return i, nil })
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Do(ctx, "user:12345"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCoreGroupDoParallel is the contention benchmark for the Group
 // hot path: one shared Group, GOMAXPROCS goroutines calling Do as fast as
 // they can. The copy-on-write engine reads membership, policy, and

@@ -146,3 +146,25 @@ func ExampleGroup() {
 	fmt.Println(res.Launched, g.Len())
 	// Output: 2 3
 }
+
+// A Ring shards the keyspace across backends by consistent hashing —
+// the paper's §2.2 storage placement — and runs each call redundantly
+// over its key's primary + successor shards, through the same engine
+// and options as Group.Do.
+func ExampleNewRing() {
+	r := redundancy.NewRing[string, string](redundancy.Policy{Copies: 2}.Strategy())
+	for _, shard := range []string{"a", "b", "c", "d"} {
+		r.Add("shard-"+shard, func(ctx context.Context, key string) (string, error) {
+			// A real backend would look key up in its partition.
+			return "value-of-" + key, nil
+		})
+	}
+
+	res, err := r.Do(context.Background(), "user:42")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%s served by %d of %d shards\n", res.Value, res.Launched, r.Len())
+	// Output: value-of-user:42 served by 2 of 4 shards
+}

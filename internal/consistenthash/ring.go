@@ -8,7 +8,6 @@ package consistenthash
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 )
 
@@ -30,11 +29,28 @@ func New(virtualNodes int) *Ring {
 	return &Ring{replicas: virtualNodes, owner: make(map[uint64]string)}
 }
 
-func hashKey(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return fmix64(h.Sum64())
+// KeyHash returns the position of a key (or virtual-node label) on the
+// ring: FNV-1a over the bytes, finalized by fmix64. It is exported so
+// internal/ring — the production sharded router — places keys exactly
+// where this package's simulator does, and it is written as an inline
+// loop (rather than hash/fnv) so the per-call routing hot path allocates
+// nothing.
+func KeyHash(s string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a 64-bit offset basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211 // FNV-1a 64-bit prime
+	}
+	return fmix64(h)
 }
+
+// VNodeHash returns the ring position of node's v-th virtual point,
+// shared by this package and internal/ring so both place identically.
+func VNodeHash(node string, v int) uint64 {
+	return KeyHash(fmt.Sprintf("%s#%d", node, v))
+}
+
+func hashKey(s string) uint64 { return KeyHash(s) }
 
 // fmix64 is the MurmurHash3 64-bit finalizer. FNV-1a alone leaves nearly
 // identical hashes for strings that differ only in a trailing counter
@@ -64,7 +80,7 @@ func (r *Ring) Add(nodes ...string) {
 			r.nodes = append(r.nodes, n)
 		}
 		for v := 0; v < r.replicas; v++ {
-			h := hashKey(fmt.Sprintf("%s#%d", n, v))
+			h := VNodeHash(n, v)
 			if _, ok := r.owner[h]; !ok {
 				r.hashes = append(r.hashes, h)
 			}

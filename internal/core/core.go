@@ -9,9 +9,11 @@
 // Design notes:
 //
 //   - Every way of performing an operation — First, Hedged, Quorum, All,
-//     and Group.Do with its per-call options — is a thin layer over one
-//     request engine (call.go), so completion rules, launch schedules,
-//     and the error taxonomy compose instead of forking.
+//     Group.Do with its per-call options, and the routed-subset
+//     KeyedGroup.DoPicked behind internal/ring's consistent-hash
+//     placement — is a thin layer over one request engine (call.go), so
+//     completion rules, launch schedules, and the error taxonomy compose
+//     instead of forking.
 //   - Losing replicas are cancelled through context and their goroutines
 //     always run to completion against a buffered channel, so a call never
 //     leaks goroutines even when it returns early.

@@ -121,12 +121,34 @@ type member[K, T any] struct {
 	cancelled atomic.Int64
 }
 
-// memberDigests adapts a picked-member slice to the Digests view a
+// Handle is an opaque reference to one registered replica, for callers
+// that route among replicas themselves instead of using the group's
+// Selection — internal/ring resolves a key's primary and successors on a
+// consistent-hash ring into Handles once per topology change, then passes
+// them to DoPicked on every call. A Handle obtained from Add or Lookup
+// stays usable after its replica is removed from the group: calls through
+// a stale handle still reach the replica and fold into its digest, the
+// same grace period the copy-on-write snapshot gives operations already
+// in flight. The zero Handle is invalid.
+type Handle[K, T any] struct{ m *member[K, T] }
+
+// Valid reports whether the handle references a replica.
+func (h Handle[K, T]) Valid() bool { return h.m != nil }
+
+// Name returns the replica's registration name ("" for the zero Handle).
+func (h Handle[K, T]) Name() string {
+	if h.m == nil {
+		return ""
+	}
+	return h.m.name
+}
+
+// memberDigests adapts a picked-handle slice to the Digests view a
 // Strategy consumes, without copying.
-type memberDigests[K, T any] struct{ ms []*member[K, T] }
+type memberDigests[K, T any] struct{ ms []Handle[K, T] }
 
 func (d memberDigests[K, T]) Len() int            { return len(d.ms) }
-func (d memberDigests[K, T]) At(i int) *LatDigest { return &d.ms[i].lat }
+func (d memberDigests[K, T]) At(i int) *LatDigest { return &d.ms[i].m.lat }
 
 // KeyedGroupOption configures a KeyedGroup.
 type KeyedGroupOption[K, T any] func(*KeyedGroup[K, T])
@@ -172,8 +194,10 @@ func (g *KeyedGroup[K, T]) init(s Strategy) {
 	g.state.Store(&groupState[K, T]{strategy: s})
 }
 
-// Add registers a replica under a diagnostic name.
-func (g *KeyedGroup[K, T]) Add(name string, fn ArgReplica[K, T]) {
+// Add registers a replica under a diagnostic name and returns its
+// Handle, for callers that route calls to explicit replica subsets with
+// DoPicked (everyone else can ignore the return value).
+func (g *KeyedGroup[K, T]) Add(name string, fn ArgReplica[K, T]) Handle[K, T] {
 	m := &member[K, T]{name: name}
 	m.rec = func(ctx context.Context, arg K) (T, error) {
 		t0 := time.Now()
@@ -194,6 +218,18 @@ func (g *KeyedGroup[K, T]) Add(name string, fn ArgReplica[K, T]) {
 	copy(members, st.members)
 	members[len(st.members)] = m
 	g.state.Store(&groupState[K, T]{strategy: st.strategy, members: members})
+	return Handle[K, T]{m: m}
+}
+
+// Lookup returns the Handle of the first replica registered under name,
+// and whether one exists.
+func (g *KeyedGroup[K, T]) Lookup(name string) (Handle[K, T], bool) {
+	for _, m := range g.state.Load().members {
+		if m.name == name {
+			return Handle[K, T]{m: m}, true
+		}
+	}
+	return Handle[K, T]{}, false
 }
 
 // Remove drops the first replica registered under name and reports whether
@@ -410,46 +446,121 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 	if len(opts) > 0 {
 		co = applyCallOptions(opts)
 	}
-	strat := st.strategy
+	p, err := g.plan(st, &co, n, n)
+	if err != nil {
+		var zero Result[T]
+		return zero, err
+	}
+	picked := make([]Handle[K, T], p.k)
+	g.pickInto(st, p.sel, picked)
+	return g.launch(ctx, arg, &p, picked)
+}
+
+// DoPicked performs one redundant operation over an explicit, ordered
+// replica subset instead of the group's Selection: picked[0] launches
+// first (the primary), picked[1] is the first hedge or quorum peer, and
+// so on. The group's strategy — or a WithStrategyOverride — still
+// decides fan-out and launch schedule; a fan-out of k uses the first k
+// handles, and every per-call option, the budget, the governor, and the
+// observer compose exactly as in Do. This is the routing primitive
+// behind internal/ring: the ring maps a key to its primary and
+// successors on a consistent-hash ring and delegates the call itself
+// here, so sharded routing reuses the whole engine instead of
+// reimplementing it.
+//
+// The quorum, if any, is taken within the subset (a quorum larger than
+// len(picked) fails with ErrQuorumUnreachable), and a governor attached
+// to the strategy still normalizes its utilization by the full group
+// size — the subset is one key's placement, not the system's capacity.
+// The slice is read for the duration of the call and must not be
+// modified until it returns; a zero Handle in it is an error.
+func (g *KeyedGroup[K, T]) DoPicked(ctx context.Context, arg K, picked []Handle[K, T], opts ...CallOption) (Result[T], error) {
+	var zero Result[T]
+	n := len(picked)
+	if n == 0 {
+		return zero, ErrNoReplicas
+	}
+	for _, h := range picked {
+		if h.m == nil {
+			return zero, errors.New("redundancy: DoPicked: zero Handle")
+		}
+	}
+	st := g.state.Load()
+	var co callOpts
+	if len(opts) > 0 {
+		co = applyCallOptions(opts)
+	}
+	// The governor's utilization unit is in-flight copies per replica of
+	// the whole set; stale handles may briefly exceed the group size.
+	capacity := len(st.members)
+	if capacity < n {
+		capacity = n
+	}
+	p, err := g.plan(st, &co, n, capacity)
+	if err != nil {
+		return zero, err
+	}
+	if p.k < n {
+		picked = picked[:p.k]
+	}
+	return g.launch(ctx, arg, &p, picked)
+}
+
+// callPlan is one call's resolved configuration, shared by Do (which
+// then picks replicas by Selection over the whole group) and DoPicked
+// (which receives an explicitly routed subset).
+type callPlan[T any] struct {
+	strat   Strategy
+	fixed   Fixed
+	isFixed bool
+	gov     *Governor
+	collect *[]Outcome[T]
+	label   string
+	q, k    int
+	sel     Selection
+}
+
+// plan resolves the strategy, options, quorum, and fan-out for one call.
+// n is the number of eligible replicas (the group size for Do, the
+// subset size for DoPicked); capacity is the replica count the governor
+// normalizes utilization by.
+func (g *KeyedGroup[K, T]) plan(st *groupState[K, T], co *callOpts, n, capacity int) (callPlan[T], error) {
+	var p callPlan[T]
+	p.strat = st.strategy
 	if co.strategy != nil {
-		strat = co.strategy
+		p.strat = co.strategy
 	}
 	// A load-aware strategy carries a Governor: feed it one utilization
 	// sample per operation (in-flight copies per replica, the offered
 	// load including redundancy) before Fanout consults its EWMA, and
-	// account this call's copies against it below.
-	var gov *Governor
-	if gs, ok := strat.(*GovernedStrategy); ok {
-		gov = gs.gov
-		gov.sample(n)
+	// account this call's copies against it in launch.
+	if gs, ok := p.strat.(*GovernedStrategy); ok {
+		p.gov = gs.gov
+		p.gov.sample(capacity)
 	}
-	var collect *[]Outcome[T]
 	if co.outcomes != nil {
 		c, ok := co.outcomes.(*[]Outcome[T])
 		if !ok {
-			var zero Result[T]
-			return zero, fmt.Errorf("redundancy: WithCollectOutcomes sink is %T; this group collects []Outcome with its own result type", co.outcomes)
+			return p, fmt.Errorf("redundancy: WithCollectOutcomes sink is %T; this group collects []Outcome with its own result type", co.outcomes)
 		}
-		collect = c
+		p.collect = c
 	}
-	q := co.quorum
-	if q < 1 {
-		q = 1
+	p.label = co.label
+	p.q = co.quorum
+	if p.q < 1 {
+		p.q = 1
 	}
-	if q > n {
-		var zero Result[T]
-		return zero, fmt.Errorf("redundancy: quorum %d of %d replicas: %w", q, n, ErrQuorumUnreachable)
+	if p.q > n {
+		return p, fmt.Errorf("redundancy: quorum %d of %d replicas: %w", p.q, n, ErrQuorumUnreachable)
 	}
 	// The built-in static strategies are fast-pathed by concrete type so
 	// the common case pays no interface dispatch and no Digests view.
-	fixed, isFixed := strat.(Fixed)
+	p.fixed, p.isFixed = p.strat.(Fixed)
 	var k int
-	var sel Selection
-	switch {
-	case isFixed:
-		k, sel = fixed.Fanout()
-	default:
-		k, sel = strat.Fanout()
+	if p.isFixed {
+		k, p.sel = p.fixed.Fanout()
+	} else {
+		k, p.sel = p.strat.Fanout()
 	}
 	if co.fanoutCap > 0 && k > co.fanoutCap {
 		k = co.fanoutCap
@@ -460,25 +571,31 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 	if k < 1 {
 		k = 1
 	}
-	if gov != nil {
-		// Gate against the group-clamped fan-out so "all replicas"
-		// strategies shed from the real group size. The quorum raise
-		// below outranks the governor: quorum copies are correctness
-		// requirements, not shed-able hedges.
-		k = gov.Allow(k)
+	if p.gov != nil {
+		// Gate against the clamped fan-out so "all replicas" strategies
+		// shed from the real set size. The quorum raise below outranks
+		// the governor: quorum copies are correctness requirements, not
+		// shed-able hedges.
+		k = p.gov.Allow(k)
 	}
-	if k < q {
+	if k < p.q {
 		// A quorum needs at least q copies; the requirement outranks both
 		// the strategy's fan-out and WithFanoutCap (q <= n was checked).
-		k = q
+		k = p.q
 	}
-	picked := make([]*member[K, T], k)
-	g.pickInto(st, sel, picked)
+	p.k = k
+	return p, nil
+}
 
+// launch executes one planned call over the picked replicas: budget
+// charge and refund, launch schedule, the call engine itself, and the
+// observation.
+func (g *KeyedGroup[K, T]) launch(ctx context.Context, arg K, p *callPlan[T], picked []Handle[K, T]) (Result[T], error) {
 	// The first q copies are mandatory (they are the quorum, or for q = 1
 	// the operation itself); only copies beyond them are hedges charged
 	// against the budget.
-	copies := k
+	q := p.q
+	copies := len(picked)
 	granted := 0
 	if extra := copies - q; extra > 0 && g.budget != nil {
 		granted = g.budget.Acquire(extra)
@@ -489,15 +606,15 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 	}
 
 	var delays []time.Duration
-	if isFixed {
-		if fixed.HedgeDelay > 0 && copies > 1 {
+	if p.isFixed {
+		if p.fixed.HedgeDelay > 0 && copies > 1 {
 			delays = make([]time.Duration, copies)
 			for i := range delays {
-				delays[i] = fixed.HedgeDelay
+				delays[i] = p.fixed.HedgeDelay
 			}
 		}
-	} else if _, full := strat.(FullReplicate); !full && copies > 1 {
-		delays = strat.Schedule(memberDigests[K, T]{ms: picked})
+	} else if _, full := p.strat.(FullReplicate); !full && copies > 1 {
+		delays = p.strat.Schedule(memberDigests[K, T]{ms: picked})
 		if delays != nil && len(delays) != copies {
 			delays = normalizeDelays(delays, copies)
 		}
@@ -519,19 +636,20 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 			}
 		}
 	}
+	gov := p.gov
 	res, err := call(ctx, callSpec[T]{
 		n:       copies,
 		quorum:  q,
 		delays:  delays,
-		collect: collect,
+		collect: p.collect,
 		run: func(ctx context.Context, i int) (T, error) {
 			if gov != nil {
 				gov.copyStarted()
 				defer gov.copyDone()
 			}
-			v, err := picked[i].rec(ctx, arg)
+			v, err := picked[i].m.rec(ctx, arg)
 			if err != nil {
-				err = ReplicaError{Name: picked[i].name, Attempt: i, Err: err}
+				err = ReplicaError{Name: picked[i].m.name, Attempt: i, Err: err}
 			}
 			return v, err
 		},
@@ -551,7 +669,7 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 	if g.observer != nil {
 		name := ""
 		if err == nil && res.Index < len(picked) {
-			name = picked[res.Index].name
+			name = picked[res.Index].m.name
 		}
 		g.observer.Observe(Observation{
 			Winner:    name,
@@ -559,7 +677,7 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 			Cancelled: res.Cancelled,
 			Latency:   res.Latency,
 			Err:       err,
-			Label:     co.label,
+			Label:     p.label,
 		})
 	}
 	return res, err
@@ -597,7 +715,7 @@ func (g *KeyedGroup[K, T]) ProbeAll(ctx context.Context, arg K) int {
 
 // pickInto fills out (len k <= len members) with the given selection, in
 // launch order, without locking.
-func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []*member[K, T]) {
+func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []Handle[K, T]) {
 	members := st.members
 	n := len(members)
 	k := len(out)
@@ -612,7 +730,9 @@ func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []*
 				j := i + rng.intn(n-i)
 				tmp[i], tmp[j] = tmp[j], tmp[i]
 			}
-			copy(out, tmp[:k])
+			for i := range out {
+				out[i] = Handle[K, T]{m: tmp[i]}
+			}
 			return
 		}
 		// Sparse pick: rejection sampling, k << n.
@@ -620,16 +740,16 @@ func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []*
 		retry:
 			m := members[rng.intn(n)]
 			for j := 0; j < i; j++ {
-				if out[j] == m {
+				if out[j].m == m {
 					goto retry
 				}
 			}
-			out[i] = m
+			out[i] = Handle[K, T]{m: m}
 		}
 	case SelectRoundRobin:
 		start := int((g.rr.Add(uint64(k)) - uint64(k)) % uint64(n))
 		for i := range out {
-			out[i] = members[(start+i)%n]
+			out[i] = Handle[K, T]{m: members[(start+i)%n]}
 		}
 	default: // SelectRanked
 		// Partial selection: keep out[:cnt] sorted by key (unprobed first,
@@ -647,7 +767,7 @@ func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []*
 					vals[i], out[i] = vals[i-1], out[i-1]
 					i--
 				}
-				vals[i], out[i] = key, m
+				vals[i], out[i] = key, Handle[K, T]{m: m}
 				cnt++
 			} else if key < vals[k-1] {
 				i := k - 1
@@ -655,7 +775,7 @@ func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []*
 					vals[i], out[i] = vals[i-1], out[i-1]
 					i--
 				}
-				vals[i], out[i] = key, m
+				vals[i], out[i] = key, Handle[K, T]{m: m}
 			}
 		}
 	}
@@ -706,9 +826,10 @@ func NewStrategyGroup[T any](s Strategy, opts ...GroupOption[T]) *Group[T] {
 	return g
 }
 
-// Add registers a replica under a diagnostic name.
-func (g *Group[T]) Add(name string, fn Replica[T]) {
-	g.KeyedGroup.Add(name, func(ctx context.Context, _ struct{}) (T, error) { return fn(ctx) })
+// Add registers a replica under a diagnostic name and returns its Handle
+// (see KeyedGroup.Add).
+func (g *Group[T]) Add(name string, fn Replica[T]) Handle[struct{}, T] {
+	return g.KeyedGroup.Add(name, func(ctx context.Context, _ struct{}) (T, error) { return fn(ctx) })
 }
 
 // Do performs one redundant operation under the group's strategy,

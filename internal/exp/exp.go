@@ -113,6 +113,7 @@ func All() []Experiment {
 		{"ablhedge", "Ablation: fixed-delay vs adaptive-quantile hedging vs full replication across loads", AblationHedging},
 		{"ablquorum", "Ablation: R-of-N quorum reads vs first-response — the latency price of consistency", AblationQuorum},
 		{"ablcancel", "Ablation: load-aware governor vs fixed fan-out-2 across the threshold load", AblationCancel},
+		{"ablshard", "Ablation: sharded live stack — redundant primary+secondary reads vs load and value size", AblationShard},
 	}
 }
 

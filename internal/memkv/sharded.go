@@ -1,0 +1,231 @@
+package memkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"redundancy/internal/core"
+	"redundancy/internal/ring"
+)
+
+// ShardedClient partitions the keyspace across many single-shard memkv
+// servers on a consistent-hash ring — the live-stack counterpart of the
+// paper's §2.2 disk-backed storage service, where "files are partitioned
+// across servers via consistent hashing, and two copies are stored of
+// every file". Each key is placed on Replication distinct shards
+// (primary + successors):
+//
+//   - Get issues the read redundantly within the key's placement under
+//     the configured ReadStrategy (default: race primary + secondary,
+//     first response wins — the paper's scheme) and takes per-call
+//     options like ReplicatedClient.Get.
+//   - Set writes the key to every placement shard and returns once
+//     WriteQuorum of them acked, via the call engine's WithQuorum; with
+//     WriteQuorum < Replication a put survives Replication-WriteQuorum
+//     shards being down.
+//
+// Consistency is the demo-grade kind the paper's storage service had:
+// copies beyond the write quorum are cancelled rather than retried, and
+// AddShard/RemoveShard rebalance *placement* only — data written under
+// an old topology is not migrated. A production system would add hinted
+// handoff and read repair on top of exactly this routing layer.
+type ShardedClient struct {
+	mu          sync.Mutex // guards clients; the rings have their own engines
+	clients     map[string]*Client
+	reads       *ring.Ring[string, []byte]
+	writes      *ring.Ring[setReq, struct{}]
+	replication int
+	writeQuorum int
+}
+
+// setReq is the write ring's call argument: it routes by key and carries
+// the value to store.
+type setReq struct {
+	key   string
+	value []byte
+	ttl   time.Duration
+}
+
+// ShardedConfig configures a ShardedClient. The zero value means:
+// 2 placement copies per key, writes ack on every copy, reads race
+// primary + secondary.
+type ShardedConfig struct {
+	// Replication is the number of shards each key is stored on
+	// (primary + Replication-1 successors). Values below 1 mean
+	// ring.DefaultReplication (2).
+	Replication int
+	// WriteQuorum is how many placement shards must ack a Set before it
+	// returns; the remaining copies are cancelled. Values below 1 mean
+	// Replication (write-all). A quorum is always clamped to the shards
+	// that exist, so a bootstrapping single-shard ring still accepts
+	// writes.
+	WriteQuorum int
+	// ReadStrategy decides the redundancy of a Get within the key's
+	// placement: nil means core.Fixed{Copies: 2} (the paper's
+	// primary+secondary race); core.Fixed{Copies: 1} reads the primary
+	// only; core.AdaptiveHedge hedges the secondary at a latency
+	// quantile.
+	ReadStrategy core.Strategy
+	// VirtualNodes is the ring points per shard (0 means
+	// ring.DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+// NewShardedClient builds a sharded store over the given single-shard
+// clients. Shards are named by their client's Addr.
+func NewShardedClient(cfg ShardedConfig, clients ...*Client) *ShardedClient {
+	if cfg.Replication < 1 {
+		cfg.Replication = ring.DefaultReplication
+	}
+	if cfg.WriteQuorum < 1 || cfg.WriteQuorum > cfg.Replication {
+		cfg.WriteQuorum = cfg.Replication
+	}
+	if cfg.ReadStrategy == nil {
+		cfg.ReadStrategy = core.Fixed{Copies: 2}
+	}
+	if cfg.VirtualNodes < 1 {
+		cfg.VirtualNodes = ring.DefaultVirtualNodes
+	}
+	sc := &ShardedClient{
+		clients:     make(map[string]*Client, len(clients)),
+		replication: cfg.Replication,
+		writeQuorum: cfg.WriteQuorum,
+	}
+	ropts := []ring.Option{
+		ring.WithReplication(cfg.Replication),
+		ring.WithVirtualNodes(cfg.VirtualNodes),
+	}
+	sc.reads = ring.New[string, []byte](cfg.ReadStrategy, ropts...)
+	// Writes always fan out to the whole placement; WithQuorum decides
+	// how many acks complete the call.
+	sc.writes = ring.NewKeyed[setReq, struct{}](core.FullReplicate{}, func(w setReq) string { return w.key }, ropts...)
+	for _, cl := range clients {
+		sc.AddShard(cl)
+	}
+	return sc
+}
+
+// AddShard registers a shard; keys whose placement now includes it route
+// there from the next call on (existing data is not migrated). Adding a
+// shard whose address is already present is a no-op.
+func (sc *ShardedClient) AddShard(cl *Client) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	addr := cl.Addr()
+	if _, ok := sc.clients[addr]; ok {
+		return
+	}
+	sc.clients[addr] = cl
+	sc.reads.Add(addr, cl.Get)
+	sc.writes.Add(addr, func(ctx context.Context, w setReq) (struct{}, error) {
+		return struct{}{}, cl.SetTTL(ctx, w.key, w.value, w.ttl)
+	})
+}
+
+// RemoveShard drops the shard serving addr from placement, reporting
+// whether it was present. Calls in flight may still complete against it;
+// it is not closed (the caller owns its lifecycle).
+func (sc *ShardedClient) RemoveShard(addr string) bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, ok := sc.clients[addr]; !ok {
+		return false
+	}
+	delete(sc.clients, addr)
+	sc.reads.Remove(addr)
+	sc.writes.Remove(addr)
+	return true
+}
+
+// Get returns the first placement shard's response for key, read
+// redundantly under the client's ReadStrategy. Per-call options tune one
+// read: ReadQuorum(q) for R-of-N agreement within the placement,
+// core.WithFanoutCap(1) for a single-copy read,
+// core.WithStrategyOverride for a one-off policy, core.WithLabel for
+// metrics. A key absent from every queried shard reports
+// errors.Is(err, ErrNotFound).
+func (sc *ShardedClient) Get(ctx context.Context, key string, opts ...core.CallOption) ([]byte, error) {
+	res, err := sc.reads.Do(ctx, key, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Value, nil
+}
+
+// GetResult is Get with the full redundancy metadata (winner index,
+// latency, copies launched and cancelled).
+func (sc *ShardedClient) GetResult(ctx context.Context, key string, opts ...core.CallOption) (core.Result[[]byte], error) {
+	return sc.reads.Do(ctx, key, opts...)
+}
+
+// Set stores value under key on every shard of the key's placement,
+// returning once the write quorum has acked. With fewer live shards than
+// the quorum the error matches core.ErrQuorumUnreachable and carries
+// per-shard detail.
+func (sc *ShardedClient) Set(ctx context.Context, key string, value []byte) error {
+	return sc.SetTTL(ctx, key, value, 0)
+}
+
+// SetTTL is Set with an expiry (rounded up to whole seconds; 0 = never).
+func (sc *ShardedClient) SetTTL(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	for {
+		q := sc.writeQuorum
+		n := sc.writes.Len()
+		if n == 0 {
+			return core.ErrNoReplicas
+		}
+		if n < q {
+			// Fewer shards than the quorum: every existing placement copy
+			// must ack instead.
+			q = n
+		}
+		_, err := sc.writes.Do(ctx, setReq{key: key, value: value, ttl: ttl}, core.WithQuorum(q))
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, core.ErrQuorumUnreachable) && sc.writes.Len() < q {
+			// A concurrent RemoveShard shrank the ring between the clamp
+			// and the call; re-clamp against the new topology. q strictly
+			// decreases, so this terminates.
+			continue
+		}
+		return fmt.Errorf("memkv: sharded set %q: %w", key, err)
+	}
+}
+
+// Owners returns the shard addresses key is placed on, primary first.
+func (sc *ShardedClient) Owners(key string) []string { return sc.reads.Owners(key) }
+
+// Replication returns the placement copies per key.
+func (sc *ShardedClient) Replication() int { return sc.replication }
+
+// WriteQuorum returns the configured write quorum.
+func (sc *ShardedClient) WriteQuorum() int { return sc.writeQuorum }
+
+// SetReadStrategy replaces the read-side redundancy strategy atomically.
+func (sc *ShardedClient) SetReadStrategy(s core.Strategy) { sc.reads.SetStrategy(s) }
+
+// RingStats reports the read ring's placement and per-shard latency
+// statistics: each shard's key share, observed latency digest quantiles,
+// and cancelled-copy counts.
+func (sc *ShardedClient) RingStats() ring.Stats { return sc.reads.Stats() }
+
+// Close closes all shard clients.
+func (sc *ShardedClient) Close() error {
+	sc.mu.Lock()
+	clients := make([]*Client, 0, len(sc.clients))
+	for _, cl := range sc.clients {
+		clients = append(clients, cl)
+	}
+	sc.mu.Unlock()
+	var err error
+	for _, cl := range clients {
+		if e := cl.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}

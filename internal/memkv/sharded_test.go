@@ -1,0 +1,221 @@
+package memkv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+// startShards launches n live servers and returns a ShardedClient over
+// them plus the servers by address.
+func startShards(t *testing.T, n int, cfg ShardedConfig) (*ShardedClient, map[string]*Server) {
+	t.Helper()
+	servers := make(map[string]*Server, n)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		srv, addr := startServer(t)
+		servers[addr] = srv
+		clients[i] = NewClient(addr, 2*time.Second)
+	}
+	sc := NewShardedClient(cfg, clients...)
+	t.Cleanup(func() { sc.Close() })
+	return sc, servers
+}
+
+func TestShardedSetGetRoundTrip(t *testing.T) {
+	sc, _ := startShards(t, 4, ShardedConfig{})
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := sc.Set(ctx, key, []byte("v-"+key)); err != nil {
+			t.Fatalf("Set(%q): %v", key, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		got, err := sc.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", key, err)
+		}
+		if string(got) != "v-"+key {
+			t.Errorf("Get(%q) = %q, want %q", key, got, "v-"+key)
+		}
+	}
+	if _, err := sc.Get(ctx, "absent"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+	}
+}
+
+// Writes land only on the key's placement shards: the data is
+// partitioned, not fully replicated.
+func TestShardedPlacementIsPartial(t *testing.T) {
+	sc, servers := startShards(t, 5, ShardedConfig{Replication: 2})
+	ctx := context.Background()
+	key := "user:42"
+	if err := sc.Set(ctx, key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	owners := sc.Owners(key)
+	if len(owners) != 2 {
+		t.Fatalf("Owners(%q) = %v, want 2", key, owners)
+	}
+	isOwner := map[string]bool{owners[0]: true, owners[1]: true}
+	for addr, srv := range servers {
+		_, _, ok := srv.Store().Get(key)
+		if ok != isOwner[addr] {
+			t.Errorf("shard %s has key = %v, want %v (owners %v)", addr, ok, isOwner[addr], owners)
+		}
+	}
+}
+
+// The paper's redundant read in the live stack: the key's primary is
+// stalled, the secondary's response wins, and a fan-out-1 read has to
+// wait the stall out.
+func TestShardedRedundantGetDodgesSlowPrimary(t *testing.T) {
+	// Every server gets a Delay hook before Listen (the Server contract);
+	// each stalls only once its own flag flips, so the test can stall the
+	// primary race-free after discovering which shard that is.
+	const stall = 250 * time.Millisecond
+	stalled := make(map[string]*atomic.Bool, 3)
+	clients := make([]*Client, 3)
+	for i := 0; i < 3; i++ {
+		flag := &atomic.Bool{}
+		_, addr := startServerDelay(t, func() time.Duration {
+			if flag.Load() {
+				return stall
+			}
+			return 0
+		})
+		stalled[addr] = flag
+		clients[i] = NewClient(addr, 5*time.Second)
+	}
+	sc := NewShardedClient(ShardedConfig{Replication: 2}, clients...)
+	defer sc.Close()
+	ctx := context.Background()
+
+	key := "hot"
+	if err := sc.Set(ctx, key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	stalled[sc.Owners(key)[0]].Store(true)
+
+	start := time.Now()
+	got, err := sc.Get(ctx, key)
+	elapsed := time.Since(start)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("redundant Get = %q, %v", got, err)
+	}
+	if elapsed >= stall {
+		t.Errorf("redundant Get took %v, want the secondary to win well before the %v stall", elapsed, stall)
+	}
+
+	start = time.Now()
+	if _, err := sc.Get(ctx, key, core.WithFanoutCap(1)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Errorf("fan-out-1 Get took %v, want it to wait out the %v primary stall", elapsed, stall)
+	}
+}
+
+// A write quorum below the replication factor survives a down shard, and
+// a subsequent redundant read still answers from the survivors.
+func TestShardedQuorumPutSurvivesDownShard(t *testing.T) {
+	sc, servers := startShards(t, 4, ShardedConfig{Replication: 3, WriteQuorum: 2})
+	ctx := context.Background()
+	key := "survivor"
+	servers[sc.Owners(key)[0]].Close() // kill the primary
+
+	if err := sc.Set(ctx, key, []byte("still here")); err != nil {
+		t.Fatalf("quorum-2 Set with primary down: %v", err)
+	}
+	got, err := sc.Get(ctx, key)
+	if err != nil || string(got) != "still here" {
+		t.Fatalf("Get after quorum put = %q, %v", got, err)
+	}
+
+	// Two of three placement shards down: the quorum is unreachable and
+	// the failure is typed.
+	servers[sc.Owners(key)[1]].Close()
+	err = sc.Set(ctx, key, []byte("lost"))
+	if !errors.Is(err, core.ErrQuorumUnreachable) {
+		t.Errorf("Set with 2 of 3 placement shards down = %v, want ErrQuorumUnreachable", err)
+	}
+}
+
+// Removing a shard remaps its keys; a re-Set under the new topology
+// restores read availability for them.
+func TestShardedRemoveShardRemaps(t *testing.T) {
+	sc, _ := startShards(t, 4, ShardedConfig{Replication: 2})
+	ctx := context.Background()
+	key := "mover"
+	if err := sc.Set(ctx, key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	victim := sc.Owners(key)[0]
+	if !sc.RemoveShard(victim) {
+		t.Fatalf("RemoveShard(%s) = false", victim)
+	}
+	if sc.RemoveShard(victim) {
+		t.Error("second RemoveShard = true, want false")
+	}
+	after := sc.Owners(key)
+	for _, o := range after {
+		if o == victim {
+			t.Fatalf("Owners(%q) = %v still includes removed shard %s", key, after, victim)
+		}
+	}
+	// The old secondary is the new primary, so the key stays readable
+	// without any migration; the re-Set fills the new secondary.
+	if got, err := sc.Get(ctx, key); err != nil || string(got) != "v1" {
+		t.Fatalf("Get after removal = %q, %v (old secondary should still serve)", got, err)
+	}
+	if err := sc.Set(ctx, key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := sc.Get(ctx, key); err != nil || string(got) != "v2" {
+		t.Fatalf("Get after re-set = %q, %v", got, err)
+	}
+}
+
+func TestShardedWriteQuorumClampsToShards(t *testing.T) {
+	sc, _ := startShards(t, 1, ShardedConfig{Replication: 3, WriteQuorum: 3})
+	ctx := context.Background()
+	// One shard exists: the quorum clamps to it rather than failing.
+	if err := sc.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("Set on single-shard ring with quorum 3: %v", err)
+	}
+	if got, err := sc.Get(ctx, "k"); err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestShardedRingStats(t *testing.T) {
+	sc, _ := startShards(t, 3, ShardedConfig{})
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if err := sc.Set(ctx, key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Get(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sc.RingStats()
+	if len(st.Members) != 3 {
+		t.Fatalf("RingStats members = %d, want 3", len(st.Members))
+	}
+	sum := 0.0
+	for _, m := range st.Members {
+		sum += m.KeyShare
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("key shares sum to %g, want 1", sum)
+	}
+}

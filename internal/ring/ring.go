@@ -1,0 +1,401 @@
+// Package ring implements sharded keyed routing over a consistent-hash
+// ring: the production form of the placement the paper's disk-backed
+// storage service uses (§2.2, "files are partitioned across servers via
+// consistent hashing, and two copies are stored of every file: if the
+// primary is stored on server n, the secondary goes to server n+1").
+//
+// Where core.KeyedGroup treats every replica as holding the full
+// dataset, a Ring partitions the keyspace across many named backends:
+// each key maps to a primary plus Replication-1 distinct successors on
+// the ring, and every call runs the redundancy engine over exactly that
+// placement subset — primary launched first, successors as hedges,
+// quorum peers, or full-replication races, per the installed strategy.
+// The ring deliberately owns only the routing table; everything else is
+// the existing core machinery, reached through core.KeyedGroup.DoPicked:
+//
+//   - strategies (Fixed, AdaptiveHedge, FullReplicate, LoadAware) decide
+//     fan-out and launch schedule within the placement subset,
+//   - per-call options (WithQuorum, WithLabel, WithStrategyOverride,
+//     WithFanoutCap, WithCollectOutcomes) compose per read or write,
+//   - losing copies are cancelled and counted, budgets and governors
+//     meter the added load, and
+//   - per-member latency digests feed adaptive hedging and Stats, keyed
+//     per ring member.
+//
+// Topology changes are atomic: Add and Remove publish a new immutable
+// route table through the same copy-on-write pattern as the group's
+// membership snapshot, so a concurrent call sees either the old placement
+// or the new one, never a mix. Keys owned by a removed member remap to
+// their successors; calls already in flight finish against the members
+// they were routed to (handles outlive removal, exactly like the group's
+// snapshot grace). Placement uses the same KeyHash/VNodeHash as
+// internal/consistenthash, so the live ring and the cluster simulator
+// place identically.
+//
+// All methods are safe for concurrent use. The per-call hot path —
+// hash, binary search, successor walk, DoPicked — takes no locks and
+// stays within the same allocation budget as an unrouted Group.Do.
+package ring
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"redundancy/internal/consistenthash"
+	"redundancy/internal/core"
+)
+
+// Defaults for New.
+const (
+	// DefaultReplication is the number of distinct members each key is
+	// placed on: the paper's primary + next-server secondary.
+	DefaultReplication = 2
+	// DefaultVirtualNodes is the number of ring points per member; more
+	// points smooth the per-member key share at the cost of memory.
+	DefaultVirtualNodes = 128
+)
+
+// Ring partitions a keyspace across named backends and routes every
+// call through the core redundancy engine over the key's placement
+// subset. Build one with New (the call argument is the routing key) or
+// NewKeyed (the routing key is derived from the argument); see the
+// package comment for semantics.
+type Ring[K, T any] struct {
+	keyOf       func(K) string
+	replication int
+	vnodes      int
+	group       *core.KeyedGroup[K, T]
+	table       atomic.Pointer[table[K, T]]
+	mu          sync.Mutex // serializes topology writers; readers never take it
+}
+
+// table is one immutable routing snapshot: the sorted virtual points and
+// the distinct members (registration order) they map into.
+type table[K, T any] struct {
+	points  []point
+	members []ringMember[K, T]
+}
+
+type point struct {
+	hash  uint64
+	owner int32 // index into table.members
+}
+
+type ringMember[K, T any] struct {
+	name   string
+	handle core.Handle[K, T]
+}
+
+func (t *table[K, T]) index(name string) int {
+	for i := range t.members {
+		if t.members[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// config collects Option state.
+type config struct {
+	replication int
+	vnodes      int
+	budget      *core.Budget
+	observer    core.Observer
+}
+
+// Option configures a Ring at construction.
+type Option func(*config)
+
+// WithReplication sets how many distinct members each key is placed on
+// (primary + r-1 successors; default DefaultReplication). Values below 1
+// mean 1. The installed strategy's fan-out is clamped to the placement,
+// so r bounds the copies any one call can launch.
+func WithReplication(r int) Option {
+	return func(c *config) { c.replication = r }
+}
+
+// WithVirtualNodes sets the virtual points per member (default
+// DefaultVirtualNodes; values below 1 mean 1).
+func WithVirtualNodes(v int) Option {
+	return func(c *config) { c.vnodes = v }
+}
+
+// WithBudget attaches a hedging budget to the ring's call engine:
+// copies beyond a call's quorum are charged against it, degrading to
+// the mandatory copies when exhausted.
+func WithBudget(b *core.Budget) Option {
+	return func(c *config) { c.budget = b }
+}
+
+// WithObserver attaches an Observer for per-operation metrics.
+func WithObserver(o core.Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+// New creates a Ring whose call argument is the routing key itself
+// (string-typed keys: a KV key, a filename, a user ID). strategy decides
+// the redundancy within each key's placement — Fixed{Copies: 2} is the
+// paper's primary+secondary race; nil means single-copy routing.
+func New[K ~string, T any](strategy core.Strategy, opts ...Option) *Ring[K, T] {
+	return NewKeyed[K, T](strategy, func(k K) string { return string(k) }, opts...)
+}
+
+// NewKeyed creates a Ring routing by keyOf(arg), for call arguments that
+// carry more than the key — e.g. a write request routing by its key
+// while the argument carries the value too. keyOf must be pure and
+// cheap; it runs on every call.
+func NewKeyed[K, T any](strategy core.Strategy, keyOf func(K) string, opts ...Option) *Ring[K, T] {
+	if keyOf == nil {
+		panic("ring: NewKeyed requires a keyOf function")
+	}
+	cfg := config{replication: DefaultReplication, vnodes: DefaultVirtualNodes}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if cfg.replication < 1 {
+		cfg.replication = 1
+	}
+	if cfg.vnodes < 1 {
+		cfg.vnodes = 1
+	}
+	var gopts []core.KeyedGroupOption[K, T]
+	if cfg.budget != nil {
+		gopts = append(gopts, core.WithKeyedBudget[K, T](cfg.budget))
+	}
+	if cfg.observer != nil {
+		gopts = append(gopts, core.WithKeyedObserver[K, T](cfg.observer))
+	}
+	r := &Ring[K, T]{
+		keyOf:       keyOf,
+		replication: cfg.replication,
+		vnodes:      cfg.vnodes,
+		group:       core.NewStrategyKeyedGroup(strategy, gopts...),
+	}
+	r.table.Store(&table[K, T]{})
+	return r
+}
+
+// Add registers a backend under name and rebuilds the route table:
+// every key whose placement now includes name routes to it from the next
+// call on. Adding a name that already exists is a no-op (members are
+// unique by name). Reports whether the member was added.
+func (r *Ring[K, T]) Add(name string, fn core.ArgReplica[K, T]) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.table.Load()
+	if t.index(name) >= 0 {
+		return false
+	}
+	h := r.group.Add(name, fn)
+	members := make([]ringMember[K, T], len(t.members)+1)
+	copy(members, t.members)
+	members[len(t.members)] = ringMember[K, T]{name: name, handle: h}
+	r.table.Store(r.build(members))
+	return true
+}
+
+// Remove drops the backend registered under name and reports whether it
+// was present. Its keys remap to their successors atomically with the
+// table swap; calls already routed keep their handles and may still
+// complete against it.
+func (r *Ring[K, T]) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.table.Load()
+	i := t.index(name)
+	if i < 0 {
+		return false
+	}
+	members := make([]ringMember[K, T], 0, len(t.members)-1)
+	members = append(members, t.members[:i]...)
+	members = append(members, t.members[i+1:]...)
+	r.table.Store(r.build(members))
+	r.group.Remove(name)
+	return true
+}
+
+// build compiles a member list into an immutable route table.
+func (r *Ring[K, T]) build(members []ringMember[K, T]) *table[K, T] {
+	points := make([]point, 0, len(members)*r.vnodes)
+	for i := range members {
+		for v := 0; v < r.vnodes; v++ {
+			points = append(points, point{hash: consistenthash.VNodeHash(members[i].name, v), owner: int32(i)})
+		}
+	}
+	// Ties (vanishingly rare 64-bit collisions) resolve by registration
+	// order, deterministically.
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].hash != points[b].hash {
+			return points[a].hash < points[b].hash
+		}
+		return points[a].owner < points[b].owner
+	})
+	return &table[K, T]{points: points, members: members}
+}
+
+// ownersInto fills dst with the handles of the first len(dst) distinct
+// members walking clockwise from hash: dst[0] is the primary, dst[1]
+// the secondary, and so on. len(dst) must not exceed the member count.
+func (t *table[K, T]) ownersInto(hash uint64, dst []core.Handle[K, T]) {
+	pts := t.points
+	start := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= hash })
+	n := 0
+walk:
+	for j := 0; j < len(pts) && n < len(dst); j++ {
+		h := t.members[pts[(start+j)%len(pts)].owner].handle
+		for i := 0; i < n; i++ {
+			if dst[i] == h {
+				continue walk
+			}
+		}
+		dst[n] = h
+		n++
+	}
+}
+
+// Do performs one redundant operation for arg's key: the key's primary
+// and successors are resolved from the current route table and the call
+// runs through the core engine over that subset (see
+// core.KeyedGroup.DoPicked). Per-call options compose exactly as on a
+// Group — WithQuorum for R-of-N within the placement, WithLabel,
+// WithStrategyOverride, WithFanoutCap, WithCollectOutcomes. An empty
+// ring fails with core.ErrNoReplicas.
+func (r *Ring[K, T]) Do(ctx context.Context, arg K, opts ...core.CallOption) (core.Result[T], error) {
+	t := r.table.Load()
+	nm := len(t.members)
+	if nm == 0 {
+		var zero core.Result[T]
+		return zero, core.ErrNoReplicas
+	}
+	rr := r.replication
+	if rr > nm {
+		// A ring smaller than the replication factor clamps placement to
+		// the members that exist: a single-member ring is its own
+		// secondary, so fan-out degrades to 1.
+		rr = nm
+	}
+	picked := make([]core.Handle[K, T], rr)
+	t.ownersInto(consistenthash.KeyHash(r.keyOf(arg)), picked)
+	return r.group.DoPicked(ctx, arg, picked, opts...)
+}
+
+// Owners returns the names of the members key is placed on, primary
+// first — the routing decision Do would make, for introspection and
+// tests. It returns at most Replication names (fewer on a small ring),
+// and nil on an empty ring.
+func (r *Ring[K, T]) Owners(key string) []string {
+	t := r.table.Load()
+	nm := len(t.members)
+	if nm == 0 {
+		return nil
+	}
+	rr := r.replication
+	if rr > nm {
+		rr = nm
+	}
+	picked := make([]core.Handle[K, T], rr)
+	t.ownersInto(consistenthash.KeyHash(key), picked)
+	names := make([]string, rr)
+	for i, h := range picked {
+		names[i] = h.Name()
+	}
+	return names
+}
+
+// Replication returns the configured placement copies per key.
+func (r *Ring[K, T]) Replication() int { return r.replication }
+
+// Len returns the number of members.
+func (r *Ring[K, T]) Len() int { return len(r.table.Load().members) }
+
+// Names returns the member names in registration order.
+func (r *Ring[K, T]) Names() []string {
+	members := r.table.Load().members
+	out := make([]string, len(members))
+	for i := range members {
+		out[i] = members[i].name
+	}
+	return out
+}
+
+// SetStrategy replaces the ring's replication strategy atomically (see
+// core.KeyedGroup.SetStrategy). The strategy applies within each key's
+// placement subset.
+func (r *Ring[K, T]) SetStrategy(s core.Strategy) { r.group.SetStrategy(s) }
+
+// Strategy returns the current replication strategy.
+func (r *Ring[K, T]) Strategy() core.Strategy { return r.group.Strategy() }
+
+// MemberStats describes one ring member in a Stats snapshot: the
+// member's share of the keyspace plus the same per-replica latency
+// statistics a Group reports.
+type MemberStats struct {
+	core.ReplicaStats
+	// KeyShare is the fraction of the hash space this member owns as
+	// primary — its share of single-copy load. Shares sum to 1.
+	KeyShare float64
+}
+
+// Stats is a point-in-time view of a Ring: strategy, replication, and
+// per-member key share and load.
+type Stats struct {
+	// Strategy describes the active strategy (its String()).
+	Strategy string
+	// Replication is the placement copies per key.
+	Replication int
+	// Members holds per-member statistics in registration order.
+	Members []MemberStats
+}
+
+// Stats returns a consistent snapshot of the ring's strategy and
+// per-member key share and latency statistics. Key shares come from one
+// route-table snapshot and latency digests from the group's snapshot;
+// each is internally consistent.
+func (r *Ring[K, T]) Stats() Stats {
+	t := r.table.Load()
+	gs := r.group.Stats()
+	byName := make(map[string]core.ReplicaStats, len(gs.Replicas))
+	for _, rs := range gs.Replicas {
+		byName[rs.Name] = rs
+	}
+	s := Stats{
+		Strategy:    gs.Strategy,
+		Replication: r.replication,
+		Members:     make([]MemberStats, len(t.members)),
+	}
+	shares := t.keyShares()
+	for i := range t.members {
+		s.Members[i] = MemberStats{
+			ReplicaStats: byName[t.members[i].name],
+			KeyShare:     shares[i],
+		}
+	}
+	return s
+}
+
+// keyShares returns each member's primary-ownership fraction of the
+// hash space: point i owns the arc (hash[i-1], hash[i]], wrapping.
+func (t *table[K, T]) keyShares() []float64 {
+	shares := make([]float64, len(t.members))
+	pts := t.points
+	if len(pts) == 0 {
+		return shares
+	}
+	const span = float64(1<<63) * 2 // 2^64 as float64
+	prev := pts[len(pts)-1].hash
+	for _, p := range pts {
+		arc := p.hash - prev // wraps correctly in uint64 arithmetic
+		shares[p.owner] += float64(arc) / span
+		prev = p.hash
+	}
+	if len(pts) == 1 {
+		// A single point owns the whole ring (the arc above degenerates
+		// to zero when prev == hash).
+		shares[pts[0].owner] = 1
+	}
+	return shares
+}

@@ -1,0 +1,350 @@
+package ring_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"redundancy/internal/consistenthash"
+	"redundancy/internal/core"
+	"redundancy/internal/core/coretest"
+	"redundancy/internal/ring"
+)
+
+func instant(v int) core.ArgReplica[string, int] {
+	return func(ctx context.Context, _ string) (int, error) { return v, nil }
+}
+
+func named(name string) core.ArgReplica[string, string] {
+	return func(ctx context.Context, _ string) (string, error) { return name, nil }
+}
+
+// keyWithPrimary returns a key whose primary is the given member.
+func keyWithPrimary[K, T any](t *testing.T, r *ring.Ring[K, T], member string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if owners := r.Owners(key); len(owners) > 0 && owners[0] == member {
+			return key
+		}
+	}
+	t.Fatal("no key with primary " + member)
+	return ""
+}
+
+// The live ring and the cluster simulator's consistenthash must place
+// identically: the production router is the promotion of the simulator's
+// placement, not a reimplementation with different arithmetic.
+func TestPlacementMatchesSimulator(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"}
+	ch := consistenthash.New(64)
+	ch.Add(names...)
+	r := ring.New[string, int](nil, ring.WithVirtualNodes(64), ring.WithReplication(3))
+	for i, n := range names {
+		r.Add(n, instant(i))
+	}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("file-%d", i)
+		want := ch.GetN(key, 3)
+		got := r.Owners(key)
+		if len(got) != len(want) {
+			t.Fatalf("Owners(%q) = %v, simulator places %v", key, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Owners(%q) = %v, simulator places %v", key, got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := ring.New[string, int](nil)
+	if _, err := r.Do(context.Background(), "k"); !errors.Is(err, core.ErrNoReplicas) {
+		t.Errorf("Do on empty ring = %v, want ErrNoReplicas", err)
+	}
+	if owners := r.Owners("k"); owners != nil {
+		t.Errorf("Owners on empty ring = %v, want nil", owners)
+	}
+}
+
+// A single-member ring is its own secondary: placement clamps to the one
+// member, a fan-out-2 strategy launches one copy, and a quorum of 2 is
+// typed unreachable.
+func TestSingleMemberClampsToOne(t *testing.T) {
+	r := ring.New[string, int](core.Fixed{Copies: 2})
+	r.Add("only", instant(7))
+	res, err := r.Do(context.Background(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 7 || res.Launched != 1 {
+		t.Errorf("single-member Do = value %d launched %d, want 7, 1", res.Value, res.Launched)
+	}
+	if _, err := r.Do(context.Background(), "k", core.WithQuorum(2)); !errors.Is(err, core.ErrQuorumUnreachable) {
+		t.Errorf("quorum 2 on single-member ring = %v, want ErrQuorumUnreachable", err)
+	}
+}
+
+// Replication bounds the fan-out: an "all replicas" strategy races the
+// key's placement subset, not the whole ring.
+func TestReplicationBoundsFanout(t *testing.T) {
+	r := ring.New[string, int](core.FullReplicate{}, ring.WithReplication(2))
+	for i := 0; i < 6; i++ {
+		r.Add(fmt.Sprintf("s%d", i), instant(i))
+	}
+	res, err := r.Do(context.Background(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("FullReplicate over 6 members launched %d, want replication 2", res.Launched)
+	}
+}
+
+// The paper's redundant read: primary + secondary race, first response
+// wins. With the primary stalled, the secondary's answer comes back.
+func TestSecondaryWinsOverSlowPrimary(t *testing.T) {
+	stall := coretest.NewGate()
+	defer stall.Release()
+	r := ring.New[string, string](core.Fixed{Copies: 2})
+	r.Add("slow", func(ctx context.Context, _ string) (string, error) {
+		return coretest.Blocked("slow", stall)(ctx)
+	})
+	r.Add("fast", named("fast"))
+
+	key := keyWithPrimary(t, r, "slow")
+	res, err := r.Do(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != "fast" || res.Index != 1 {
+		t.Errorf("Do with stalled primary = %q (index %d), want secondary \"fast\" (index 1)", res.Value, res.Index)
+	}
+}
+
+// Removing a member remaps its keys to their successors — the remaining
+// walk order with the member deleted — and adds route back.
+func TestRemoveRemapsToSuccessors(t *testing.T) {
+	r := ring.New[string, int](nil, ring.WithReplication(3))
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("s%d", i), instant(i))
+	}
+	keys := make([]string, 50)
+	before := make([][]string, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		before[i] = r.Owners(keys[i])
+	}
+	if !r.Remove("s1") {
+		t.Fatal("Remove(s1) = false")
+	}
+	for i, key := range keys {
+		want := make([]string, 0, 3)
+		for _, n := range before[i] {
+			if n != "s1" {
+				want = append(want, n)
+			}
+		}
+		got := r.Owners(key)
+		// The surviving prefix must be preserved in order; a key that had
+		// s1 in its placement gains exactly one new successor at the end.
+		if len(got) != 3 {
+			t.Fatalf("Owners(%q) after removal = %v, want 3 members", key, got)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Owners(%q) after removing s1 = %v, want prefix %v preserved", key, got, want)
+			}
+		}
+	}
+	if r.Remove("s1") {
+		t.Error("second Remove(s1) = true, want false")
+	}
+	if !r.Add("s1", instant(1)) {
+		t.Fatal("re-Add(s1) = false")
+	}
+	for i, key := range keys {
+		got := r.Owners(key)
+		for j := range before[i] {
+			if got[j] != before[i][j] {
+				t.Fatalf("Owners(%q) after re-adding s1 = %v, want original %v", key, got, before[i])
+			}
+		}
+	}
+	if r.Add("s1", instant(1)) {
+		t.Error("duplicate Add(s1) = true, want false")
+	}
+}
+
+// A member removed while a call is in flight keeps serving that call:
+// the routed handles outlive the topology change, exactly like the
+// group's copy-on-write snapshot.
+func TestRemoveMidCall(t *testing.T) {
+	started := make(chan struct{})
+	release := coretest.NewGate()
+	var once sync.Once
+	r := ring.New[string, int](core.Fixed{Copies: 1})
+	r.Add("a", func(ctx context.Context, _ string) (int, error) {
+		once.Do(func() { close(started) })
+		return coretest.Blocked(1, release)(ctx)
+	})
+	r.Add("b", instant(2))
+
+	key := keyWithPrimary(t, r, "a")
+	type result struct {
+		res core.Result[int]
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		res, err := r.Do(context.Background(), key)
+		done <- result{res, err}
+	}()
+	<-started
+	if !r.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	// The new table no longer routes to a...
+	if owners := r.Owners(key); owners[0] != "b" {
+		t.Fatalf("Owners(%q) after removal = %v, want [b]", key, owners)
+	}
+	// ...but the in-flight call completes against it.
+	release.Release()
+	got := <-done
+	if got.err != nil || got.res.Value != 1 {
+		t.Errorf("in-flight Do across removal = %d, %v; want 1, nil", got.res.Value, got.err)
+	}
+}
+
+// Quorum reads take R-of-N within the key's placement and the failure is
+// typed.
+func TestQuorumWithinPlacement(t *testing.T) {
+	boom := errors.New("boom")
+	r := ring.New[string, int](core.FullReplicate{}, ring.WithReplication(3))
+	r.Add("ok1", instant(1))
+	r.Add("ok2", instant(2))
+	r.Add("bad", func(ctx context.Context, _ string) (int, error) { return 0, boom })
+
+	if _, err := r.Do(context.Background(), "k", core.WithQuorum(2)); err != nil {
+		t.Fatalf("quorum 2 with one failing member: %v", err)
+	}
+	_, err := r.Do(context.Background(), "k", core.WithQuorum(3))
+	if !errors.Is(err, core.ErrQuorumUnreachable) || !errors.Is(err, boom) {
+		t.Errorf("quorum 3 with a failing member = %v, want ErrQuorumUnreachable wrapping the cause", err)
+	}
+}
+
+// NewKeyed routes by the derived key: a write request carrying a value
+// lands on the same placement as a plain read of its key.
+func TestKeyedRoutingAgrees(t *testing.T) {
+	type wreq struct{ key, val string }
+	reads := ring.New[string, string](core.Fixed{Copies: 1})
+	writes := ring.NewKeyed[wreq, string](core.Fixed{Copies: 1}, func(w wreq) string { return w.key })
+	for i := 0; i < 5; i++ {
+		n := fmt.Sprintf("s%d", i)
+		reads.Add(n, named(n))
+		writes.Add(n, func(ctx context.Context, _ wreq) (string, error) { return n, nil })
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		res, err := writes.Do(context.Background(), wreq{key: key, val: "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := reads.Owners(key)[0]; res.Value != want {
+			t.Errorf("write for %q served by %s, read placement says %s", key, res.Value, want)
+		}
+	}
+}
+
+func TestStatsKeyShares(t *testing.T) {
+	r := ring.New[string, int](core.Fixed{Copies: 2}, ring.WithReplication(2))
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("s%d", i), instant(i))
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := r.Do(context.Background(), fmt.Sprintf("key-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Replication != 2 || len(st.Members) != 4 {
+		t.Fatalf("Stats = replication %d, %d members; want 2, 4", st.Replication, len(st.Members))
+	}
+	sum, observations := 0.0, int64(0)
+	for _, m := range st.Members {
+		if m.KeyShare <= 0 {
+			t.Errorf("member %s key share %g, want > 0", m.Name, m.KeyShare)
+		}
+		sum += m.KeyShare
+		observations += m.Observations
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("key shares sum to %g, want 1", sum)
+	}
+	// Every call records at least its winner; losers that complete
+	// before cancellation record too.
+	if observations < 32 {
+		t.Errorf("total observations %d, want >= 32 (one winner per call)", observations)
+	}
+}
+
+// Churn race: concurrent calls, topology changes, and strategy swaps.
+// Run with -race -count=5; the fixed member s0 guarantees every call has
+// a route.
+func TestRingChurnRace(t *testing.T) {
+	r := ring.New[string, int](core.Fixed{Copies: 2}, ring.WithReplication(2), ring.WithVirtualNodes(16))
+	r.Add("s0", instant(0))
+
+	const (
+		callers = 4
+		calls   = 200
+		churns  = 100
+	)
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				res, err := r.Do(context.Background(), fmt.Sprintf("key-%d-%d", c, i))
+				if err != nil {
+					t.Errorf("Do during churn: %v", err)
+					return
+				}
+				_ = res
+				ok.Add(1)
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churns; i++ {
+			name := fmt.Sprintf("s%d", 1+i%3)
+			r.Add(name, instant(i))
+			switch i % 3 {
+			case 0:
+				r.SetStrategy(core.AdaptiveHedge{Copies: 2})
+			case 1:
+				r.SetStrategy(core.Fixed{Copies: 2})
+			case 2:
+				r.SetStrategy(core.FullReplicate{})
+			}
+			r.Remove(name)
+		}
+	}()
+	wg.Wait()
+	if got := ok.Load(); got != callers*calls {
+		t.Errorf("%d calls succeeded, want %d", got, callers*calls)
+	}
+	if r.Len() != 1 || r.Names()[0] != "s0" {
+		t.Errorf("after churn: members %v, want [s0]", r.Names())
+	}
+}

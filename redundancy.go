@@ -38,6 +38,19 @@
 //	res, err = g.Do(ctx,                                   // SLO-critical request:
 //	    redundancy.WithStrategyOverride(redundancy.FullReplicate{}))
 //
+// When the dataset no longer fits on every replica, Ring shards it:
+// keys are partitioned across backends by consistent hashing (the
+// paper's §2.2 storage placement) and each call runs the same engine —
+// same strategies, same options — over its key's primary + successors:
+//
+//	r := redundancy.NewRing[string, string](redundancy.Policy{Copies: 2}.Strategy())
+//	r.Add("shard-a", getA) // getA(ctx context.Context, key string) (string, error)
+//	r.Add("shard-b", getB)
+//	r.Add("shard-c", getC)
+//
+//	res, err = r.Do(ctx, "user:42")                        // primary+secondary race
+//	res, err = r.Do(ctx, "user:42", redundancy.WithQuorum(2)) // 2-of-2 placement read
+//
 // Failures are typed: errors.As recovers each ReplicaError (which replica,
 // which attempt), and a failed quorum matches
 // errors.Is(err, redundancy.ErrQuorumUnreachable) with partial outcomes in
@@ -61,6 +74,7 @@ import (
 	"time"
 
 	"redundancy/internal/core"
+	"redundancy/internal/ring"
 )
 
 // Replica is one way of performing an operation. See core.Replica.
@@ -343,3 +357,63 @@ func AllReplicas[T any](ctx context.Context, replicas ...Replica[T]) []Outcome[T
 
 // Fastest returns the successful outcomes of AllReplicas sorted by latency.
 func Fastest[T any](outcomes []Outcome[T]) []Outcome[T] { return core.Fastest(outcomes) }
+
+// Handle is an opaque reference to one of a KeyedGroup's replicas, for
+// callers that route among replicas themselves and call
+// KeyedGroup.DoPicked over explicit subsets. Rings do this internally;
+// most code never touches a Handle.
+type Handle[K, T any] = core.Handle[K, T]
+
+// Ring partitions a keyspace across named backends on a consistent-hash
+// ring — the paper's §2.2 placement: each key lives on a primary plus
+// Replication-1 successors — and routes every call through the same
+// engine as Group.Do, over the key's placement subset. Strategies,
+// per-call options, budgets, governors, cancellation, and per-member
+// latency digests all compose; topology changes (Add/Remove) are atomic
+// copy-on-write table swaps. See internal/ring for the full semantics.
+type Ring[K, T any] = ring.Ring[K, T]
+
+// RingOption configures a Ring at construction.
+type RingOption = ring.Option
+
+// RingStats is a point-in-time view of a Ring: strategy, replication,
+// and per-member key share and latency statistics.
+type RingStats = ring.Stats
+
+// RingMemberStats describes one ring member in a RingStats snapshot.
+type RingMemberStats = ring.MemberStats
+
+// Ring construction defaults.
+const (
+	// DefaultRingReplication is the placement copies per key (primary +
+	// one successor, as in the paper's storage service).
+	DefaultRingReplication = ring.DefaultReplication
+	// DefaultRingVirtualNodes is the ring points per member.
+	DefaultRingVirtualNodes = ring.DefaultVirtualNodes
+)
+
+// NewRing creates a Ring whose call argument is the routing key itself
+// (e.g. a KV key). strategy decides the redundancy within each key's
+// placement — Policy{Copies: 2}.Strategy() races primary + secondary.
+func NewRing[K ~string, T any](strategy Strategy, opts ...RingOption) *Ring[K, T] {
+	return ring.New[K, T](strategy, opts...)
+}
+
+// NewKeyedRing creates a Ring routing by keyOf(arg), for call arguments
+// that carry more than the key (e.g. a write request routing by its key
+// while carrying the value).
+func NewKeyedRing[K, T any](strategy Strategy, keyOf func(K) string, opts ...RingOption) *Ring[K, T] {
+	return ring.NewKeyed[K, T](strategy, keyOf, opts...)
+}
+
+// WithRingReplication sets a Ring's placement copies per key.
+func WithRingReplication(r int) RingOption { return ring.WithReplication(r) }
+
+// WithRingVirtualNodes sets a Ring's virtual points per member.
+func WithRingVirtualNodes(v int) RingOption { return ring.WithVirtualNodes(v) }
+
+// WithRingBudget attaches a hedging budget to a Ring's call engine.
+func WithRingBudget(b *Budget) RingOption { return ring.WithBudget(b) }
+
+// WithRingObserver attaches an Observer to a Ring's call engine.
+func WithRingObserver(o Observer) RingOption { return ring.WithObserver(o) }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # benchgate.sh — the hot-path regression gate for the unified call
-# engine. Runs the zero-options Group.Do benchmark (the path every
-# redundant operation shares) and fails if it
+# engine. Runs the zero-options hot-path benchmarks — Group.Do (the path
+# every redundant operation shares) and Ring.Do (the sharded routing
+# layered on it) — and fails if one
 #
-#   * exceeds MAX_ALLOCS allocs/op (the option machinery must stay free
-#     for callers who pass no options), or
+#   * exceeds MAX_ALLOCS allocs/op (the option machinery and the ring's
+#     routing must stay free for callers who pass no options), or
 #   * regresses more than TOLERANCE_PCT in ns/op against the committed
 #     BENCH_core.json baseline (refresh the baseline deliberately with
 #     scripts/bench.sh when a slowdown is accepted).
@@ -17,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline="${1:-BENCH_core.json}"
-bench="BenchmarkCoreGroupDo"
+benches="BenchmarkCoreGroupDo BenchmarkCoreRingDo"
 max_allocs="${MAX_ALLOCS:-12}"
 tolerance_pct="${TOLERANCE_PCT:-15}"
 count="${BENCH_COUNT:-3}"
@@ -27,19 +28,22 @@ if [ ! -f "$baseline" ]; then
     exit 1
 fi
 
-base_ns=$(grep -F "\"$bench\":" "$baseline" | sed -En 's/.*"ns_op": *([0-9]+).*/\1/p' | head -1)
-if [ -z "$base_ns" ]; then
-    echo "benchgate: $bench not found in $baseline" >&2
-    exit 1
-fi
-
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench "^${bench}\$" -benchtime 1s -count "$count" . | tee "$raw"
 
-# Fastest ns/op across the -count runs; allocs/op is deterministic, so
-# any run's figure serves.
-read -r ns allocs <<EOF
+fail=0
+for bench in $benches; do
+    base_ns=$(grep -F "\"$bench\":" "$baseline" | sed -En 's/.*"ns_op": *([0-9]+).*/\1/p' | head -1)
+    if [ -z "$base_ns" ]; then
+        echo "benchgate: $bench not found in $baseline" >&2
+        exit 1
+    fi
+
+    go test -run '^$' -bench "^${bench}\$" -benchtime 1s -count "$count" . | tee "$raw"
+
+    # Fastest ns/op across the -count runs; allocs/op is deterministic, so
+    # any run's figure serves.
+    read -r ns allocs <<EOF
 $(awk -v b="$bench" '
 $1 ~ "^"b"(-[0-9]+)?$" {
     ns = ""; al = ""
@@ -54,21 +58,21 @@ $1 ~ "^"b"(-[0-9]+)?$" {
 END { print best, alloc }' "$raw")
 EOF
 
-if [ -z "${ns:-}" ] || [ -z "${allocs:-}" ]; then
-    echo "benchgate: could not parse benchmark output" >&2
-    exit 1
-fi
+    if [ -z "${ns:-}" ] || [ -z "${allocs:-}" ]; then
+        echo "benchgate: could not parse $bench output" >&2
+        exit 1
+    fi
 
-echo "benchgate: $bench measured ${ns} ns/op, ${allocs} allocs/op (baseline ${base_ns} ns/op, limits: ${max_allocs} allocs, +${tolerance_pct}% ns)"
+    echo "benchgate: $bench measured ${ns} ns/op, ${allocs} allocs/op (baseline ${base_ns} ns/op, limits: ${max_allocs} allocs, +${tolerance_pct}% ns)"
 
-fail=0
-if [ "$allocs" -gt "$max_allocs" ]; then
-    echo "benchgate: FAIL — ${allocs} allocs/op exceeds the ${max_allocs}-alloc budget for the zero-options hot path" >&2
-    fail=1
-fi
-limit=$(awk -v b="$base_ns" -v t="$tolerance_pct" 'BEGIN { printf "%.0f", b * (1 + t / 100) }')
-if awk -v n="$ns" -v l="$limit" 'BEGIN { exit !(n + 0 > l + 0) }'; then
-    echo "benchgate: FAIL — ${ns} ns/op regresses past ${limit} ns/op (baseline ${base_ns} + ${tolerance_pct}%)" >&2
-    fail=1
-fi
+    if [ "$allocs" -gt "$max_allocs" ]; then
+        echo "benchgate: FAIL — $bench at ${allocs} allocs/op exceeds the ${max_allocs}-alloc budget for the zero-options hot path" >&2
+        fail=1
+    fi
+    limit=$(awk -v b="$base_ns" -v t="$tolerance_pct" 'BEGIN { printf "%.0f", b * (1 + t / 100) }')
+    if awk -v n="$ns" -v l="$limit" 'BEGIN { exit !(n + 0 > l + 0) }'; then
+        echo "benchgate: FAIL — $bench at ${ns} ns/op regresses past ${limit} ns/op (baseline ${base_ns} + ${tolerance_pct}%)" >&2
+        fail=1
+    fi
+done
 exit "$fail"
