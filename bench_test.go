@@ -14,6 +14,7 @@ import (
 	"redundancy"
 	"redundancy/internal/dist"
 	"redundancy/internal/exp"
+	"redundancy/internal/memkv"
 	"redundancy/internal/queueing"
 )
 
@@ -235,6 +236,39 @@ func BenchmarkCoreGroupDoQuorum(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreDoBatch is the batched-call hot path: 64 keys through
+// one DoBatch under a hedging strategy whose primaries answer
+// instantly, so every hedge deadline is armed on the shared timer wheel
+// and stopped unfired. The per-batch cost must stay within ~2x a single
+// Do (benchgate enforces <= 80 allocs per 64-key batch): one snapshot,
+// one schedule, one event channel, and per-key copy launches — not 64
+// independent calls' worth of machinery.
+func BenchmarkCoreDoBatch(b *testing.B) {
+	g := redundancy.NewStrategyKeyedGroup[int, int](
+		redundancy.Fixed{Copies: 2, HedgeDelay: 100 * time.Millisecond},
+		redundancy.WithKeyedSeed[int, int](1))
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Add(string(rune('a'+i)), func(ctx context.Context, k int) (int, error) { return k + i, nil })
+	}
+	args := make([]int, 64)
+	for i := range args {
+		args[i] = i
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := g.DoBatch(ctx, args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(args) {
+			b.Fatalf("got %d results", len(res))
+		}
+	}
+}
+
 func BenchmarkCoreHedgedFastPrimary(b *testing.B) {
 	fast := func(ctx context.Context) (int, error) { return 1, nil }
 	ctx := context.Background()
@@ -245,6 +279,41 @@ func BenchmarkCoreHedgedFastPrimary(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMemkvMuxParallel drives the memkv v2 wire protocol at full
+// tilt through ONE TCP connection: GOMAXPROCS goroutines issuing gets
+// concurrently, writes group-committed by the connection's flusher,
+// responses demuxed by tag. This is the transport hot path under the
+// paper's redundancy (every redundant read multiplies in-flight
+// requests); benchgate watches its allocs/op so the per-request cost
+// stays a few waiter/frame allocations, not a connection.
+func BenchmarkMemkvMuxParallel(b *testing.B) {
+	srv := memkv.NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl := memkv.NewMuxClient(addr.String(), 30*time.Second)
+	defer cl.Close()
+	ctx := context.Background()
+	if err := cl.Set(ctx, "bench-key", []byte("bench-value-0123456789")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v, err := cl.Get(ctx, "bench-key")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(v) == 0 {
+				b.Fatal("empty value")
+			}
+		}
+	})
 }
 
 func BenchmarkAblationFatTree(b *testing.B)  { benchFig(b, "ablfattree", 0.05) }

@@ -34,7 +34,7 @@ func main() {
 	r := rand.New(rand.NewSource(1))
 	servers := make(map[string]*memkv.Server, shards)
 	stalled := make(map[string]*atomic.Bool, shards)
-	clients := make([]*memkv.Client, shards)
+	clients := make([]memkv.Backend, shards)
 	for i := 0; i < shards; i++ {
 		srv := memkv.NewServer(nil)
 		flag := &atomic.Bool{}

@@ -1,0 +1,377 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoReplica(name string) ArgReplica[string, string] {
+	return func(_ context.Context, arg string) (string, error) {
+		return name + ":" + arg, nil
+	}
+}
+
+func batchArgs(n int) []string {
+	args := make([]string, n)
+	for i := range args {
+		args[i] = "k" + strconv.Itoa(i)
+	}
+	return args
+}
+
+func TestDoBatchBasic(t *testing.T) {
+	g := NewKeyedGroup[string, string](Policy{Copies: 1})
+	g.Add("a", echoReplica("a"))
+	g.Add("b", echoReplica("b"))
+	g.Add("c", echoReplica("c"))
+	args := batchArgs(17)
+	res, err := g.DoBatch(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(args) {
+		t.Fatalf("len(res) = %d, want %d", len(res), len(args))
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", i, r.Err)
+		}
+		want := ":" + args[i]
+		if got := r.Result.Value; len(got) < len(want) || got[len(got)-len(want):] != want {
+			t.Fatalf("key %d: value %q does not echo %q", i, got, args[i])
+		}
+		if r.Result.Launched != 1 {
+			t.Fatalf("key %d: Launched = %d, want 1", i, r.Result.Launched)
+		}
+	}
+}
+
+func TestDoBatchEmpty(t *testing.T) {
+	g := NewKeyedGroup[string, string](Policy{Copies: 1})
+	g.Add("a", echoReplica("a"))
+	res, err := g.DoBatch(context.Background(), nil)
+	if res != nil || err != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", res, err)
+	}
+}
+
+func TestDoBatchNoReplicas(t *testing.T) {
+	g := NewKeyedGroup[string, string](Policy{Copies: 1})
+	if _, err := g.DoBatch(context.Background(), batchArgs(1)); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v, want ErrNoReplicas", err)
+	}
+}
+
+// TestDoBatchHedgeWins: the primary stalls, the staggered hedge answers;
+// every key must resolve via the hedge long before the primary would.
+func TestDoBatchHedgeWins(t *testing.T) {
+	g := NewStrategyKeyedGroup[string, string](Fixed{Copies: 2, HedgeDelay: 5 * time.Millisecond})
+	slow := g.Add("slow", func(ctx context.Context, arg string) (string, error) {
+		select {
+		case <-time.After(3 * time.Second):
+			return "slow:" + arg, nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	})
+	fast := g.Add("fast", echoReplica("fast"))
+	args := batchArgs(32)
+	start := time.Now()
+	res, err := g.DoBatchPicked(context.Background(), args, []Handle[string, string]{slow, fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("batch took %v; hedges did not fire", el)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", i, r.Err)
+		}
+		if r.Result.Index != 1 {
+			t.Fatalf("key %d: winner index %d, want 1 (the hedge)", i, r.Result.Index)
+		}
+		if r.Result.Launched != 2 {
+			t.Fatalf("key %d: Launched = %d, want 2", i, r.Result.Launched)
+		}
+	}
+}
+
+// TestDoBatchFastPrimaryStopsHedges: an instant primary must resolve
+// each key before its hedge delay elapses, so only one copy launches and
+// the armed wheel timers are reclaimed.
+func TestDoBatchFastPrimaryStopsHedges(t *testing.T) {
+	g := NewStrategyKeyedGroup[string, string](Fixed{Copies: 2, HedgeDelay: 30 * time.Second})
+	g.Add("fast", echoReplica("fast"))
+	g.Add("other", echoReplica("other"))
+	res, err := g.DoBatch(context.Background(), batchArgs(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", i, r.Err)
+		}
+		if r.Result.Launched != 1 {
+			t.Fatalf("key %d: Launched = %d, want 1 (hedge should never launch)", i, r.Result.Launched)
+		}
+	}
+}
+
+// TestDoBatchFailoverSkipsHedgeDelay: when every outstanding copy of a
+// key has failed, the next copy launches immediately instead of waiting
+// out its hedge delay.
+func TestDoBatchFailoverSkipsHedgeDelay(t *testing.T) {
+	g := NewStrategyKeyedGroup[string, string](Fixed{Copies: 2, HedgeDelay: 30 * time.Second})
+	bad := g.Add("bad", func(context.Context, string) (string, error) {
+		return "", errors.New("boom")
+	})
+	good := g.Add("good", echoReplica("good"))
+	start := time.Now()
+	res, err := g.DoBatchPicked(context.Background(), batchArgs(16), []Handle[string, string]{bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("failover waited out the hedge delay: %v", el)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", i, r.Err)
+		}
+		if r.Result.Index != 1 || r.Result.Launched != 2 {
+			t.Fatalf("key %d: Index=%d Launched=%d, want 1/2", i, r.Result.Index, r.Result.Launched)
+		}
+	}
+}
+
+func TestDoBatchAllFail(t *testing.T) {
+	g := NewStrategyKeyedGroup[string, string](FullReplicate{})
+	g.Add("a", func(context.Context, string) (string, error) { return "", errors.New("a down") })
+	g.Add("b", func(context.Context, string) (string, error) { return "", errors.New("b down") })
+	res, err := g.DoBatch(context.Background(), batchArgs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("key %d: no error", i)
+		}
+		var re ReplicaError
+		if !errors.As(r.Err, &re) {
+			t.Fatalf("key %d: error %v carries no ReplicaError", i, r.Err)
+		}
+	}
+}
+
+func TestDoBatchQuorum(t *testing.T) {
+	g := NewStrategyKeyedGroup[string, string](FullReplicate{})
+	g.Add("a", echoReplica("a"))
+	g.Add("b", echoReplica("b"))
+	g.Add("c", func(context.Context, string) (string, error) { return "", errors.New("c down") })
+	res, err := g.DoBatch(context.Background(), batchArgs(9), WithQuorum(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", i, r.Err)
+		}
+	}
+	// Quorum of 3 cannot be met with one replica down.
+	res, err = g.DoBatch(context.Background(), batchArgs(3), WithQuorum(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, ErrQuorumUnreachable) {
+			t.Fatalf("key %d: err = %v, want ErrQuorumUnreachable", i, r.Err)
+		}
+		var qe *QuorumError[string]
+		// The key fails the moment the third replica errors (fail-fast, as
+		// in the single-call engine), so Wins is whatever had completed.
+		if !errors.As(r.Err, &qe) || qe.Need != 3 || qe.Wins > 2 {
+			t.Fatalf("key %d: QuorumError = %+v", i, qe)
+		}
+	}
+}
+
+func TestDoBatchQuorumTooLarge(t *testing.T) {
+	g := NewKeyedGroup[string, string](Policy{Copies: 1})
+	g.Add("a", echoReplica("a"))
+	if _, err := g.DoBatch(context.Background(), batchArgs(1), WithQuorum(2)); !errors.Is(err, ErrQuorumUnreachable) {
+		t.Fatalf("err = %v, want ErrQuorumUnreachable", err)
+	}
+}
+
+func TestDoBatchRejectsCollectOutcomes(t *testing.T) {
+	g := NewKeyedGroup[string, string](Policy{Copies: 1})
+	g.Add("a", echoReplica("a"))
+	var sink []Outcome[string]
+	if _, err := g.DoBatch(context.Background(), batchArgs(1), WithCollectOutcomes(&sink)); err == nil {
+		t.Fatal("WithCollectOutcomes on DoBatch did not error")
+	}
+}
+
+func TestDoBatchContextCancel(t *testing.T) {
+	g := NewStrategyKeyedGroup[string, string](Fixed{Copies: 1})
+	started := make(chan struct{}, 64)
+	g.Add("block", func(ctx context.Context, arg string) (string, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return "", ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	args := batchArgs(8)
+	done := make(chan []BatchResult[string], 1)
+	go func() {
+		res, err := g.DoBatch(ctx, args)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	for range args {
+		<-started
+	}
+	cancel()
+	select {
+	case res := <-done:
+		for i, r := range res {
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("key %d: err = %v, want context.Canceled", i, r.Err)
+			}
+			// The copy's own ctx-cancelled completion may race the batch
+			// loop's cancel branch, so Cancelled is 0 or 1; Launched is not.
+			if r.Result.Launched != 1 {
+				t.Fatalf("key %d: Launched=%d, want 1", i, r.Result.Launched)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DoBatch did not return after cancel")
+	}
+}
+
+// TestDoBatchBudget: with a budget that covers only part of the batch's
+// hedges, fan-out degrades uniformly and unused tokens are refunded.
+func TestDoBatchBudget(t *testing.T) {
+	b := NewBudget(0, 8) // 8 tokens, no refill
+	g := NewStrategyKeyedGroup[string, string](FullReplicate{}, WithKeyedBudget[string, string](b))
+	g.Add("a", echoReplica("a"))
+	g.Add("b", echoReplica("b"))
+	// 16 keys x 1 extra copy each wants 16 tokens; only 8 exist, so the
+	// per-key grant floors to 0 and the batch degrades to single copies.
+	res, err := g.DoBatch(context.Background(), batchArgs(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", i, r.Err)
+		}
+		if r.Result.Launched != 1 {
+			t.Fatalf("key %d: Launched = %d, want 1 (budget-degraded)", i, r.Result.Launched)
+		}
+	}
+	if got := b.Available(); got != 8 {
+		t.Fatalf("Available = %d after degraded batch, want full refund to 8", got)
+	}
+	// 4 keys want 4 tokens: fully granted, spent on launched hedges.
+	res, err = g.DoBatch(context.Background(), batchArgs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Result.Launched != 2 {
+			t.Fatalf("key %d: Launched = %d, want 2", i, r.Result.Launched)
+		}
+	}
+	if got := b.Available(); got != 4 {
+		t.Fatalf("Available = %d, want 4 (4 hedges spent)", got)
+	}
+}
+
+func TestDoBatchObserver(t *testing.T) {
+	var obs countObserver
+	g := NewKeyedGroup[string, string](Policy{Copies: 1}, WithKeyedObserver[string, string](&obs))
+	g.Add("a", echoReplica("a"))
+	if _, err := g.DoBatch(context.Background(), batchArgs(7), WithLabel("batch")); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.n.Load(); got != 7 {
+		t.Fatalf("observer saw %d observations, want 7", got)
+	}
+	if got := obs.lastLabel.Load(); got == nil || *got != "batch" {
+		t.Fatalf("observer label = %v, want batch", got)
+	}
+}
+
+type countObserver struct {
+	n         atomic.Int64
+	lastLabel atomic.Pointer[string]
+}
+
+func (o *countObserver) Observe(ob Observation) {
+	o.n.Add(1)
+	l := ob.Label
+	o.lastLabel.Store(&l)
+}
+
+// TestDoBatchManyKeys stresses the event loop and the shared wheel with
+// a large batch of mixed-latency replicas.
+func TestDoBatchManyKeys(t *testing.T) {
+	g := NewStrategyKeyedGroup[string, string](Fixed{Copies: 2, HedgeDelay: 2 * time.Millisecond})
+	g.Add("jitter", func(ctx context.Context, arg string) (string, error) {
+		if len(arg)%3 == 0 {
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		}
+		return "jitter:" + arg, nil
+	})
+	g.Add("steady", echoReplica("steady"))
+	args := batchArgs(512)
+	res, err := g.DoBatch(context.Background(), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("key %d: %v", i, r.Err)
+		}
+		if r.Result.Value == "" {
+			t.Fatalf("key %d: empty value", i)
+		}
+	}
+}
+
+func TestDoBatchPickedZeroHandle(t *testing.T) {
+	g := NewKeyedGroup[string, string](Policy{Copies: 1})
+	g.Add("a", echoReplica("a"))
+	_, err := g.DoBatchPicked(context.Background(), batchArgs(1), []Handle[string, string]{{}})
+	if err == nil {
+		t.Fatal("zero handle accepted")
+	}
+}
+
+func TestDoBatchPickedRouting(t *testing.T) {
+	g := NewKeyedGroup[string, string](Policy{Copies: 1})
+	g.Add("a", echoReplica("a"))
+	hb := g.Add("b", echoReplica("b"))
+	res, err := g.DoBatchPicked(context.Background(), batchArgs(4), []Handle[string, string]{hb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if want := fmt.Sprintf("b:k%d", i); r.Result.Value != want {
+			t.Fatalf("key %d: %q, want %q", i, r.Result.Value, want)
+		}
+	}
+}

@@ -605,37 +605,7 @@ func (g *KeyedGroup[K, T]) launch(ctx context.Context, arg K, p *callPlan[T], pi
 		}
 	}
 
-	var delays []time.Duration
-	if p.isFixed {
-		if p.fixed.HedgeDelay > 0 && copies > 1 {
-			delays = make([]time.Duration, copies)
-			for i := range delays {
-				delays[i] = p.fixed.HedgeDelay
-			}
-		}
-	} else if _, full := p.strat.(FullReplicate); !full && copies > 1 {
-		delays = p.strat.Schedule(memberDigests[K, T]{ms: picked})
-		if delays != nil && len(delays) != copies {
-			delays = normalizeDelays(delays, copies)
-		}
-	}
-	if q > 1 && delays != nil {
-		// The quorum copies are correctness requirements, not latency
-		// hedges: delaying them can only serialize the quorum. Launch the
-		// first q immediately; copies beyond the quorum keep the
-		// strategy's hedge schedule. Clone before zeroing — the schedule
-		// may be strategy-owned.
-		cloned := false
-		for i := 0; i < q && i < len(delays); i++ {
-			if delays[i] > 0 {
-				if !cloned {
-					delays = append([]time.Duration(nil), delays...)
-					cloned = true
-				}
-				delays[i] = 0
-			}
-		}
-	}
+	delays := g.scheduleDelays(p, picked, q)
 	gov := p.gov
 	res, err := call(ctx, callSpec[T]{
 		n:       copies,

@@ -110,7 +110,7 @@ func (c *Client) Query(ctx context.Context, server, name string, qtype Type) (*M
 // delay), and the first well-formed response wins — the paper's §3.2
 // replicated-DNS strategy.
 type Resolver struct {
-	client *Client
+	client Querier
 	// group passes each lookup's Question to the server replicas as the
 	// call argument; replica functions close over only their server
 	// address, with no per-call context plumbing.
@@ -129,6 +129,16 @@ func NewResolver(client *Client, policy core.Policy, servers ...string) *Resolve
 // an arbitrary strategy (core.AdaptiveHedge, core.FullReplicate, or a
 // custom implementation).
 func NewResolverStrategy(client *Client, strategy core.Strategy, servers ...string) *Resolver {
+	if client == nil {
+		client = NewClient(0)
+	}
+	return NewResolverQuerier(client, strategy, servers...)
+}
+
+// NewResolverQuerier builds a Resolver over any Querier — a MuxClient
+// for one-socket-per-server multiplexed transport, a Client for
+// socket-per-query, or a test fake. nil means a default Client.
+func NewResolverQuerier(client Querier, strategy core.Strategy, servers ...string) *Resolver {
 	if client == nil {
 		client = NewClient(0)
 	}

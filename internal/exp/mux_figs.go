@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redundancy/internal/memkv"
+	"redundancy/internal/stats"
+)
+
+// AblationMux measures what the memkv v2 wire protocol actually buys:
+// how many requests a single client/server pair can hold in flight at
+// once. The paper's redundancy multiplies outstanding requests by the
+// replication factor, so the transport's concurrency ceiling bounds how
+// far redundancy scales — and the v1 text protocol's ceiling is file
+// descriptors, because every in-flight request occupies one pooled
+// connection (two fds with client and server in one process).
+//
+// The driver is open-loop Poisson, as in the paper's load experiments:
+// arrivals at rate lambda = W/D against a server that holds every
+// request for a fixed D (wheel-parked on v2, goroutine-held on v1), so
+// by Little's law the steady state keeps ~W requests outstanding
+// whether or not the system keeps up. The sweep raises W geometrically
+// until each transport breaks:
+//
+//   - v1 needs W live connections; past the fd budget (~10k in one
+//     process at the default 20k rlimit) dials and accepts fail and the
+//     arm reports errors.
+//   - v2 multiplexes every request over ONE connection; W is bounded by
+//     waiter-map memory, and the p99 stays at D plus scheduling noise
+//     deep past v1's ceiling.
+//
+// At reduced scale (CI) the hold and the sweep shrink: the table shape
+// survives, the fd wall does not (all arms fit), which is the point of
+// a smoke run.
+func AblationMux(o Options) ([]*Table, error) {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	if s < MinScale {
+		s = MinScale
+	}
+	// Hold shrinks with scale (floored so arrival scheduling stays
+	// coarser than sleep granularity), keeping smoke runs fast.
+	hold := time.Duration(2 * s * float64(time.Second))
+	if hold < 100*time.Millisecond {
+		hold = 100 * time.Millisecond
+	}
+	tab := &Table{
+		Title: "Ablation: outstanding-request ceiling, memkv v1 (conn per request) vs v2 (multiplexed), one server",
+		Caption: fmt.Sprintf("open-loop Poisson arrivals at W/hold for 2.5 holds (hold=%v); W outstanding by Little's law; "+
+			"v1 needs W connections = 2W fds in-process, v2 one connection total", hold),
+		Columns: []string{"W target", "proto", "peak in-flight", "conns", "ok", "errs", "p50 (ms)", "p99 (ms)"},
+	}
+	for _, w := range []int{1000, 4000, 16000, 64000} {
+		W := o.scale(w)
+		for _, proto := range []string{"v1", "v2"} {
+			r, err := runMuxArm(muxArm{outstanding: W, hold: hold, proto: proto, seed: o.Seed + int64(W)})
+			if err != nil {
+				return nil, fmt.Errorf("ablmux W=%d %s: %w", W, proto, err)
+			}
+			p50, p99 := "-", "-"
+			if r.sample.N() > 0 {
+				p50 = fmt.Sprintf("%.1f", r.sample.Quantile(0.5)*1e3)
+				p99 = fmt.Sprintf("%.1f", r.sample.P99()*1e3)
+			}
+			tab.Add(W, proto, r.peak, r.conns, r.ok, r.errs, p50, p99)
+		}
+	}
+	return []*Table{tab}, nil
+}
+
+// muxArm is one measured (transport, target-outstanding) configuration.
+type muxArm struct {
+	outstanding int
+	hold        time.Duration
+	proto       string // "v1" or "v2"
+	seed        int64
+}
+
+type muxArmResult struct {
+	peak   int64 // high-water mark of concurrently outstanding requests
+	conns  int64 // connections the server accepted over the arm
+	ok     int64
+	errs   int64
+	sample *stats.Sample // latency of error-free steady-state arrivals
+}
+
+// runMuxArm drives one open-loop arm against a fresh server (fresh
+// because a v1 arm that hits the fd wall can wedge the listener; every
+// arm deserves a clean slate).
+func runMuxArm(a muxArm) (muxArmResult, error) {
+	var measuring atomic.Bool
+	srv := memkv.NewServer(nil)
+	srv.Delay = func() time.Duration {
+		if !measuring.Load() {
+			return 0
+		}
+		return a.hold
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return muxArmResult{}, err
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	const keys = 128
+	pre := memkv.NewClient(addr.String(), 10*time.Second)
+	for i := 0; i < keys; i++ {
+		if err := pre.Set(ctx, fmt.Sprintf("k-%d", i), []byte("v")); err != nil {
+			return muxArmResult{}, err
+		}
+	}
+	pre.Close()
+
+	var get func(context.Context, string) ([]byte, error)
+	switch a.proto {
+	case "v1":
+		cl := memkv.NewClient(addr.String(), 30*time.Second)
+		defer cl.Close()
+		get = cl.Get
+	case "v2":
+		cl := memkv.NewMuxClient(addr.String(), 30*time.Second)
+		defer cl.Close()
+		get = cl.Get
+	default:
+		return muxArmResult{}, fmt.Errorf("unknown proto %q", a.proto)
+	}
+	measuring.Store(true)
+
+	// Open-loop Poisson: lambda = W/hold, run for 2.5 holds. Arrivals in
+	// [hold, 1.5*hold) see the steady state (~W outstanding) and are the
+	// measured cohort; everything before ramps up, everything after keeps
+	// the load on while the cohort drains.
+	lambda := float64(a.outstanding) / a.hold.Seconds()
+	runFor := time.Duration(2.5 * float64(a.hold))
+	rng := rand.New(rand.NewSource(a.seed ^ 0x9e37))
+	var wg sync.WaitGroup
+	var cur, peak, ok, errs atomic.Int64
+	var mu sync.Mutex
+	sample := stats.NewSample(a.outstanding)
+	start := time.Now()
+	next := start
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / lambda * float64(time.Second)))
+		offset := next.Sub(start)
+		if offset >= runFor {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		measured := offset >= a.hold && offset < a.hold+a.hold/2
+		key := fmt.Sprintf("k-%d", rng.Intn(keys))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c := cur.Add(1); c > peak.Load() {
+				peak.Store(c) // racy max is fine for a high-water stat
+			}
+			t0 := time.Now()
+			_, err := get(ctx, key)
+			lat := time.Since(t0)
+			cur.Add(-1)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			ok.Add(1)
+			if measured {
+				mu.Lock()
+				sample.Add(lat.Seconds())
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return muxArmResult{
+		peak:   peak.Load(),
+		conns:  srv.AcceptedConns(),
+		ok:     ok.Load(),
+		errs:   errs.Load(),
+		sample: sample,
+	}, nil
+}

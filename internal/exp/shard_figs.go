@@ -162,7 +162,7 @@ func meanService(valueSize int) float64 {
 func runShardArm(a shardArm) (*stats.Sample, error) {
 	var measuring atomic.Bool
 	servers := make([]*memkv.Server, a.shards)
-	clients := make([]*memkv.Client, a.shards)
+	clients := make([]memkv.Backend, a.shards)
 	for i := range servers {
 		srv := memkv.NewServer(nil)
 		clock := &fcfsClock{

@@ -18,6 +18,14 @@ import (
 // when there was nothing to delete.
 var ErrNotFound = errors.New("memkv: not found")
 
+// DefaultMaxIdleConns is the idle-connection cap of a v1 Client's pool:
+// connections returning to a full pool are closed instead of retained,
+// so a burst of concurrent requests no longer pins its high-water mark
+// of sockets forever. In-flight connections are not bounded — the v1
+// protocol needs one per concurrent request, which is exactly the
+// scaling wall MuxClient removes.
+const DefaultMaxIdleConns = 64
+
 // Client is a connection-pooled memcached text-protocol client for a
 // single server. It is safe for concurrent use; concurrent requests use
 // separate pooled connections.
@@ -63,6 +71,11 @@ func (c *Client) getConn(ctx context.Context) (*clientConn, error) {
 
 func (c *Client) putConn(cc *clientConn) {
 	c.mu.Lock()
+	if len(c.idle) >= DefaultMaxIdleConns {
+		c.mu.Unlock()
+		cc.c.Close()
+		return
+	}
 	c.idle = append(c.idle, cc)
 	c.mu.Unlock()
 }

@@ -1,0 +1,588 @@
+package memkv
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+// ErrMuxConnLost reports that a multiplexed connection died with
+// requests in flight: every pending request on it fails with an error
+// wrapping this sentinel (match with errors.Is). The next request
+// redials transparently.
+var ErrMuxConnLost = errors.New("memkv: mux connection lost")
+
+// ErrMuxTimeout reports that a multiplexed request exceeded the
+// client's per-request timeout. Unlike the v1 client — which must kill
+// the connection, because a text-protocol response has no identity
+// besides its position — a timed-out v2 request just abandons its tag;
+// the connection and every other in-flight request on it are unharmed.
+var ErrMuxTimeout = errors.New("memkv: mux request timeout")
+
+// MuxClient is the v2 multiplexed memkv client: a tiny fixed set of
+// connections (default one) to a single server, over which any number
+// of concurrent requests interleave. Where the v1 Client's concurrency
+// ceiling is file descriptors — every in-flight request occupies a
+// pooled connection — a MuxClient's ceiling is memory: each in-flight
+// request is one map entry and one pooled waiter, so tens of thousands
+// of outstanding redundant reads share a handful of sockets.
+//
+//   - Writes coalesce: requests append frames to a pending buffer and a
+//     single flusher goroutine per connection writes whatever
+//     accumulated while the previous write was in flight — group
+//     commit, one syscall for many requests under load.
+//   - Reads demux: a reader goroutine per connection routes each
+//     response frame to its tag's waiter. Responses may arrive in any
+//     order; slow requests don't head-of-line-block fast ones.
+//   - Cancellation is free: a cancelled request unregisters its tag and
+//     moves on — the connection survives, and the response is discarded
+//     on arrival. (The v1 client must burn the connection to abandon a
+//     request.) The redundancy engine cancelling a losing copy
+//     therefore no longer costs a reconnect.
+//
+// A MuxClient is safe for concurrent use and implements the same
+// Get/Set/SetTTL/Delete surface as Client, so it satisfies Backend and
+// plugs into ShardedClient and ReplicatedClient construction unchanged.
+type MuxClient struct {
+	addr    string
+	timeout time.Duration
+
+	rr     atomic.Uint64
+	conns  []atomic.Pointer[muxConn]
+	mu     sync.Mutex // serializes dialing and Close
+	closed bool
+}
+
+// MuxOption configures a MuxClient.
+type MuxOption func(*MuxClient)
+
+// WithMuxConns sets how many connections the client stripes requests
+// over (default 1; values below 1 mean 1). More than a few is rarely
+// useful: the point of multiplexing is that one connection carries many
+// requests.
+func WithMuxConns(n int) MuxOption {
+	return func(m *MuxClient) {
+		if n < 1 {
+			n = 1
+		}
+		m.conns = make([]atomic.Pointer[muxConn], n)
+	}
+}
+
+// NewMuxClient creates a multiplexed v2 client for the server at addr.
+// timeout bounds each request from enqueue to response (0 means no
+// timeout); it is enforced on the shared timer wheel, not with a
+// per-request runtime timer. Connections are dialed lazily.
+func NewMuxClient(addr string, timeout time.Duration, opts ...MuxOption) *MuxClient {
+	m := &MuxClient{addr: addr, timeout: timeout}
+	m.conns = make([]atomic.Pointer[muxConn], 1)
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Addr returns the server address this client targets.
+func (m *MuxClient) Addr() string { return m.addr }
+
+// NumConns returns the number of connection stripes.
+func (m *MuxClient) NumConns() int { return len(m.conns) }
+
+// muxConn is one multiplexed connection: a writer-side pending buffer
+// drained by the flusher goroutine, and a reader goroutine demuxing
+// response frames to tag waiters.
+type muxConn struct {
+	c net.Conn
+
+	mu      sync.Mutex
+	tag     uint64
+	waiters map[uint64]*muxWaiter
+	pending []byte
+	dead    bool
+	err     error
+
+	flushC chan struct{}
+	done   chan struct{}
+}
+
+// muxWaiter is one in-flight request's rendezvous. The channel has
+// capacity 1 and receives exactly one frame (response, timeout
+// sentinel, or nothing if the connection dies), so deliveries never
+// block. Waiters recycle through a pool; a waiter is only returned to
+// the pool by a path that proved the channel is and will stay empty.
+type muxWaiter struct {
+	ch chan frame
+}
+
+var muxWaiterPool = sync.Pool{
+	New: func() any { return &muxWaiter{ch: make(chan frame, 1)} },
+}
+
+func (m *MuxClient) dial(ctx context.Context) (*muxConn, error) {
+	d := net.Dialer{Timeout: m.timeout}
+	c, err := d.DialContext(ctx, "tcp", m.addr)
+	if err != nil {
+		return nil, err
+	}
+	cn := &muxConn{
+		c:       c,
+		waiters: make(map[uint64]*muxWaiter),
+		flushC:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go cn.reader()
+	go cn.flusher()
+	return cn, nil
+}
+
+// conn returns a live connection for the next request, redialing a dead
+// (or not-yet-dialed) stripe on demand.
+func (m *MuxClient) conn(ctx context.Context) (*muxConn, error) {
+	i := int(m.rr.Add(1) % uint64(len(m.conns)))
+	if cn := m.conns[i].Load(); cn != nil && !cn.isDead() {
+		return cn, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("memkv: mux client closed")
+	}
+	if cn := m.conns[i].Load(); cn != nil && !cn.isDead() {
+		return cn, nil
+	}
+	cn, err := m.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m.conns[i].Store(cn)
+	return cn, nil
+}
+
+// Close closes every connection. Requests in flight fail with
+// ErrMuxConnLost; subsequent requests fail immediately.
+func (m *MuxClient) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	for i := range m.conns {
+		if cn := m.conns[i].Load(); cn != nil {
+			cn.fail(errors.New("client closed"))
+		}
+	}
+	return nil
+}
+
+func (cn *muxConn) isDead() bool {
+	select {
+	case <-cn.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// lostErr returns the connection's terminal error (after done closed).
+func (cn *muxConn) lostErr() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.err != nil {
+		return cn.err
+	}
+	return ErrMuxConnLost
+}
+
+// fail marks the connection dead exactly once: pending waiters are
+// released via the done channel (their responses will never arrive) and
+// the socket is closed, which also stops the reader and flusher.
+func (cn *muxConn) fail(cause error) {
+	cn.mu.Lock()
+	if cn.dead {
+		cn.mu.Unlock()
+		return
+	}
+	cn.dead = true
+	cn.err = fmt.Errorf("%w: %v", ErrMuxConnLost, cause)
+	cn.waiters = nil
+	cn.mu.Unlock()
+	close(cn.done)
+	cn.c.Close()
+}
+
+// start registers a waiter and assigns a tag for each request, appends
+// all their frames to the pending buffer under one lock acquisition,
+// and signals the flusher once — the enqueue half of write coalescing.
+// reqs and ws share indices; on error nothing was enqueued.
+func (cn *muxConn) start(reqs []frame, ws []*muxWaiter) error {
+	cn.mu.Lock()
+	if cn.dead {
+		err := cn.err
+		cn.mu.Unlock()
+		if err == nil {
+			err = ErrMuxConnLost
+		}
+		return err
+	}
+	for i := range reqs {
+		cn.tag++
+		reqs[i].tag = cn.tag
+		w := muxWaiterPool.Get().(*muxWaiter)
+		ws[i] = w
+		cn.waiters[cn.tag] = w
+		cn.pending = appendFrame(cn.pending, &reqs[i])
+	}
+	cn.mu.Unlock()
+	select {
+	case cn.flushC <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// reader demuxes response frames to their tag's waiter. A frame whose
+// tag has no waiter was cancelled or timed out after the request went
+// out: the response is discarded and the connection lives on.
+func (cn *muxConn) reader() {
+	r := bufio.NewReaderSize(cn.c, 64<<10)
+	for {
+		var f frame
+		if err := readFrame(r, &f); err != nil {
+			cn.fail(err)
+			return
+		}
+		cn.mu.Lock()
+		w := cn.waiters[f.tag]
+		if w != nil {
+			delete(cn.waiters, f.tag)
+		}
+		cn.mu.Unlock()
+		if w != nil {
+			w.ch <- f // cap 1, sole delivery: never blocks
+		}
+	}
+}
+
+// flusher is the connection's single writer: each pass swaps out
+// whatever frames accumulated while the previous write was on the wire
+// and writes them with one syscall (group commit).
+func (cn *muxConn) flusher() {
+	var scratch []byte
+	for {
+		select {
+		case <-cn.flushC:
+		case <-cn.done:
+			return
+		}
+		for {
+			cn.mu.Lock()
+			if len(cn.pending) == 0 {
+				cn.mu.Unlock()
+				break
+			}
+			buf := cn.pending
+			cn.pending = scratch[:0]
+			cn.mu.Unlock()
+			if _, err := cn.c.Write(buf); err != nil {
+				cn.fail(err)
+				return
+			}
+			scratch = buf
+		}
+	}
+}
+
+// abandon gives up on a waiter whose response we no longer want
+// (cancellation or timeout). If the tag is still registered, the
+// response simply never finds a waiter — discarded on arrival, the mux
+// cancellation contract. If it is gone, a delivery is either in flight
+// (drain it) or the connection died (nothing will come).
+func (cn *muxConn) abandon(tag uint64, w *muxWaiter) {
+	cn.mu.Lock()
+	if cn.waiters != nil {
+		if _, ok := cn.waiters[tag]; ok {
+			delete(cn.waiters, tag)
+			cn.mu.Unlock()
+			// Unregistered before delivery: the channel is empty for good.
+			muxWaiterPool.Put(w)
+			return
+		}
+	}
+	cn.mu.Unlock()
+	select {
+	case <-w.ch:
+		// The in-flight delivery arrived; now the channel is empty again.
+		muxWaiterPool.Put(w)
+	case <-cn.done:
+		// Connection died after unregistering us (fail drops the whole
+		// map): no delivery will come, but don't pool a channel the
+		// reader might theoretically still hold.
+	}
+}
+
+// muxTimeoutFired is the shared-wheel callback for a request timeout:
+// it unregisters the tag (so the eventual response is discarded) and
+// delivers the timeout sentinel to the waiter. c is the *muxConn, i the
+// tag.
+func muxTimeoutFired(c any, i int64) {
+	cn := c.(*muxConn)
+	tag := uint64(i)
+	cn.mu.Lock()
+	var w *muxWaiter
+	if cn.waiters != nil {
+		w = cn.waiters[tag]
+		if w != nil {
+			delete(cn.waiters, tag)
+		}
+	}
+	cn.mu.Unlock()
+	if w != nil {
+		w.ch <- frame{op: opTimeout}
+	}
+}
+
+// do runs one request to completion: enqueue, then wait for the
+// response, the timeout, cancellation, or connection loss.
+func (m *MuxClient) do(ctx context.Context, req frame) (frame, error) {
+	if err := ctx.Err(); err != nil {
+		return frame{}, err
+	}
+	cn, err := m.conn(ctx)
+	if err != nil {
+		return frame{}, err
+	}
+	var reqs [1]frame
+	var ws [1]*muxWaiter
+	reqs[0] = req
+	if err := cn.start(reqs[:], ws[:]); err != nil {
+		return frame{}, err
+	}
+	w, tag := ws[0], reqs[0].tag
+	var tm core.WheelTimer
+	if m.timeout > 0 {
+		tm = core.SharedWheel().AfterFunc(m.timeout, muxTimeoutFired, cn, int64(tag))
+	}
+	select {
+	case fr := <-w.ch:
+		tm.Stop()
+		muxWaiterPool.Put(w)
+		if fr.op == opTimeout {
+			return frame{}, fmt.Errorf("%w after %v", ErrMuxTimeout, m.timeout)
+		}
+		return fr, nil
+	case <-ctx.Done():
+		tm.Stop()
+		cn.abandon(tag, w)
+		return frame{}, ctx.Err()
+	case <-cn.done:
+		tm.Stop()
+		return frame{}, cn.lostErr()
+	}
+}
+
+func frameToGet(fr *frame) ([]byte, error) {
+	switch fr.op {
+	case opValue:
+		return fr.val, nil
+	case opNotFound:
+		return nil, ErrNotFound
+	case opErr:
+		return nil, fmt.Errorf("memkv: server error: %s", fr.val)
+	default:
+		return nil, fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+	}
+}
+
+func frameToSet(fr *frame) error {
+	switch fr.op {
+	case opStored:
+		return nil
+	case opErr:
+		return fmt.Errorf("memkv: server error: %s", fr.val)
+	default:
+		return fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+	}
+}
+
+func frameToDelete(fr *frame) error {
+	switch fr.op {
+	case opDeleted:
+		return nil
+	case opNotFound:
+		return ErrNotFound
+	case opErr:
+		return fmt.Errorf("memkv: server error: %s", fr.val)
+	default:
+		return fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+	}
+}
+
+// Get fetches the value stored under key.
+func (m *MuxClient) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := validateKey(key); err != nil {
+		return nil, err
+	}
+	fr, err := m.do(ctx, frame{op: opGet, key: key})
+	if err != nil {
+		return nil, err
+	}
+	return frameToGet(&fr)
+}
+
+// Set stores value under key with no expiry.
+func (m *MuxClient) Set(ctx context.Context, key string, value []byte) error {
+	return m.SetTTL(ctx, key, value, 0)
+}
+
+// SetTTL stores value under key, expiring after ttl (rounded up to
+// whole seconds; 0 = never).
+func (m *MuxClient) SetTTL(ctx context.Context, key string, value []byte, ttl time.Duration) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	fr, err := m.do(ctx, frame{op: opSet, aux: ttlSeconds(ttl), key: key, val: value})
+	if err != nil {
+		return err
+	}
+	return frameToSet(&fr)
+}
+
+// Delete removes key.
+func (m *MuxClient) Delete(ctx context.Context, key string) error {
+	if err := validateKey(key); err != nil {
+		return err
+	}
+	fr, err := m.do(ctx, frame{op: opDelete, key: key})
+	if err != nil {
+		return err
+	}
+	return frameToDelete(&fr)
+}
+
+func ttlSeconds(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	return uint32((ttl + time.Second - 1) / time.Second)
+}
+
+// closeChanFired is a shared-wheel callback that closes the chan passed
+// as c — the batch paths' one-timer-per-batch deadline.
+func closeChanFired(c any, _ int64) { close(c.(chan struct{})) }
+
+// doBatch issues all reqs in one coalesced round on one connection and
+// collects their responses. Per-request outcomes land in frs/errs; a
+// setup failure (dial, dead stripe) is returned for the caller to
+// spread over every request.
+func (m *MuxClient) doBatch(ctx context.Context, reqs []frame) ([]frame, []error) {
+	frs := make([]frame, len(reqs))
+	errs := make([]error, len(reqs))
+	fill := func(err error) ([]frame, []error) {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
+		return frs, errs
+	}
+	cn, err := m.conn(ctx)
+	if err != nil {
+		return fill(err)
+	}
+	ws := make([]*muxWaiter, len(reqs))
+	if err := cn.start(reqs, ws); err != nil {
+		return fill(err)
+	}
+	var tm core.WheelTimer
+	var timeoutC chan struct{}
+	if m.timeout > 0 {
+		timeoutC = make(chan struct{})
+		tm = core.SharedWheel().AfterFunc(m.timeout, closeChanFired, timeoutC, 0)
+	}
+	defer tm.Stop()
+	for i, w := range ws {
+		select {
+		case fr := <-w.ch:
+			muxWaiterPool.Put(w)
+			frs[i] = fr
+		case <-ctx.Done():
+			errs[i] = ctx.Err()
+			cn.abandon(reqs[i].tag, w)
+		case <-timeoutC:
+			errs[i] = fmt.Errorf("%w after %v", ErrMuxTimeout, m.timeout)
+			cn.abandon(reqs[i].tag, w)
+		case <-cn.done:
+			errs[i] = cn.lostErr()
+		}
+	}
+	return frs, errs
+}
+
+// GetBatch fetches many keys in one multiplexed round: every request
+// goes out in one coalesced write and the responses demux as they
+// arrive. vals[i] and errs[i] are key i's outcome (a missing key is
+// ErrNotFound); the slices always have len(keys).
+func (m *MuxClient) GetBatch(ctx context.Context, keys []string) (vals [][]byte, errs []error) {
+	reqs := make([]frame, len(keys))
+	vals = make([][]byte, len(keys))
+	var bad []error
+	for i, k := range keys {
+		if err := validateKey(k); err != nil {
+			if bad == nil {
+				bad = make([]error, len(keys))
+			}
+			bad[i] = err
+		}
+		reqs[i] = frame{op: opGet, key: k}
+	}
+	if bad != nil {
+		return vals, bad
+	}
+	frs, errs := m.doBatch(ctx, reqs)
+	for i := range frs {
+		if errs[i] != nil {
+			continue
+		}
+		vals[i], errs[i] = frameToGet(&frs[i])
+	}
+	return vals, errs
+}
+
+// PutBatch stores many key/value pairs in one multiplexed round (no
+// expiry). errs[i] is pair i's outcome; len(vals) must equal len(keys).
+func (m *MuxClient) PutBatch(ctx context.Context, keys []string, vals [][]byte) []error {
+	if len(keys) != len(vals) {
+		panic("memkv: PutBatch keys/vals length mismatch")
+	}
+	reqs := make([]frame, len(keys))
+	var bad []error
+	for i, k := range keys {
+		if err := validateKey(k); err != nil {
+			if bad == nil {
+				bad = make([]error, len(keys))
+			}
+			bad[i] = err
+		}
+		reqs[i] = frame{op: opSet, key: k, val: vals[i]}
+	}
+	if bad != nil {
+		return bad
+	}
+	frs, errs := m.doBatch(ctx, reqs)
+	for i := range frs {
+		if errs[i] != nil {
+			continue
+		}
+		errs[i] = frameToSet(&frs[i])
+	}
+	return errs
+}

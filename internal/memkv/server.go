@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -163,7 +164,15 @@ type Server struct {
 	// redundant read closes its connection, and the server stops burning
 	// capacity on an answer nobody will read.
 	aborted atomic.Int64
+	// accepted counts connections accepted over the server's lifetime —
+	// the transport-cost metric the v1-vs-v2 ablation reports (v1 pays a
+	// connection per in-flight request, v2 one per client).
+	accepted atomic.Int64
 }
+
+// AcceptedConns returns the total number of connections the server has
+// accepted since Listen.
+func (s *Server) AcceptedConns() int64 { return s.accepted.Load() }
 
 // NewServer creates a server around the given store (a fresh one if nil).
 func NewServer(store *Store) *Server {
@@ -198,11 +207,25 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
+	backoff := 5 * time.Millisecond
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// Out of file descriptors — the very wall the v1 protocol's
+			// connection-per-request design runs into under load. Back
+			// off and keep accepting: connections in flight will close
+			// and free fds; dying here would wedge the listener forever.
+			if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) {
+				time.Sleep(backoff)
+				if backoff < time.Second {
+					backoff *= 2
+				}
+				continue
+			}
 			return // listener closed
 		}
+		backoff = 5 * time.Millisecond
+		s.accepted.Add(1)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -258,20 +281,38 @@ type request struct {
 	bad string
 }
 
-// serveConn splits each connection between a reader goroutine (parses
-// requests, detects the peer going away) and this handler loop (executes
-// them, including the Delay hook). The split is what makes server-side
-// work cancellable: a redundant client cancels a losing copy by closing
-// its connection, the blocked reader sees the close immediately, and the
-// handler abandons any in-progress delay instead of sleeping it out and
-// writing an answer nobody will read.
+// serveConn sniffs the connection's first byte to pick a protocol —
+// every v2 frame op has the high bit set, while text-protocol commands
+// are ASCII — then hands off to the v2 mux loop (server_mux.go) or the
+// v1 text loop below. One listener serves both protocols, so v1 and v2
+// clients mix freely against the same store.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	r := bufio.NewReader(conn)
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] >= 0x80 {
+		s.serveMux(conn, r)
+		return
+	}
+	s.serveText(conn, r)
+}
+
+// serveText splits each v1 connection between a reader goroutine
+// (parses requests, detects the peer going away) and this handler loop
+// (executes them, including the Delay hook). The split is what makes
+// server-side work cancellable: a redundant client cancels a losing
+// copy by closing its connection, the blocked reader sees the close
+// immediately, and the handler abandons any in-progress delay instead
+// of sleeping it out and writing an answer nobody will read.
+func (s *Server) serveText(conn net.Conn, r *bufio.Reader) {
 	handlerGone := make(chan struct{})
 	defer close(handlerGone)
 	readerGone := make(chan struct{})
 	reqCh := make(chan request)
-	go s.readRequests(conn, reqCh, readerGone, handlerGone)
+	go s.readRequests(r, reqCh, readerGone, handlerGone)
 
 	w := bufio.NewWriter(conn)
 	for {
@@ -365,9 +406,8 @@ func (s *Server) sleep(d time.Duration, abort <-chan struct{}) bool {
 // the handler — as soon as a read fails, which for an idle-then-closed
 // connection is the moment the peer disconnects, because the reader
 // always has a Read pending for the next command.
-func (s *Server) readRequests(conn net.Conn, reqCh chan<- request, readerGone chan struct{}, handlerGone <-chan struct{}) {
+func (s *Server) readRequests(r *bufio.Reader, reqCh chan<- request, readerGone chan struct{}, handlerGone <-chan struct{}) {
 	defer close(readerGone)
-	r := bufio.NewReader(conn)
 	for {
 		line, err := readLine(r)
 		if err != nil {

@@ -1,0 +1,187 @@
+package memkv
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+// This file is the server half of the memkv v2 protocol: one loop per
+// connection that reads frames, executes them against the store, and
+// appends responses to a coalesced write buffer drained by a flusher
+// goroutine — the mirror image of the client's MuxClient. Two things
+// distinguish it from the v1 text path:
+//
+//   - Responses interleave out of order. A delayed request (the Delay
+//     hook) parks on the shared timer wheel and answers when its delay
+//     elapses; requests behind it on the same connection are not
+//     blocked. The v1 path is strictly serial per connection.
+//   - No goroutine, timer, or connection is held per in-flight request.
+//     A v1 server under N delayed requests holds N handler goroutines
+//     (one per connection); the v2 server holds N small heap nodes on
+//     the wheel. The concurrency ceiling moves from fds and stacks to
+//     memory.
+//
+// Cancellation semantics shift accordingly: a v1 client abandons a
+// request by closing the connection, which the per-connection handler
+// notices mid-delay (aborted_ops). A v2 client abandons a request by
+// discarding its tag and keeps the connection; the server finishes the
+// work and writes a response nobody reads — unless the whole connection
+// closes, in which case parked delayed requests are dropped at fire
+// time and counted in aborted_ops exactly like v1.
+
+// muxSession is one v2 connection's server state.
+type muxSession struct {
+	s    *Server
+	conn net.Conn
+
+	mu      sync.Mutex
+	pending []byte
+	closed  bool
+
+	flushC chan struct{}
+	done   chan struct{}
+}
+
+// serveMux runs the v2 frame loop on a connection whose first byte
+// identified it as framed. It returns when the connection dies; delayed
+// requests still parked on the wheel detect the closed session at fire
+// time.
+func (s *Server) serveMux(conn net.Conn, r *bufio.Reader) {
+	m := &muxSession{
+		s:      s,
+		conn:   conn,
+		flushC: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	go m.flusher()
+	for {
+		var f frame
+		if err := readFrame(r, &f); err != nil {
+			break
+		}
+		if s.Delay != nil {
+			if d := s.Delay(); d > 0 {
+				// Park the request on the shared wheel instead of holding
+				// this goroutine: the loop keeps reading, later requests
+				// overtake this one, and the response goes out when the
+				// delay elapses.
+				core.SharedWheel().AfterFunc(d, muxDelayFired, &muxDelayed{m: m, f: f}, 0)
+				continue
+			}
+		}
+		m.exec(&f)
+	}
+	m.shutdown()
+}
+
+// muxDelayed boxes one parked request for the wheel callback.
+type muxDelayed struct {
+	m *muxSession
+	f frame
+}
+
+func muxDelayFired(c any, _ int64) {
+	d := c.(*muxDelayed)
+	d.m.exec(&d.f)
+}
+
+// exec executes one request frame and enqueues its response. It runs on
+// the connection's read loop or, for delayed requests, on the wheel
+// goroutine — store operations are sharded-mutex map accesses and the
+// enqueue is a buffer append, both non-blocking enough for the wheel's
+// callback contract.
+func (m *muxSession) exec(f *frame) {
+	s := m.s
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		// The client went away while this request was parked: the
+		// server-side half of cancellation, as in the v1 delay abort.
+		s.aborted.Add(1)
+		return
+	}
+	switch f.op {
+	case opGet:
+		s.cmdGet.Add(1)
+		if val, flags, ok := s.store.Get(f.key); ok {
+			s.getHits.Add(1)
+			m.pending = appendFrame(m.pending, &frame{op: opValue, tag: f.tag, aux: flags, val: val})
+		} else {
+			s.getMisses.Add(1)
+			m.pending = appendFrame(m.pending, &frame{op: opNotFound, tag: f.tag})
+		}
+	case opSet:
+		if f.key == "" {
+			m.pending = appendErrFrame(m.pending, f.tag, "set requires a key")
+			break
+		}
+		s.cmdSet.Add(1)
+		s.store.SetTTL(f.key, 0, f.val, time.Duration(f.aux)*time.Second)
+		m.pending = appendFrame(m.pending, &frame{op: opStored, tag: f.tag})
+	case opDelete:
+		if f.key == "" {
+			m.pending = appendErrFrame(m.pending, f.tag, "delete requires a key")
+			break
+		}
+		if s.store.Delete(f.key) {
+			m.pending = appendFrame(m.pending, &frame{op: opDeleted, tag: f.tag})
+		} else {
+			m.pending = appendFrame(m.pending, &frame{op: opNotFound, tag: f.tag})
+		}
+	default:
+		m.pending = appendErrFrame(m.pending, f.tag, "unknown op %#x", f.op)
+	}
+	m.mu.Unlock()
+	select {
+	case m.flushC <- struct{}{}:
+	default:
+	}
+}
+
+// flusher drains the pending buffer with one write per pass — the
+// server-side group commit matching the client's. Responses produced
+// while a write is on the wire coalesce into the next write.
+func (m *muxSession) flusher() {
+	var scratch []byte
+	for {
+		select {
+		case <-m.flushC:
+		case <-m.done:
+			return
+		}
+		for {
+			m.mu.Lock()
+			if len(m.pending) == 0 {
+				m.mu.Unlock()
+				break
+			}
+			buf := m.pending
+			m.pending = scratch[:0]
+			m.mu.Unlock()
+			if _, err := m.conn.Write(buf); err != nil {
+				m.shutdown()
+				return
+			}
+			scratch = buf
+		}
+	}
+}
+
+// shutdown marks the session closed (idempotent): parked delayed
+// requests become aborts at fire time, and the flusher exits.
+func (m *muxSession) shutdown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.pending = nil
+	m.mu.Unlock()
+	close(m.done)
+	m.conn.Close()
+}

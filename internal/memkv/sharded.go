@@ -34,11 +34,22 @@ import (
 // handoff and read repair on top of exactly this routing layer.
 type ShardedClient struct {
 	mu          sync.Mutex // guards clients; the rings have their own engines
-	clients     map[string]*Client
+	clients     map[string]Backend
 	reads       *ring.Ring[string, []byte]
 	writes      *ring.Ring[setReq, struct{}]
 	replication int
 	writeQuorum int
+}
+
+// Backend is the single-shard client surface ShardedClient routes over.
+// Both the v1 pooled Client and the v2 multiplexed MuxClient implement
+// it, so a sharded store mixes transports freely (and migrates from v1
+// to v2 one shard at a time).
+type Backend interface {
+	Addr() string
+	Get(ctx context.Context, key string) ([]byte, error)
+	SetTTL(ctx context.Context, key string, value []byte, ttl time.Duration) error
+	Close() error
 }
 
 // setReq is the write ring's call argument: it routes by key and carries
@@ -75,8 +86,9 @@ type ShardedConfig struct {
 }
 
 // NewShardedClient builds a sharded store over the given single-shard
-// clients. Shards are named by their client's Addr.
-func NewShardedClient(cfg ShardedConfig, clients ...*Client) *ShardedClient {
+// clients (v1 Client, v2 MuxClient, or any Backend). Shards are named
+// by their client's Addr.
+func NewShardedClient(cfg ShardedConfig, clients ...Backend) *ShardedClient {
 	if cfg.Replication < 1 {
 		cfg.Replication = ring.DefaultReplication
 	}
@@ -90,7 +102,7 @@ func NewShardedClient(cfg ShardedConfig, clients ...*Client) *ShardedClient {
 		cfg.VirtualNodes = ring.DefaultVirtualNodes
 	}
 	sc := &ShardedClient{
-		clients:     make(map[string]*Client, len(clients)),
+		clients:     make(map[string]Backend, len(clients)),
 		replication: cfg.Replication,
 		writeQuorum: cfg.WriteQuorum,
 	}
@@ -111,7 +123,7 @@ func NewShardedClient(cfg ShardedConfig, clients ...*Client) *ShardedClient {
 // AddShard registers a shard; keys whose placement now includes it route
 // there from the next call on (existing data is not migrated). Adding a
 // shard whose address is already present is a no-op.
-func (sc *ShardedClient) AddShard(cl *Client) {
+func (sc *ShardedClient) AddShard(cl Backend) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	addr := cl.Addr()
@@ -196,6 +208,50 @@ func (sc *ShardedClient) SetTTL(ctx context.Context, key string, value []byte, t
 	}
 }
 
+// GetBatch reads many keys in one batched engine pass: keys are grouped
+// by shard placement (ring.DoBatch), each group runs as one
+// core.DoBatchPicked — one schedule, shared-wheel hedge deadlines — and
+// with MuxClient backends each shard sees its whole group as one
+// coalesced wire round. Results are in key order; res[i].Err carries
+// key i's failure (ErrNotFound for absent keys). The error is
+// batch-level only (empty ring, bad option). See core.KeyedGroup.DoBatch
+// for how batch cancellation semantics differ from per-key Get calls.
+func (sc *ShardedClient) GetBatch(ctx context.Context, keys []string, opts ...core.CallOption) ([]core.BatchResult[[]byte], error) {
+	return sc.reads.DoBatch(ctx, keys, opts...)
+}
+
+// PutBatch writes many key/value pairs, each to its full placement with
+// the client's write quorum, batched per shard group like GetBatch.
+// errs[i] is pair i's outcome; the returned slice is nil if err is
+// non-nil. len(vals) must equal len(keys).
+func (sc *ShardedClient) PutBatch(ctx context.Context, keys []string, vals [][]byte, opts ...core.CallOption) ([]error, error) {
+	if len(keys) != len(vals) {
+		return nil, errors.New("memkv: PutBatch keys/vals length mismatch")
+	}
+	q := sc.writeQuorum
+	if n := sc.writes.Len(); n == 0 {
+		return nil, core.ErrNoReplicas
+	} else if n < q {
+		q = n
+	}
+	reqs := make([]setReq, len(keys))
+	for i := range keys {
+		reqs[i] = setReq{key: keys[i], value: vals[i]}
+	}
+	callOpts := make([]core.CallOption, 0, len(opts)+1)
+	callOpts = append(callOpts, core.WithQuorum(q))
+	callOpts = append(callOpts, opts...)
+	res, err := sc.writes.DoBatch(ctx, reqs, callOpts...)
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]error, len(res))
+	for i := range res {
+		errs[i] = res[i].Err
+	}
+	return errs, nil
+}
+
 // Owners returns the shard addresses key is placed on, primary first.
 func (sc *ShardedClient) Owners(key string) []string { return sc.reads.Owners(key) }
 
@@ -216,7 +272,7 @@ func (sc *ShardedClient) RingStats() ring.Stats { return sc.reads.Stats() }
 // Close closes all shard clients.
 func (sc *ShardedClient) Close() error {
 	sc.mu.Lock()
-	clients := make([]*Client, 0, len(sc.clients))
+	clients := make([]Backend, 0, len(sc.clients))
 	for _, cl := range sc.clients {
 		clients = append(clients, cl)
 	}

@@ -16,7 +16,7 @@ import (
 func startShards(t *testing.T, n int, cfg ShardedConfig) (*ShardedClient, map[string]*Server) {
 	t.Helper()
 	servers := make(map[string]*Server, n)
-	clients := make([]*Client, n)
+	clients := make([]Backend, n)
 	for i := 0; i < n; i++ {
 		srv, addr := startServer(t)
 		servers[addr] = srv
@@ -82,7 +82,7 @@ func TestShardedRedundantGetDodgesSlowPrimary(t *testing.T) {
 	// primary race-free after discovering which shard that is.
 	const stall = 250 * time.Millisecond
 	stalled := make(map[string]*atomic.Bool, 3)
-	clients := make([]*Client, 3)
+	clients := make([]Backend, 3)
 	for i := 0; i < 3; i++ {
 		flag := &atomic.Bool{}
 		_, addr := startServerDelay(t, func() time.Duration {

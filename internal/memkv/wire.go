@@ -1,0 +1,141 @@
+package memkv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the memkv v2 framing layer: a fixed binary header plus
+// key and value bytes, carrying a per-request u64 tag so many requests
+// can share one connection and responses can return in any order. The
+// v1 text protocol ties a connection to one in-flight request (the
+// response is identified by position); v2 identifies responses by tag,
+// which is what lets MuxClient multiplex thousands of outstanding
+// requests over a single TCP connection and lets the server interleave
+// delayed responses out of order.
+//
+// Frame layout (all integers big-endian):
+//
+//	op   u8   — operation / status code, always >= 0x80
+//	tag  u64  — request identifier, echoed verbatim in the response
+//	aux  u32  — op-specific: TTL seconds on set, flags on a value
+//	klen u16  — key length (0 on responses), <= maxKeyLen
+//	vlen u32  — value length, <= maxValueLen
+//	key  [klen]byte
+//	val  [vlen]byte
+//
+// Every op has the high bit set, so the first byte of a connection
+// distinguishes v2 framing from the ASCII text protocol (whose commands
+// start with a lowercase letter) and one listener serves both; see
+// Server.serveConn. v2 deliberately drops the memcached "flags" field
+// on set (aux carries the TTL instead); a value's flags default to 0
+// when written via v2.
+const (
+	frameHeaderLen = 19
+
+	// Request ops.
+	opGet    = 0x81
+	opSet    = 0x82
+	opDelete = 0x83
+
+	// Response ops.
+	opValue    = 0xC1 // val = stored bytes, aux = flags
+	opNotFound = 0xC2
+	opStored   = 0xC3
+	opDeleted  = 0xC4
+	opErr      = 0xC5 // val = error message
+
+	// opTimeout is an internal sentinel delivered to a waiter whose
+	// request timed out; it never appears on the wire (no high bit).
+	opTimeout = 0x01
+)
+
+// Frame decode errors. Truncated input surfaces as io.ErrUnexpectedEOF
+// (or io.EOF at a frame boundary); these cover frames that violate the
+// protocol's limits.
+var (
+	errFrameOp       = errors.New("memkv: frame op out of range")
+	errFrameKeyLen   = errors.New("memkv: frame key too long")
+	errFrameValueLen = errors.New("memkv: frame value too long")
+)
+
+// frame is one decoded v2 frame.
+type frame struct {
+	op  byte
+	tag uint64
+	aux uint32
+	key string
+	val []byte
+}
+
+// appendFrame appends f's encoding to dst and returns the extended
+// slice — the writer-side primitive the mux clients and server batch
+// through one coalesced buffer.
+func appendFrame(dst []byte, f *frame) []byte {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = f.op
+	binary.BigEndian.PutUint64(hdr[1:9], f.tag)
+	binary.BigEndian.PutUint32(hdr[9:13], f.aux)
+	binary.BigEndian.PutUint16(hdr[13:15], uint16(len(f.key)))
+	binary.BigEndian.PutUint32(hdr[15:19], uint32(len(f.val)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.key...)
+	return append(dst, f.val...)
+}
+
+// readFrame reads and validates one frame from r into f. The key and
+// value are freshly allocated (the caller owns them). A clean EOF at a
+// frame boundary returns io.EOF; a torn frame returns
+// io.ErrUnexpectedEOF; limit violations return the errFrame errors
+// before any variable-length payload is read.
+func readFrame(r *bufio.Reader, f *frame) error {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	f.op = hdr[0]
+	if f.op < 0x80 {
+		return errFrameOp
+	}
+	f.tag = binary.BigEndian.Uint64(hdr[1:9])
+	f.aux = binary.BigEndian.Uint32(hdr[9:13])
+	klen := int(binary.BigEndian.Uint16(hdr[13:15]))
+	vlen := int(binary.BigEndian.Uint32(hdr[15:19]))
+	if klen > maxKeyLen {
+		return errFrameKeyLen
+	}
+	if vlen > maxValueLen {
+		return errFrameValueLen
+	}
+	f.key = ""
+	f.val = nil
+	if klen > 0 {
+		kb := make([]byte, klen)
+		if _, err := io.ReadFull(r, kb); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		f.key = string(kb)
+	}
+	if vlen > 0 {
+		f.val = make([]byte, vlen)
+		if _, err := io.ReadFull(r, f.val); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// frameErrorf encodes an opErr response for tag.
+func appendErrFrame(dst []byte, tag uint64, format string, args ...any) []byte {
+	f := frame{op: opErr, tag: tag, val: []byte(fmt.Sprintf(format, args...))}
+	return appendFrame(dst, &f)
+}

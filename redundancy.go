@@ -87,6 +87,13 @@ type ArgReplica[K, T any] = core.ArgReplica[K, T]
 // Result describes a completed redundant operation. See core.Result.
 type Result[T any] = core.Result[T]
 
+// BatchResult is one argument's outcome within a batched call
+// (KeyedGroup.DoBatch, Ring.DoBatch): the argument's Result on success,
+// its error otherwise. See core.BatchResult for the batch semantics —
+// one snapshot, one schedule, shared hedge deadlines on the process
+// timer wheel, and batch-scoped cancellation.
+type BatchResult[T any] = core.BatchResult[T]
+
 // Group manages a replica set for repeated redundant operations. It is
 // built on a lock-free copy-on-write engine: replicas can be added and
 // removed and the policy changed while operations are in flight, and the

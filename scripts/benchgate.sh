@@ -1,25 +1,32 @@
 #!/usr/bin/env bash
 # benchgate.sh — the hot-path regression gate for the unified call
-# engine. Runs the zero-options hot-path benchmarks — Group.Do (the path
-# every redundant operation shares) and Ring.Do (the sharded routing
-# layered on it) — and fails if one
+# engine and the v2 wire protocol. Each gated benchmark carries its own
+# alloc budget (name:max_allocs below) and fails the gate if it
 #
-#   * exceeds MAX_ALLOCS allocs/op (the option machinery and the ring's
-#     routing must stay free for callers who pass no options), or
+#   * exceeds its allocs/op budget (the option machinery, the ring's
+#     routing, the batch engine's per-key machinery, and the mux
+#     client's per-request path must stay allocation-lean), or
 #   * regresses more than TOLERANCE_PCT in ns/op against the committed
 #     BENCH_core.json baseline (refresh the baseline deliberately with
 #     scripts/bench.sh when a slowdown is accepted).
 #
+# Budgets:
+#   BenchmarkCoreGroupDo:10      zero-options Do — the path every
+#                                redundant operation shares
+#   BenchmarkCoreRingDo:10       sharded routing layered on Do
+#   BenchmarkCoreDoBatch:80      64-key batch: <= 2x a single Do's
+#                                allocs for the WHOLE batch (~1.2/key)
+#   BenchmarkMemkvMuxParallel:12 one multiplexed get, client side
+#
 # Usage: scripts/benchgate.sh [baseline.json]   (default BENCH_core.json)
-# Env:   MAX_ALLOCS (default 12), TOLERANCE_PCT (default 15),
+# Env:   TOLERANCE_PCT (default 15),
 #        BENCH_COUNT (default 3; the fastest run is compared, matching
 #        how bench.sh records the baseline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline="${1:-BENCH_core.json}"
-benches="BenchmarkCoreGroupDo BenchmarkCoreRingDo"
-max_allocs="${MAX_ALLOCS:-12}"
+specs="BenchmarkCoreGroupDo:10 BenchmarkCoreRingDo:10 BenchmarkCoreDoBatch:80 BenchmarkMemkvMuxParallel:12"
 tolerance_pct="${TOLERANCE_PCT:-15}"
 count="${BENCH_COUNT:-3}"
 
@@ -32,7 +39,9 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 fail=0
-for bench in $benches; do
+for spec in $specs; do
+    bench="${spec%%:*}"
+    max_allocs="${spec##*:}"
     base_ns=$(grep -F "\"$bench\":" "$baseline" | sed -En 's/.*"ns_op": *([0-9]+).*/\1/p' | head -1)
     if [ -z "$base_ns" ]; then
         echo "benchgate: $bench not found in $baseline" >&2
@@ -66,7 +75,7 @@ EOF
     echo "benchgate: $bench measured ${ns} ns/op, ${allocs} allocs/op (baseline ${base_ns} ns/op, limits: ${max_allocs} allocs, +${tolerance_pct}% ns)"
 
     if [ "$allocs" -gt "$max_allocs" ]; then
-        echo "benchgate: FAIL — $bench at ${allocs} allocs/op exceeds the ${max_allocs}-alloc budget for the zero-options hot path" >&2
+        echo "benchgate: FAIL — $bench at ${allocs} allocs/op exceeds its ${max_allocs}-alloc budget" >&2
         fail=1
     fi
     limit=$(awk -v b="$base_ns" -v t="$tolerance_pct" 'BEGIN { printf "%.0f", b * (1 + t / 100) }')
