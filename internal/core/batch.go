@@ -63,6 +63,7 @@ type batchKey struct {
 	wins      int32
 	resolved  bool
 	timerSet  bool
+	timerCi   int32 // copy index the armed timer is for, valid while timerSet
 	timer     WheelTimer
 	errs      []error
 }
@@ -230,6 +231,7 @@ func (g *KeyedGroup[K, T]) doBatch(ctx context.Context, args []K, p *callPlan[T]
 			if !fireNow && ci > 0 && delays != nil && delays[ci] > 0 {
 				ks.timer = wheel.AfterFunc(delays[ci], hedgeFired, b, int64(ki)<<32|int64(ci))
 				ks.timerSet = true
+				ks.timerCi = ci
 				return
 			}
 			fireNow = false
@@ -289,7 +291,14 @@ func (g *KeyedGroup[K, T]) doBatch(ctx context.Context, args []K, p *callPlan[T]
 		case ev := <-b.events:
 			ks := &keys[ev.ki]
 			if ev.hedge {
-				ks.timerSet = false
+				// Only the event for the currently armed copy disarms the
+				// bookkeeping: a stale event (its timer was Stopped racing
+				// the fire, and the failure path armed a NEW timer for a
+				// later copy) must not clear timerSet, or finish/ctx-cancel
+				// would skip Stop on the live timer.
+				if ks.timerSet && ks.timerCi == ev.ci {
+					ks.timerSet = false
+				}
 				// Stale deadline (the copy was already launched by the
 				// failure path, or the key resolved): ignore.
 				if !ks.resolved && ks.launched == ev.ci {

@@ -49,9 +49,16 @@ type wheelNode struct {
 	next, prev *wheelNode
 	when       int64 // absolute tick
 	gen        uint32
-	f          func(c any, i int64)
-	c          any
-	i          int64
+	// level/slot record which list currently holds the node, written at
+	// insert and cascade time. unlink must remove from this recorded
+	// list: re-deriving the level from the current delta goes wrong once
+	// time has advanced past a level boundary but the cascade has not
+	// yet moved the node down.
+	level uint8
+	slot  uint8
+	f     func(c any, i int64)
+	c     any
+	i     int64
 }
 
 // wheelList is a doubly-linked list head (nil-terminated both ways).
@@ -211,14 +218,18 @@ func (w *TimerWheel) insert(n *wheelNode) {
 		delta = wheelHorizon
 		n.when = w.now + wheelHorizon
 	}
+	var level uint8
+	var slot int64
 	switch {
 	case delta < wheelSlots:
-		w.slots[0][n.when&wheelMask].push(n)
+		level, slot = 0, n.when&wheelMask
 	case delta < wheelSlots*wheelSlots:
-		w.slots[1][(n.when>>wheelBits)&wheelMask].push(n)
+		level, slot = 1, (n.when>>wheelBits)&wheelMask
 	default:
-		w.slots[2][(n.when>>(2*wheelBits))&wheelMask].push(n)
+		level, slot = 2, (n.when>>(2*wheelBits))&wheelMask
 	}
+	n.level, n.slot = level, uint8(slot)
+	w.slots[level][slot].push(n)
 }
 
 // Stop cancels the timer if it has not fired, reporting whether it was
@@ -241,17 +252,10 @@ func (t WheelTimer) Stop() bool {
 	return true
 }
 
-// unlink removes an armed node and recycles it. Called with mu held.
+// unlink removes an armed node from the list recorded at insert/cascade
+// time and recycles it. Called with mu held.
 func (w *TimerWheel) unlink(n *wheelNode) {
-	delta := n.when - w.now
-	switch {
-	case delta < wheelSlots:
-		w.slots[0][n.when&wheelMask].remove(n)
-	case delta < wheelSlots*wheelSlots:
-		w.slots[1][(n.when>>wheelBits)&wheelMask].remove(n)
-	default:
-		w.slots[2][(n.when>>(2*wheelBits))&wheelMask].remove(n)
-	}
+	w.slots[n.level][n.slot].remove(n)
 	w.recycle(n)
 	w.armed--
 }
@@ -363,7 +367,8 @@ func (w *TimerWheel) cascade(level int, slot int64) {
 		n.next, n.prev = nil, nil
 		if n.when <= w.now {
 			// Due now: fire on this tick via level 0's current slot.
-			w.slots[0][w.now&wheelMask].push(n)
+			n.level, n.slot = 0, uint8(w.now&wheelMask)
+			w.slots[0][n.slot].push(n)
 		} else {
 			w.insert(n)
 		}

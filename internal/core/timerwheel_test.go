@@ -64,6 +64,42 @@ func TestWheelStop(t *testing.T) {
 	}
 }
 
+// TestWheelStopAfterLevelBoundaryShrink is a regression test: Stop on
+// a timer whose remaining delta has shrunk below its insertion level's
+// span (armed at level 1, now under 64 ticks away, but not yet
+// cascaded down) must unlink from the slot list that actually holds
+// it. unlink used to re-derive the level from the current delta and
+// edit the wrong list, cross-linking the wheel's slots with the free
+// list and livelocking the wheel goroutine.
+func TestWheelStopAfterLevelBoundaryShrink(t *testing.T) {
+	w := NewTimerWheel(time.Millisecond)
+	defer w.Close()
+	// Keep the loop ticking so w.now advances while the victim is armed,
+	// and double as the health probe afterwards.
+	var keep atomic.Bool
+	w.AfterFunc(300*time.Millisecond, func(any, int64) { keep.Store(true) }, nil, 0)
+
+	// 100 ticks lands in level 1. After ~45 ticks the remaining delta is
+	// below level 0's span (64) while the node still sits in level 1.
+	var fired atomic.Bool
+	tm := w.AfterFunc(100*time.Millisecond, func(any, int64) { fired.Store(true) }, nil, 0)
+	time.Sleep(45 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on armed level-1 timer = false, want true")
+	}
+
+	// The wheel must stay healthy: the keeper and a freshly armed timer
+	// (reusing the recycled node) both fire, the stopped one never does.
+	var again atomic.Bool
+	w.AfterFunc(5*time.Millisecond, func(any, int64) { again.Store(true) }, nil, 0)
+	waitFor(t, 2*time.Second, again.Load)
+	waitFor(t, 2*time.Second, keep.Load)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+	waitFor(t, 2*time.Second, func() bool { return w.Armed() == 0 })
+}
+
 func TestWheelStopAfterFire(t *testing.T) {
 	w := NewTimerWheel(time.Millisecond)
 	defer w.Close()

@@ -53,10 +53,11 @@ var (
 // A MuxClient is safe for concurrent use and implements Querier, so it
 // plugs into NewResolverQuerier directly.
 type MuxClient struct {
-	// Timeout bounds each query (default 2 seconds, the paper's loss
-	// cutoff). UDP has no delivery guarantee, so an unanswered query
-	// holds its ID until this fires; it is enforced on the shared timer
-	// wheel, not with a per-query runtime timer.
+	// Timeout bounds each query; zero or negative means the 2-second
+	// default (the paper's loss cutoff). UDP has no delivery guarantee,
+	// so an unanswered query holds its ID until this fires; it is
+	// enforced on the shared timer wheel, not with a per-query runtime
+	// timer.
 	Timeout time.Duration
 
 	mu     sync.Mutex
@@ -126,6 +127,11 @@ func (m *MuxClient) conn(ctx context.Context, server string) (*dnsMuxConn, error
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, errors.New("dnswire: mux client closed")
+	}
+	if m.conns == nil {
+		// Zero-value client: Close nils the map too, but that path is
+		// caught by the closed check above.
+		m.conns = make(map[string]*dnsMuxConn)
 	}
 	if cn := m.conns[server]; cn != nil && !cn.isDead() {
 		return cn, nil
@@ -310,13 +316,19 @@ func (m *MuxClient) Exchange(ctx context.Context, server string, query *Message)
 		cn.fail(err)
 		return nil, fmt.Errorf("dnswire: mux write: %w", err)
 	}
-	tm := core.SharedWheel().AfterFunc(m.Timeout, dnsMuxTimeoutFired, cn, int64(id))
+	timeout := m.Timeout
+	if timeout <= 0 {
+		// A zero-value &MuxClient{} gets the same default NewMuxClient
+		// applies; AfterFunc(0) would fire on the next wheel tick.
+		timeout = 2 * time.Second
+	}
+	tm := core.SharedWheel().AfterFunc(timeout, dnsMuxTimeoutFired, cn, int64(id))
 	select {
 	case resp := <-w.ch:
 		tm.Stop()
 		dnsMuxWaiterPool.Put(w)
 		if resp == muxTimeoutMsg {
-			return nil, fmt.Errorf("%w after %v", ErrMuxTimeout, m.Timeout)
+			return nil, fmt.Errorf("%w after %v", ErrMuxTimeout, timeout)
 		}
 		return resp, nil
 	case <-ctx.Done():

@@ -28,6 +28,23 @@ func TestMuxQueryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMuxZeroValueClient is a regression test: a zero-value &MuxClient{}
+// must get the documented 2-second default timeout, not arm a 0-delay
+// wheel timer that fails every query with ErrMuxTimeout on the next
+// tick (and its nil conns map must be initialized lazily).
+func TestMuxZeroValueClient(t *testing.T) {
+	_, addr := startDNS(t, staticZone())
+	m := &MuxClient{}
+	defer m.Close()
+	resp, err := m.Query(context.Background(), addr, "www.example.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("resp %+v", resp.Header)
+	}
+}
+
 func TestMuxSharesOneSocketPerServer(t *testing.T) {
 	_, addr := startDNS(t, staticZone())
 	m := NewMuxClient(time.Second)
