@@ -163,6 +163,50 @@ func BenchmarkCoreGroupDo(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreDoValue is the fast lane of the hot path: the same group
+// and strategy as BenchmarkCoreGroupDo, but through DoValue — no
+// options, first success wins, only the value returned. The pooled call
+// frame keeps this at <= 4 allocs/op (benchgate enforces it): the
+// copy-cancellation channel, the shared derived context, and one
+// goroutine closure per launched copy.
+func BenchmarkCoreDoValue(b *testing.B) {
+	g := redundancy.NewGroup[int](redundancy.Policy{Copies: 2, Selection: redundancy.SelectRandom},
+		redundancy.WithSeed[int](1))
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 2, nil })
+	g.Add("c", func(ctx context.Context) (int, error) { return 3, nil })
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.DoValue(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreDoValueParallel contends the fast lane under ranked
+// selection: one shared group's frame pool serving GOMAXPROCS
+// goroutines, each call recycling a frame through sync.Pool.
+func BenchmarkCoreDoValueParallel(b *testing.B) {
+	g := redundancy.NewGroup[int](redundancy.Policy{Copies: 2, Selection: redundancy.SelectRanked},
+		redundancy.WithSeed[int](1))
+	for i := 0; i < 16; i++ {
+		i := i
+		g.Add(string(rune('a'+i)), func(ctx context.Context) (int, error) { return i, nil })
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := g.DoValue(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCoreRingDo is the sharded-routing hot path: hash the key,
 // binary-search the route table, walk to the primary + successor, and
 // run the same call engine as Group.Do over that subset. The routing

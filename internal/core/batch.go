@@ -199,7 +199,7 @@ func (g *KeyedGroup[K, T]) doBatch(ctx context.Context, args []K, p *callPlan[T]
 		}
 	}
 
-	delays := g.scheduleDelays(p, picked, q)
+	delays := g.scheduleInto(p, picked, q, nil)
 
 	out := make([]BatchResult[T], len(args))
 	keys := make([]batchKey, len(args))
@@ -367,40 +367,50 @@ func (g *KeyedGroup[K, T]) doBatch(ctx context.Context, args []K, p *callPlan[T]
 	return out, nil
 }
 
-// scheduleDelays resolves one call's (or batch's) launch schedule: the
-// Fixed fast path, the strategy's Schedule over the picked digests, and
-// the quorum rule that the first q copies always launch immediately.
-func (g *KeyedGroup[K, T]) scheduleDelays(p *callPlan[T], picked []Handle[K, T], q int) []time.Duration {
+// scheduleInto resolves one call's (or batch's) launch schedule into
+// buf: the Fixed fast path, the strategy's ScheduleInto (or legacy
+// Schedule, normalized) over the picked digests, and the quorum rule
+// that the first q copies always launch immediately. buf must have
+// length len(picked) or be nil, in which case a buffer is allocated
+// only if a schedule actually materializes. The returned schedule is
+// always backed by the (caller-owned) buffer — never strategy-owned
+// memory — so the quorum zeroing mutates in place without cloning. nil
+// means launch every copy at once.
+func (g *KeyedGroup[K, T]) scheduleInto(p *callPlan[T], picked []Handle[K, T], q int, buf []time.Duration) []time.Duration {
 	copies := len(picked)
+	if copies <= 1 {
+		return nil
+	}
 	var delays []time.Duration
 	if p.isFixed {
-		if p.fixed.HedgeDelay > 0 && copies > 1 {
-			delays = make([]time.Duration, copies)
-			for i := range delays {
-				delays[i] = p.fixed.HedgeDelay
-			}
+		if p.fixed.HedgeDelay <= 0 {
+			return nil
 		}
-	} else if _, full := p.strat.(FullReplicate); !full && copies > 1 {
-		delays = p.strat.Schedule(memberDigests[K, T]{ms: picked})
-		if delays != nil && len(delays) != copies {
-			delays = normalizeDelays(delays, copies)
+		if buf == nil {
+			buf = make([]time.Duration, copies)
+		}
+		delays = buf
+		for i := range delays {
+			delays[i] = p.fixed.HedgeDelay
+		}
+	} else if _, full := p.strat.(FullReplicate); full {
+		return nil
+	} else {
+		if buf == nil {
+			buf = make([]time.Duration, copies)
+		}
+		delays = strategyScheduleInto(p.strat, memberDigests[K, T]{ms: picked}, buf)
+		if delays == nil {
+			return nil
 		}
 	}
-	if q > 1 && delays != nil {
+	if q > 1 {
 		// The quorum copies are correctness requirements, not latency
 		// hedges: delaying them can only serialize the quorum. Launch the
 		// first q immediately; copies beyond the quorum keep the
-		// strategy's hedge schedule. Clone before zeroing — the schedule
-		// may be strategy-owned.
-		cloned := false
+		// strategy's hedge schedule.
 		for i := 0; i < q && i < len(delays); i++ {
-			if delays[i] > 0 {
-				if !cloned {
-					delays = append([]time.Duration(nil), delays...)
-					cloned = true
-				}
-				delays[i] = 0
-			}
+			delays[i] = 0
 		}
 	}
 	return delays

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,6 +17,25 @@ import (
 // R-of-N quorum, run-everything) composes with every launch schedule
 // (all at once, fixed hedge, adaptive hedge) and shares one error
 // taxonomy.
+//
+// The engine runs on a reusable call frame (callFrame): one struct
+// carrying the results channel, the picked replicas, the launch
+// schedule, and inline scratch for the common fan-out <= 4 case. Group
+// paths recycle frames through a per-group sync.Pool, so a steady-state
+// zero-option Do allocates only what is semantically per-call — the
+// copy-cancellation channel, one shared derived context, and one
+// goroutine closure per launched copy. Recycling follows a
+// proved-drained discipline (see callFrame.release): a frame returns to
+// the pool only after every launched copy and every armed hedge timer
+// has delivered into the buffered results channel and the channel has
+// been drained, so a loser still in flight pins the frame alive.
+//
+// Hedge deadlines arm on the process-shared TimerWheel (alloc-free,
+// O(1) arm/stop) except for sub-tick delays: the wheel's 1ms tick would
+// coarsen a sub-millisecond hedge into "fire 1-2ms late", so delays
+// below DefaultWheelTick fall back to a runtime time.Timer, which is
+// exact. Both paths are gen-guarded — a stale fire cannot launch the
+// wrong copy, and a stopped-too-late fire is ignored by index.
 
 // ReplicaError describes one replica's failure within a redundant
 // operation. Errors from a failed operation are joined with errors.Join,
@@ -74,14 +95,15 @@ func (e *QuorumError[T]) Error() string {
 // replica errors to errors.Is/errors.As.
 func (e *QuorumError[T]) Unwrap() []error { return []error{ErrQuorumUnreachable, e.Err} }
 
-// copyCtx is the per-copy derived context: every launched copy receives
-// its own context value whose Done channel closes the moment the
-// operation completes — first win, quorum met, unrecoverable failure, or
-// caller cancel — so losing copies stop work and release their replica
-// promptly. All copies of one call are cancelled at the same instant, so
-// the per-copy values share a single done channel; deadlines and values
-// pass through from the caller's context. This costs one small
-// allocation per copy instead of a full context.WithCancel chain.
+// copyCtx is the per-call derived context every launched copy receives:
+// its Done channel closes the moment the operation completes — first
+// win, quorum met, unrecoverable failure, or caller cancel — so losing
+// copies stop work and release their replica promptly. All copies of one
+// call are cancelled at the same instant, so they share a single
+// copyCtx (one allocation per call, not per copy); deadlines and values
+// pass through from the caller's context. The context is NOT part of
+// the recycled frame: a replica function may legally retain its context
+// beyond the call, and a recycled context would mutate under it.
 type copyCtx struct {
 	context.Context // parent: Deadline and Value pass through
 	done            <-chan struct{}
@@ -104,8 +126,22 @@ func (c *copyCtx) Err() error {
 	}
 }
 
-// callSpec is one operation's execution plan, assembled by the shims and
-// by Group.Do.
+const (
+	// frameInline is the fan-out up to which a call frame's picked
+	// replicas, launch schedule, error scratch, and outcome scratch live
+	// in fixed inline arrays; larger fan-outs spill to per-call slices.
+	// 4 covers the paper's entire operating range (the marginal value of
+	// copies beyond ~4 is negligible at every load it studies).
+	frameInline = 4
+	// frameChanCap is the results-channel capacity a pooled frame is
+	// born with: n completions plus at most n-1 hedge-deadline events
+	// for n <= frameInline.
+	frameChanCap = 2 * frameInline
+)
+
+// callSpec is one operation's execution plan, assembled by the free-
+// function shims (First, Hedged, Quorum, All). Group paths assemble a
+// callFrame directly.
 type callSpec[T any] struct {
 	// n is the number of copies that may launch.
 	n int
@@ -130,13 +166,252 @@ type callSpec[T any] struct {
 	collect *[]Outcome[T]
 }
 
-// call executes one redundant operation. It returns the operation's
-// Result — Value/Index are the first success, Latency is the time to
-// completion (the quorum-th success), Launched the copies started,
-// Cancelled the copies reclaimed in flight — or, on failure, the joined
-// ReplicaErrors (quorum 1) or a *QuorumError (quorum > 1). A call never
-// leaks goroutines: each copy runs under a derived copyCtx cancelled at
-// call completion, and losers always deliver into a buffered channel.
+// callFrame is the reusable per-call state of the engine. Group paths
+// obtain frames from the group's pool and must follow the recycling
+// discipline: the frame is shared with every launched copy goroutine
+// and with any armed wheel-hedge callback, each of which holds one
+// reference; release(1) drops a reference, and the holder that drops
+// the last one drains the results channel and returns the frame to the
+// pool. The launcher writes every plan field before the first copy
+// launches and never mutates them afterwards, so copy goroutines read
+// them without synchronization.
+type callFrame[K, T any] struct {
+	// results carries copy completions and wheel-hedge deadline events.
+	// It is buffered for the worst case (n completions + n-1 hedge
+	// events), so senders never block and the wheel callback honors the
+	// wheel's non-blocking contract. The channel is reused across calls;
+	// it only grows (and is reallocated) when a call's fan-out exceeds
+	// half its capacity.
+	results chan indexed[T]
+	// pool is where release returns the frame; nil for the free
+	// functions' single-use frames, which the GC reclaims instead.
+	pool *sync.Pool
+	// refs counts the engine, every launched copy, and every armed wheel
+	// hedge. The frame recycles only when it hits zero.
+	refs atomic.Int32
+
+	// Plan fields: written by the launcher before any copy starts.
+	n       int
+	quorum  int
+	waitAll bool
+	delays  []time.Duration
+	collect *[]Outcome[T]
+	cctx    context.Context
+	gov     *Governor
+	arg     K
+	picked  []Handle[K, T]
+	// runf is the free-function copy body; when nil, copies run
+	// picked[i] with arg (the group mode).
+	runf func(ctx context.Context, i int) (T, error)
+
+	// outs backs the quorum-failure partial outcomes when the caller did
+	// not pass WithCollectOutcomes; callFailed clones out of it before
+	// the frame can recycle.
+	outs []Outcome[T]
+
+	// Inline storage for fan-out <= frameInline.
+	pickedBuf [frameInline]Handle[K, T]
+	delaysBuf [frameInline]time.Duration
+	errsBuf   [frameInline]error
+	outsBuf   [frameInline]Outcome[T]
+}
+
+// pickedSlice sizes fr.picked for k copies, inline when k fits.
+func (fr *callFrame[K, T]) pickedSlice(k int) []Handle[K, T] {
+	if k <= frameInline {
+		fr.picked = fr.pickedBuf[:k]
+	} else {
+		fr.picked = make([]Handle[K, T], k)
+	}
+	return fr.picked
+}
+
+// delaysSlice returns a schedule buffer of length n, inline when it fits.
+func (fr *callFrame[K, T]) delaysSlice(n int) []time.Duration {
+	if n <= frameInline {
+		return fr.delaysBuf[:n]
+	}
+	return make([]time.Duration, n)
+}
+
+// ensureChan guarantees the results channel can absorb every event a
+// call with fan-out n can produce (n completions + n-1 hedge fires).
+func (fr *callFrame[K, T]) ensureChan(n int) {
+	if fr.results == nil || cap(fr.results) < 2*n {
+		fr.results = make(chan indexed[T], 2*n)
+	}
+}
+
+// launchCopy starts copy i. The reference is taken before the goroutine
+// exists so the frame cannot recycle out from under it.
+func (fr *callFrame[K, T]) launchCopy(i int) {
+	fr.refs.Add(1)
+	go runFrameCopy(fr, i)
+}
+
+// runPicked performs one group-mode copy: governor bracketing, the
+// member's recording replica, and ReplicaError wrapping with the name.
+func (fr *callFrame[K, T]) runPicked(i int) (T, error) {
+	if gov := fr.gov; gov != nil {
+		gov.copyStarted()
+		defer gov.copyDone()
+	}
+	v, err := fr.picked[i].m.rec(fr.cctx, fr.arg)
+	if err != nil {
+		err = ReplicaError{Name: fr.picked[i].m.name, Attempt: i, Err: err}
+	}
+	return v, err
+}
+
+// runFrameCopy is one copy's goroutine body. It is a plain generic
+// function, so launching it costs only the go statement's argument
+// closure — no per-copy funcval beyond that.
+func runFrameCopy[K, T any](fr *callFrame[K, T], i int) {
+	var v T
+	var err error
+	if fr.runf != nil {
+		v, err = fr.runf(fr.cctx, i)
+	} else {
+		v, err = fr.runPicked(i)
+	}
+	fr.results <- indexed[T]{val: v, err: err, idx: i}
+	fr.release(1)
+}
+
+// frameHedgeFired is the shared-wheel callback for a pending hedge
+// deadline: it forwards the deadline into the frame's event channel for
+// the engine loop to act on. i is the copy index the timer was armed
+// for; the engine ignores stale indices. The buffered channel absorbs
+// the send without blocking (the wheel-callback contract), and the
+// reference taken at arm time keeps the frame alive until release.
+func frameHedgeFired[K, T any](c any, i int64) {
+	fr := c.(*callFrame[K, T])
+	fr.results <- indexed[T]{idx: int(i), hedge: true}
+	fr.release(1)
+}
+
+// release drops n references. The holder that drops the last reference
+// proves the results channel empty (every sender has already delivered
+// — copies deliver before releasing, and a fired hedge delivers in its
+// callback) and recycles the frame. Pool-less frames are left to the
+// GC.
+func (fr *callFrame[K, T]) release(n int32) {
+	if fr.refs.Add(-n) != 0 {
+		return
+	}
+	// Sole owner: no copy, timer, or engine reference remains, so no
+	// send can race this drain.
+drain:
+	for {
+		select {
+		case <-fr.results:
+		default:
+			break drain
+		}
+	}
+	pool := fr.pool
+	if pool == nil {
+		return
+	}
+	// Clear everything a pooled frame must not pin or leak into its
+	// next call: replica handles, the caller's context and sink, the
+	// argument, and the inline error/outcome scratch.
+	var zk K
+	fr.arg = zk
+	fr.runf = nil
+	fr.gov = nil
+	fr.cctx = nil
+	fr.collect = nil
+	fr.delays = nil
+	fr.picked = nil
+	fr.outs = nil
+	fr.pickedBuf = [frameInline]Handle[K, T]{}
+	fr.errsBuf = [frameInline]error{}
+	fr.outsBuf = [frameInline]Outcome[T]{}
+	pool.Put(fr)
+}
+
+// drainCompleted opportunistically consumes results already delivered
+// but not yet received, returning the updated completion count. Copies
+// that delivered before the call completed are not "cancelled" — no
+// capacity was reclaimed from them — so the engine drains before
+// computing the Cancelled metric. Hedge-deadline events are skipped.
+func (fr *callFrame[K, T]) drainCompleted(completed int) int {
+	for {
+		select {
+		case r := <-fr.results:
+			if !r.hedge {
+				completed++
+			}
+		default:
+			return completed
+		}
+	}
+}
+
+// hedgeTimer manages the engine's single in-flight hedge deadline:
+// wheel-armed for delays at or above the wheel tick, a runtime
+// time.Timer below it (the wheel would coarsen a sub-millisecond hedge
+// by up to two ticks — see the file comment). At most one deadline is
+// armed at a time, always for the next unlaunched copy.
+type hedgeTimer[K, T any] struct {
+	fr         *callFrame[K, T]
+	wheel      WheelTimer
+	wheelArmed bool
+	armedCi    int
+	rt         *time.Timer
+	rtC        <-chan time.Time
+}
+
+// arm schedules the hedge deadline for copy ci, d from now.
+func (h *hedgeTimer[K, T]) arm(d time.Duration, ci int) {
+	if d < DefaultWheelTick {
+		// Sub-tick fallback: exact runtime timer (documented trade; the
+		// wheel fires on tick boundaries only). The timer is reused
+		// across arms within one call.
+		if h.rt == nil {
+			h.rt = time.NewTimer(d)
+		} else {
+			h.rt.Reset(d)
+		}
+		h.rtC = h.rt.C
+		return
+	}
+	h.fr.refs.Add(1) // the armed timer pins the frame
+	h.wheel = SharedWheel().AfterFunc(d, frameHedgeFired[K, T], h.fr, int64(ci))
+	h.wheelArmed = true
+	h.armedCi = ci
+}
+
+// wheelFired records that the armed wheel deadline for ci was consumed.
+// A stale event — its timer was stopped racing the fire and a NEW timer
+// is already armed for a later copy — must not clear the armed state,
+// or stop would leak the live timer to expiry.
+func (h *hedgeTimer[K, T]) wheelFired(ci int) {
+	if h.wheelArmed && h.armedCi == ci {
+		h.wheelArmed = false
+	}
+}
+
+// stop disarms whichever deadline is pending. Idempotent. If the wheel
+// timer already fired, its callback owns (and releases) the reference;
+// the resulting stale event is ignored by index or drained at recycle.
+func (h *hedgeTimer[K, T]) stop() {
+	if h.wheelArmed {
+		h.wheelArmed = false
+		if h.wheel.Stop() {
+			h.fr.release(1)
+		}
+	}
+	if h.rtC != nil {
+		h.rt.Stop()
+		h.rtC = nil
+	}
+}
+
+// call executes one redundant operation described by a callSpec — the
+// free-function entry into the engine. Group paths build a pooled frame
+// directly (launchFrame); this wrapper builds a single-use one.
 func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 	var zero Result[T]
 	n := sp.n
@@ -150,76 +425,94 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 	if q > n {
 		return zero, fmt.Errorf("redundancy: quorum %d of %d replicas: %w", q, n, ErrQuorumUnreachable)
 	}
+	fr := &callFrame[struct{}, T]{}
+	fr.results = make(chan indexed[T], 2*n)
+	fr.refs.Store(1)
+	fr.n = n
+	fr.quorum = q
+	fr.waitAll = sp.waitAll
+	fr.delays = sp.delays
+	fr.collect = sp.collect
+	fr.runf = sp.run
+	res, err := runFrame(ctx, fr)
+	fr.release(1)
+	return res, err
+}
+
+// runFrame executes one redundant operation over a prepared frame. It
+// returns the operation's Result — Value/Index are the first success,
+// Latency is the time to completion (the quorum-th success), Launched
+// the copies started, Cancelled the copies reclaimed in flight — or, on
+// failure, the joined ReplicaErrors (quorum 1) or a *QuorumError
+// (quorum > 1). A call never leaks goroutines: each copy runs under a
+// derived copyCtx cancelled at call completion, and losers always
+// deliver into the buffered channel. runFrame does NOT drop the
+// engine's frame reference; the caller must release(1) after it has
+// read everything it needs from the frame.
+func runFrame[K, T any](ctx context.Context, fr *callFrame[K, T]) (Result[T], error) {
+	n := fr.n
+	q := fr.quorum
+	if q < 1 {
+		q = 1
+	}
 	start := time.Now()
-	// copyDone closes the moment the call completes, cancelling every
-	// copy still in flight. waitAll (the measurement mode behind All)
-	// never cancels: copies get the caller's context directly.
-	var copyDone chan struct{}
-	if !sp.waitAll {
-		copyDone = make(chan struct{})
-		defer close(copyDone)
+	// The shared derived context: its done channel closes the moment the
+	// call completes, cancelling every copy still in flight. waitAll
+	// (the measurement mode behind All) never cancels: copies get the
+	// caller's context directly.
+	cctx := ctx
+	var cdone chan struct{}
+	if !fr.waitAll {
+		cdone = make(chan struct{})
+		cctx = &copyCtx{Context: ctx, done: cdone}
+		defer close(cdone)
 	}
+	fr.cctx = cctx
 
-	// Buffered so losers can always deliver and exit: no goroutine leaks.
-	results := make(chan indexed[T], n)
-	launch := func(i int) {
-		cctx := ctx
-		if copyDone != nil {
-			cctx = &copyCtx{Context: ctx, done: copyDone}
+	delays := fr.delays
+	// Copy 0 always starts immediately; so does every consecutive copy
+	// whose delay is non-positive (a zero hedge delay means full
+	// replication, not a timer round-trip).
+	fr.launchCopy(0)
+	launched := 1
+	if delays == nil {
+		for launched < n {
+			fr.launchCopy(launched)
+			launched++
 		}
-		go func() {
-			v, err := sp.run(cctx, i)
-			results <- indexed[T]{val: v, err: err, idx: i}
-		}()
-	}
-
-	launched := 0
-	if sp.delays == nil {
-		for i := 0; i < n; i++ {
-			launch(i)
-		}
-		launched = n
 	} else {
-		// Copy 0 always starts immediately; so does every consecutive
-		// copy whose delay is non-positive (a zero hedge delay means full
-		// replication, not a timer round-trip).
-		launch(0)
-		launched = 1
-		for launched < n && sp.delays[launched] <= 0 {
-			launch(launched)
+		for launched < n && delays[launched] <= 0 {
+			fr.launchCopy(launched)
 			launched++
 		}
 	}
 
-	collect := sp.collect
+	collect := fr.collect
 	if collect == nil && q > 1 {
 		// Quorum failures carry partial outcomes even when the caller
-		// did not ask to collect them.
-		var local []Outcome[T]
-		collect = &local
+		// did not ask to collect them; the frame's inline scratch backs
+		// them and callFailed clones before the frame can recycle.
+		fr.outs = fr.outsBuf[:0]
+		collect = &fr.outs
 	}
 	if collect != nil {
 		*collect = (*collect)[:0]
 	}
 
-	var timer *time.Timer
-	var timerC <-chan time.Time
-	if sp.delays != nil && launched < n {
-		timer = time.NewTimer(sp.delays[launched])
-		timerC = timer.C
+	var ht hedgeTimer[K, T]
+	ht.fr = fr
+	if delays != nil && launched < n {
+		ht.arm(delays[launched], launched)
 	}
-	defer func() {
-		if timer != nil {
-			timer.Stop()
-		}
-	}()
+	defer ht.stop()
+
 	var ctxDone <-chan struct{}
-	if !sp.waitAll {
+	if !fr.waitAll {
 		ctxDone = ctx.Done()
 	}
 
+	errs := fr.errsBuf[:0]
 	var (
-		errs      []error
 		wins      int
 		firstVal  T
 		firstIdx  int
@@ -227,7 +520,25 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 	)
 	for {
 		select {
-		case r := <-results:
+		case r := <-fr.results:
+			if r.hedge {
+				// A wheel-armed hedge deadline fired. Stale events — the
+				// copy already launched via the failure path, or the call
+				// is past it — are ignored by index.
+				ht.wheelFired(r.idx)
+				if r.idx == launched && launched < n {
+					fr.launchCopy(launched)
+					launched++
+					for launched < n && delays[launched] <= 0 {
+						fr.launchCopy(launched)
+						launched++
+					}
+					if launched < n {
+						ht.arm(delays[launched], launched)
+					}
+				}
+				continue
+			}
 			completed++
 			if r.err != nil {
 				if _, ok := r.err.(ReplicaError); !ok {
@@ -245,19 +556,21 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 				if wins == 1 {
 					firstVal, firstIdx = r.val, r.idx
 				}
-				if !sp.waitAll && wins == q {
+				if !fr.waitAll && wins == q {
+					ht.stop()
 					return Result[T]{
 						Value:     firstVal,
 						Index:     firstIdx,
 						Latency:   time.Since(start),
 						Launched:  launched,
-						Cancelled: cancelledAt(results, launched, completed),
+						Cancelled: launched - fr.drainCompleted(completed),
 					}, nil
 				}
-			} else if !sp.waitAll && len(errs) > n-q {
+			} else if !fr.waitAll && len(errs) > n-q {
 				// Too few replicas remain for the quorum; fail now rather
 				// than waiting out the stragglers.
-				return callFailed(q, wins, launched, cancelledAt(results, launched, completed), errs, collect)
+				ht.stop()
+				return callFailed(q, wins, launched, launched-fr.drainCompleted(completed), errs, collect)
 			}
 			if completed == n {
 				if wins >= q {
@@ -272,59 +585,36 @@ func call[T any](ctx context.Context, sp callSpec[T]) (Result[T], error) {
 				}
 				return callFailed(q, wins, launched, 0, errs, collect)
 			}
-			if completed == launched && launched < n && (sp.waitAll || wins < q) {
+			if completed == launched && launched < n && (fr.waitAll || wins < q) {
 				// Every outstanding copy has completed and the operation
 				// is not done: launch the next copy immediately rather
 				// than waiting out its hedge delay.
-				if timer != nil {
-					timer.Stop()
-				}
-				launch(launched)
+				ht.stop()
+				fr.launchCopy(launched)
 				launched++
-				for launched < n && sp.delays != nil && sp.delays[launched] <= 0 {
-					launch(launched)
+				for launched < n && delays != nil && delays[launched] <= 0 {
+					fr.launchCopy(launched)
 					launched++
 				}
-				if sp.delays != nil && launched < n {
-					timer = time.NewTimer(sp.delays[launched])
-					timerC = timer.C
-				} else {
-					timerC = nil
+				if delays != nil && launched < n {
+					ht.arm(delays[launched], launched)
 				}
 			}
-		case <-timerC:
-			launch(launched)
+		case <-ht.rtC:
+			// Sub-tick runtime-timer hedge deadline.
+			ht.rtC = nil
+			fr.launchCopy(launched)
 			launched++
-			for launched < n && sp.delays[launched] <= 0 {
-				launch(launched)
+			for launched < n && delays[launched] <= 0 {
+				fr.launchCopy(launched)
 				launched++
 			}
 			if launched < n {
-				timer = time.NewTimer(sp.delays[launched])
-				timerC = timer.C
-			} else {
-				timerC = nil
+				ht.arm(delays[launched], launched)
 			}
 		case <-ctxDone:
-			return Result[T]{Launched: launched, Cancelled: cancelledAt(results, launched, completed)}, ctx.Err()
-		}
-	}
-}
-
-// cancelledAt reports how many copies are genuinely still in flight at
-// call completion. Results already delivered into the buffered channel
-// but not yet drained belong to copies that completed before the call
-// did — no capacity was reclaimed from them, so counting them as
-// cancelled would overstate the reclaim metric. They are deliberately
-// not folded into wins or outcome collection: the call's semantic
-// result was already decided when it returned.
-func cancelledAt[T any](results <-chan indexed[T], launched, completed int) int {
-	for {
-		select {
-		case <-results:
-			completed++
-		default:
-			return launched - completed
+			ht.stop()
+			return Result[T]{Launched: launched, Cancelled: launched - fr.drainCompleted(completed)}, ctx.Err()
 		}
 	}
 }
@@ -342,8 +632,9 @@ func callFailed[T any](q, wins, launched, cancelled int, errs []error, collect *
 	}
 	var outs []Outcome[T]
 	if collect != nil {
-		// Clone: the error may outlive the caller's sink, which a retry
-		// through the same WithCollectOutcomes resets and refills.
+		// Clone: the error may outlive the caller's sink (which a retry
+		// through the same WithCollectOutcomes resets and refills) and
+		// the frame's inline scratch (which recycles with the frame).
 		outs = append(outs, *collect...)
 	}
 	return res, &QuorumError[T]{Need: q, Wins: wins, Outcomes: outs, Err: joined}

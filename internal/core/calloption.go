@@ -19,6 +19,11 @@ type callOpts struct {
 	outcomes  any // *[]Outcome[T]; type-checked against the group's T in Do
 }
 
+// noCallOpts is the shared zero configuration for the DoValue fast
+// lane. plan only reads its callOpts, so one read-only instance serves
+// every call.
+var noCallOpts callOpts
+
 // applyCallOptions folds opts into a callOpts. It is only called when at
 // least one option is present, so the zero-option hot path never
 // materializes (or heap-allocates) a configuration.

@@ -66,6 +66,10 @@ type indexed[T any] struct {
 	val T
 	err error
 	idx int
+	// hedge marks a wheel-armed hedge-deadline event rather than a copy
+	// completion: idx is the copy the deadline was armed for, val and err
+	// are meaningless. See frameHedgeFired in call.go.
+	hedge bool
 }
 
 // First runs every replica concurrently and returns the first successful

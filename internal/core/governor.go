@@ -241,6 +241,13 @@ func (s *GovernedStrategy) Fanout() (int, Selection) {
 // Schedule implements Strategy by delegating to the inner strategy.
 func (s *GovernedStrategy) Schedule(d Digests) []time.Duration { return s.inner.Schedule(d) }
 
+// ScheduleInto implements InlineScheduler by delegating to the inner
+// strategy (through its own ScheduleInto when it has one), keeping the
+// governed hot path allocation-free.
+func (s *GovernedStrategy) ScheduleInto(d Digests, dst []time.Duration) []time.Duration {
+	return strategyScheduleInto(s.inner, d, dst)
+}
+
 // String implements Strategy.
 func (s *GovernedStrategy) String() string {
 	return fmt.Sprintf("load-aware(%s, thr=%.3g)", s.inner.String(), s.gov.threshold)

@@ -98,6 +98,21 @@ type KeyedGroup[K, T any] struct {
 	seq      atomic.Uint64 // per-Do position in the random-selection stream
 	rr       atomic.Uint64 // round-robin cursor
 	mu       sync.Mutex    // serializes writers; readers never take it
+	// frames recycles callFrames across this group's calls. A frame
+	// reaches the pool only via callFrame.release's proved-drained path,
+	// so pooled frames are always quiescent.
+	frames sync.Pool
+}
+
+// getFrame returns a quiescent call frame holding the engine's reference.
+func (g *KeyedGroup[K, T]) getFrame() *callFrame[K, T] {
+	fr, _ := g.frames.Get().(*callFrame[K, T])
+	if fr == nil {
+		fr = &callFrame[K, T]{pool: &g.frames}
+		fr.results = make(chan indexed[T], frameChanCap)
+	}
+	fr.refs.Store(1)
+	return fr
 }
 
 // groupState is one immutable membership snapshot. The slice and the
@@ -451,9 +466,33 @@ func (g *KeyedGroup[K, T]) Do(ctx context.Context, arg K, opts ...CallOption) (R
 		var zero Result[T]
 		return zero, err
 	}
-	picked := make([]Handle[K, T], p.k)
-	g.pickInto(st, p.sel, picked)
-	return g.launch(ctx, arg, &p, picked)
+	fr := g.getFrame()
+	g.pickInto(st, p.sel, fr.pickedSlice(p.k))
+	return g.launchFrame(ctx, arg, &p, fr)
+}
+
+// DoValue is the fast lane of Do for the common case: no per-call
+// options, quorum 1, first success wins, and only the value matters. It
+// is semantically identical to Do(ctx, arg) followed by reading
+// res.Value — the group's strategy, budget, governor, and observer all
+// still apply — but it skips option materialization entirely and, on
+// the pooled call frame, completes a 2-copy call in ≤4 allocations.
+func (g *KeyedGroup[K, T]) DoValue(ctx context.Context, arg K) (T, error) {
+	st := g.state.Load()
+	n := len(st.members)
+	if n == 0 {
+		var zero T
+		return zero, ErrNoReplicas
+	}
+	p, err := g.plan(st, &noCallOpts, n, n)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	fr := g.getFrame()
+	g.pickInto(st, p.sel, fr.pickedSlice(p.k))
+	res, err := g.launchFrame(ctx, arg, &p, fr)
+	return res.Value, err
 }
 
 // DoPicked performs one redundant operation over an explicit, ordered
@@ -500,10 +539,12 @@ func (g *KeyedGroup[K, T]) DoPicked(ctx context.Context, arg K, picked []Handle[
 	if err != nil {
 		return zero, err
 	}
-	if p.k < n {
-		picked = picked[:p.k]
-	}
-	return g.launch(ctx, arg, &p, picked)
+	// Copy the caller's handles into the frame: the engine (and losing
+	// copies) may read the picked set after DoPicked returns, and the
+	// caller's slice is only promised stable until then.
+	fr := g.getFrame()
+	copy(fr.pickedSlice(p.k), picked)
+	return g.launchFrame(ctx, arg, &p, fr)
 }
 
 // callPlan is one call's resolved configuration, shared by Do (which
@@ -587,46 +628,36 @@ func (g *KeyedGroup[K, T]) plan(st *groupState[K, T], co *callOpts, n, capacity 
 	return p, nil
 }
 
-// launch executes one planned call over the picked replicas: budget
-// charge and refund, launch schedule, the call engine itself, and the
-// observation.
-func (g *KeyedGroup[K, T]) launch(ctx context.Context, arg K, p *callPlan[T], picked []Handle[K, T]) (Result[T], error) {
+// launchFrame executes one planned call over the frame's picked
+// replicas: budget charge and refund, launch schedule, the call engine
+// itself, and the observation. It consumes the engine's frame reference
+// — the frame must not be touched after launchFrame returns.
+func (g *KeyedGroup[K, T]) launchFrame(ctx context.Context, arg K, p *callPlan[T], fr *callFrame[K, T]) (Result[T], error) {
 	// The first q copies are mandatory (they are the quorum, or for q = 1
 	// the operation itself); only copies beyond them are hedges charged
 	// against the budget.
 	q := p.q
-	copies := len(picked)
+	copies := len(fr.picked)
 	granted := 0
 	if extra := copies - q; extra > 0 && g.budget != nil {
 		granted = g.budget.Acquire(extra)
 		if granted < extra {
 			copies = q + granted
-			picked = picked[:copies]
+			fr.picked = fr.picked[:copies]
 		}
 	}
 
-	delays := g.scheduleDelays(p, picked, q)
-	gov := p.gov
-	res, err := call(ctx, callSpec[T]{
-		n:       copies,
-		quorum:  q,
-		delays:  delays,
-		collect: p.collect,
-		run: func(ctx context.Context, i int) (T, error) {
-			if gov != nil {
-				gov.copyStarted()
-				defer gov.copyDone()
-			}
-			v, err := picked[i].m.rec(ctx, arg)
-			if err != nil {
-				err = ReplicaError{Name: picked[i].m.name, Attempt: i, Err: err}
-			}
-			return v, err
-		},
-	})
+	fr.n = copies
+	fr.quorum = q
+	fr.arg = arg
+	fr.gov = p.gov
+	fr.collect = p.collect
+	fr.ensureChan(copies)
+	fr.delays = g.scheduleInto(p, fr.picked, q, fr.delaysSlice(copies))
+	res, err := runFrame(ctx, fr)
 	// Tokens pay for copies actually launched; refund hedge copies that a
 	// fast primary — or an early quorum — made unnecessary. This runs on
-	// every return path of call, success or failure, exactly once.
+	// every return path of the engine, success or failure, exactly once.
 	if granted > 0 {
 		used := res.Launched - q
 		if used < 0 {
@@ -638,8 +669,8 @@ func (g *KeyedGroup[K, T]) launch(ctx context.Context, arg K, p *callPlan[T], pi
 	}
 	if g.observer != nil {
 		name := ""
-		if err == nil && res.Index < len(picked) {
-			name = picked[res.Index].m.name
+		if err == nil && res.Index < len(fr.picked) {
+			name = fr.picked[res.Index].m.name
 		}
 		g.observer.Observe(Observation{
 			Winner:    name,
@@ -650,6 +681,7 @@ func (g *KeyedGroup[K, T]) launch(ctx context.Context, arg K, p *callPlan[T], pi
 			Label:     p.label,
 		})
 	}
+	fr.release(1)
 	return res, err
 }
 
@@ -693,8 +725,15 @@ func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []H
 	case SelectRandom:
 		rng := splitmix{s: g.seed ^ g.seq.Add(1)*0x9e3779b97f4a7c15}
 		if 2*k > n {
-			// Dense pick: partial Fisher-Yates over a scratch copy.
-			tmp := make([]*member[K, T], n)
+			// Dense pick: partial Fisher-Yates over a scratch copy. The
+			// scratch stays on the stack for typical group sizes.
+			var tbuf [16]*member[K, T]
+			var tmp []*member[K, T]
+			if n <= len(tbuf) {
+				tmp = tbuf[:n]
+			} else {
+				tmp = make([]*member[K, T], n)
+			}
 			copy(tmp, members)
 			for i := 0; i < k; i++ {
 				j := i + rng.intn(n-i)
@@ -723,8 +762,15 @@ func (g *KeyedGroup[K, T]) pickInto(st *groupState[K, T], sel Selection, out []H
 		}
 	default: // SelectRanked
 		// Partial selection: keep out[:cnt] sorted by key (unprobed first,
-		// then fastest, ties by registration order). One pass, no full sort.
-		vals := make([]float64, k)
+		// then fastest, ties by registration order). One pass, no full
+		// sort, and the key scratch stays on the stack for k <= 4.
+		var vbuf [frameInline]float64
+		var vals []float64
+		if k <= len(vbuf) {
+			vals = vbuf[:k]
+		} else {
+			vals = make([]float64, k)
+		}
 		cnt := 0
 		for _, m := range members {
 			key, ok := m.lat.value()
@@ -806,6 +852,12 @@ func (g *Group[T]) Add(name string, fn Replica[T]) Handle[struct{}, T] {
 // customized by any per-call options. See KeyedGroup.Do.
 func (g *Group[T]) Do(ctx context.Context, opts ...CallOption) (Result[T], error) {
 	return g.KeyedGroup.Do(ctx, struct{}{}, opts...)
+}
+
+// DoValue is the fast lane of Do for the no-options, first-success-wins
+// case where only the value matters. See KeyedGroup.DoValue.
+func (g *Group[T]) DoValue(ctx context.Context) (T, error) {
+	return g.KeyedGroup.DoValue(ctx, struct{}{})
 }
 
 // ProbeAll runs every replica once, concurrently and to completion,

@@ -31,11 +31,76 @@ type Strategy interface {
 	// launch before copy i launches (delays[0] is ignored; the first copy
 	// always starts immediately). A schedule of the wrong length is
 	// padded with its last entry or truncated.
+	//
+	// nil versus empty: a nil return is the explicit "no schedule —
+	// launch all copies at once" contract (FullReplicate returns it
+	// unconditionally), and an EMPTY non-nil slice is normalized to mean
+	// exactly the same thing. An implementation cannot accidentally
+	// serialize its copies by returning a zero-length scratch slice: the
+	// engine never indexes a schedule shorter than the fan-out.
+	//
+	// Implementations that also satisfy InlineScheduler skip this method
+	// on the hot path.
 	Schedule(d Digests) []time.Duration
 
 	// String describes the strategy; GroupStats carries it so Stats()
 	// output is self-describing.
 	String() string
+}
+
+// InlineScheduler is an optional Strategy extension for the
+// allocation-free hot path: ScheduleInto computes the same launch
+// schedule as Schedule but writes it into dst, the caller's scratch
+// (the call frame's inline array), instead of allocating a fresh slice
+// per operation.
+//
+// Contract: dst has length d.Len(). Return nil to launch every copy
+// immediately (Schedule's nil contract), otherwise fill dst and return
+// it. The caller owns dst and will mutate it (quorum zeroing), so
+// implementations must not retain it or return strategy-owned memory —
+// a foreign return is defensively copied into dst.
+//
+// Strategies that do not implement InlineScheduler keep working: the
+// engine falls back to Schedule and normalizes the result into dst.
+// All built-in strategies implement it.
+type InlineScheduler interface {
+	ScheduleInto(d Digests, dst []time.Duration) []time.Duration
+}
+
+// strategyScheduleInto resolves a strategy's schedule into buf (length
+// = d.Len()): the InlineScheduler fast path when available, otherwise
+// the legacy Schedule normalized into buf. The result is always
+// buf-backed (or nil), so callers may mutate it freely.
+func strategyScheduleInto(s Strategy, d Digests, buf []time.Duration) []time.Duration {
+	if is, ok := s.(InlineScheduler); ok {
+		out := is.ScheduleInto(d, buf)
+		if len(out) == 0 {
+			return nil
+		}
+		if len(out) == len(buf) && &out[0] == &buf[0] {
+			return out
+		}
+		// The implementation returned its own memory; bring the schedule
+		// into the caller-owned buffer.
+		return normalizeInto(out, buf)
+	}
+	return normalizeInto(s.Schedule(d), buf)
+}
+
+// normalizeInto copies a schedule into buf, truncating or padding with
+// the last entry so the result has exactly len(buf) entries. An empty
+// (nil or zero-length) schedule normalizes to nil: launch all copies
+// immediately, never a bogus all-zero "schedule".
+func normalizeInto(delays []time.Duration, buf []time.Duration) []time.Duration {
+	if len(delays) == 0 {
+		return nil
+	}
+	m := copy(buf, delays)
+	last := delays[len(delays)-1]
+	for i := m; i < len(buf); i++ {
+		buf[i] = last
+	}
+	return buf
 }
 
 // Digests is a read-only view over the selected replicas' latency
@@ -84,11 +149,18 @@ func (f Fixed) Schedule(d Digests) []time.Duration {
 	if f.HedgeDelay <= 0 {
 		return nil
 	}
-	delays := make([]time.Duration, d.Len())
-	for i := range delays {
-		delays[i] = f.HedgeDelay
+	return f.ScheduleInto(d, make([]time.Duration, d.Len()))
+}
+
+// ScheduleInto implements InlineScheduler.
+func (f Fixed) ScheduleInto(d Digests, dst []time.Duration) []time.Duration {
+	if f.HedgeDelay <= 0 {
+		return nil
 	}
-	return delays
+	for i := range dst {
+		dst[i] = f.HedgeDelay
+	}
+	return dst
 }
 
 // String implements Strategy.
@@ -119,8 +191,12 @@ func (f FullReplicate) Fanout() (int, Selection) {
 	return k, f.Selection
 }
 
-// Schedule implements Strategy.
+// Schedule implements Strategy. The nil return is the "launch every
+// copy immediately" contract, not an omission.
 func (FullReplicate) Schedule(Digests) []time.Duration { return nil }
+
+// ScheduleInto implements InlineScheduler.
+func (FullReplicate) ScheduleInto(Digests, []time.Duration) []time.Duration { return nil }
 
 // String implements Strategy.
 func (f FullReplicate) String() string {
@@ -198,45 +274,34 @@ func (a AdaptiveHedge) Fanout() (int, Selection) {
 
 // Schedule implements Strategy.
 func (a AdaptiveHedge) Schedule(d Digests) []time.Duration {
+	if d.Len() <= 1 {
+		return nil
+	}
+	return a.ScheduleInto(d, make([]time.Duration, d.Len()))
+}
+
+// ScheduleInto implements InlineScheduler.
+func (a AdaptiveHedge) ScheduleInto(d Digests, dst []time.Duration) []time.Duration {
 	k := d.Len()
 	if k <= 1 {
 		return nil
 	}
 	p := a.quantile()
 	min := a.minSamples()
-	delays := make([]time.Duration, k)
+	dst[0] = 0
 	for i := 1; i < k; i++ {
-		delays[i] = a.FallbackDelay
+		dst[i] = a.FallbackDelay
 		if dg := d.At(i - 1); dg != nil && dg.Count() >= min {
 			if q, ok := dg.Quantile(p); ok {
-				delays[i] = q
+				dst[i] = q
 			}
 		}
 	}
-	return delays
+	return dst
 }
 
 // String implements Strategy.
 func (a AdaptiveHedge) String() string {
 	k, _ := a.Fanout()
 	return fmt.Sprintf("adaptive-hedge(k=%d, p%g, %s)", k, a.quantile()*100, a.Selection)
-}
-
-// normalizeDelays coerces a strategy-returned schedule to exactly n
-// entries: longer schedules are truncated, shorter ones padded with
-// their last entry (an empty schedule means "no delays").
-func normalizeDelays(delays []time.Duration, n int) []time.Duration {
-	if len(delays) == 0 {
-		return nil
-	}
-	if len(delays) >= n {
-		return delays[:n]
-	}
-	out := make([]time.Duration, n)
-	copy(out, delays)
-	last := delays[len(delays)-1]
-	for i := len(delays); i < n; i++ {
-		out[i] = last
-	}
-	return out
 }

@@ -234,20 +234,79 @@ func TestStrategyScheduleNormalized(t *testing.T) {
 	}
 }
 
-func TestNormalizeDelays(t *testing.T) {
+func TestNormalizeInto(t *testing.T) {
 	ms := time.Millisecond
-	if got := normalizeDelays(nil, 3); got != nil {
+	buf := make([]time.Duration, 3)
+	if got := normalizeInto(nil, buf); got != nil {
 		t.Errorf("nil -> %v", got)
 	}
-	if got := normalizeDelays([]time.Duration{}, 3); got != nil {
+	// The nil-vs-empty contract: an empty non-nil schedule means "no
+	// delays, launch all copies at once" — normalized to nil, never
+	// misread as an all-zero schedule the engine would index.
+	if got := normalizeInto([]time.Duration{}, buf); got != nil {
 		t.Errorf("empty -> %v", got)
 	}
-	if got := normalizeDelays([]time.Duration{ms, 2 * ms, 3 * ms, 4 * ms}, 2); len(got) != 2 || got[1] != 2*ms {
+	if got := normalizeInto([]time.Duration{ms, 2 * ms, 3 * ms, 4 * ms}, buf[:2]); len(got) != 2 || got[1] != 2*ms {
 		t.Errorf("truncate -> %v", got)
 	}
-	got := normalizeDelays([]time.Duration{ms, 2 * ms}, 4)
+	got := normalizeInto([]time.Duration{ms, 2 * ms}, make([]time.Duration, 4))
 	if len(got) != 4 || got[2] != 2*ms || got[3] != 2*ms {
 		t.Errorf("pad -> %v", got)
+	}
+}
+
+// foreignSchedule is an InlineScheduler that violates the "fill dst"
+// convention and returns its own memory; the dispatcher must copy the
+// schedule into the caller-owned buffer so quorum zeroing cannot mutate
+// strategy state.
+type foreignSchedule struct{ delays []time.Duration }
+
+func (f foreignSchedule) Fanout() (int, Selection)                              { return len(f.delays), SelectRoundRobin }
+func (f foreignSchedule) Schedule(Digests) []time.Duration                      { return f.delays }
+func (f foreignSchedule) String() string                                        { return "foreign" }
+func (f foreignSchedule) ScheduleInto(Digests, []time.Duration) []time.Duration { return f.delays }
+
+func TestStrategyScheduleInto(t *testing.T) {
+	ms := time.Millisecond
+	d := DigestList{nil, nil, nil}
+
+	// InlineScheduler filling dst: returned as-is, backed by buf.
+	buf := make([]time.Duration, 3)
+	got := strategyScheduleInto(Fixed{Copies: 3, HedgeDelay: ms}, d, buf)
+	if len(got) != 3 || &got[0] != &buf[0] || got[2] != ms {
+		t.Errorf("Fixed.ScheduleInto -> %v (buf-backed: %v)", got, len(got) > 0 && &got[0] == &buf[0])
+	}
+
+	// InlineScheduler returning nil: launch-all.
+	if got := strategyScheduleInto(FullReplicate{}, d, buf); got != nil {
+		t.Errorf("FullReplicate -> %v", got)
+	}
+
+	// InlineScheduler returning foreign memory: copied into buf, so the
+	// caller may zero entries without corrupting the strategy.
+	foreign := foreignSchedule{delays: []time.Duration{ms, 2 * ms, 3 * ms}}
+	got = strategyScheduleInto(foreign, d, buf)
+	if len(got) != 3 || &got[0] != &buf[0] {
+		t.Fatalf("foreign schedule not rehomed into buf: %v", got)
+	}
+	got[0] = 0
+	if foreign.delays[0] != ms {
+		t.Error("zeroing the returned schedule mutated strategy-owned memory")
+	}
+
+	// Legacy Strategy without ScheduleInto: Schedule result normalized
+	// into buf (padded with the last entry).
+	legacy := oddSchedule{delays: []time.Duration{0, 2 * ms}, copies: 3}
+	got = strategyScheduleInto(legacy, d, buf)
+	if len(got) != 3 || &got[0] != &buf[0] || got[2] != 2*ms {
+		t.Errorf("legacy schedule -> %v", got)
+	}
+
+	// Legacy Strategy returning an empty non-nil schedule: nil, not an
+	// all-zero schedule.
+	empty := oddSchedule{delays: []time.Duration{}, copies: 3}
+	if got := strategyScheduleInto(empty, d, buf); got != nil {
+		t.Errorf("legacy empty schedule -> %v", got)
 	}
 }
 

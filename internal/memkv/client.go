@@ -373,6 +373,11 @@ func ReadQuorum(q int) core.CallOption { return core.WithQuorum(q) }
 // R-of-N consistency, core.WithStrategyOverride for a one-off hedging
 // policy, core.WithLabel to tag the read's traffic class.
 func (rc *ReplicatedClient) Get(ctx context.Context, key string, opts ...core.CallOption) ([]byte, error) {
+	if len(opts) == 0 {
+		// The common zero-option read rides the group's DoValue fast
+		// lane (pooled call frame, no option materialization).
+		return rc.group.DoValue(ctx, key)
+	}
 	res, err := rc.group.Do(ctx, key, opts...)
 	if err != nil {
 		return nil, err

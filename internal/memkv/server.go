@@ -27,7 +27,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"strconv"
@@ -71,9 +70,15 @@ func NewStore() *Store {
 }
 
 func (s *Store) shardFor(key string) *shard {
-	h := fnv.New32a()
-	io.WriteString(h, key)
-	return &s.shards[h.Sum32()%shardCount]
+	// FNV-1a inlined over the string: the hash.Hash32 form
+	// (fnv.New32a + io.WriteString) heap-allocates the hash state on
+	// every lookup because it escapes through the interface.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[h%shardCount]
 }
 
 // Set stores value under key with opaque flags and no expiry.

@@ -160,6 +160,11 @@ func (sc *ShardedClient) RemoveShard(addr string) bool {
 // metrics. A key absent from every queried shard reports
 // errors.Is(err, ErrNotFound).
 func (sc *ShardedClient) Get(ctx context.Context, key string, opts ...core.CallOption) ([]byte, error) {
+	if len(opts) == 0 {
+		// The common zero-option read rides the ring's DoValue fast lane
+		// (pooled call frame, no option materialization).
+		return sc.reads.DoValue(ctx, key)
+	}
 	res, err := sc.reads.Do(ctx, key, opts...)
 	if err != nil {
 		return nil, err

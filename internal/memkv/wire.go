@@ -91,19 +91,30 @@ func appendFrame(dst []byte, f *frame) []byte {
 // frame boundary returns io.EOF; a torn frame returns
 // io.ErrUnexpectedEOF; limit violations return the errFrame errors
 // before any variable-length payload is read.
+//
+// The header and key are decoded in place from the reader's buffered
+// window (Peek/Discard) rather than copied out through io.ReadFull:
+// both fit any bufio.Reader (frameHeaderLen + maxKeyLen < the 4096-byte
+// minimum buffer), and the in-place decode keeps the per-frame cost to
+// the one allocation that must outlive the call — the key string on
+// keyed frames, plus the caller-owned value bytes.
 func readFrame(r *bufio.Reader, f *frame) error {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hdr, err := r.Peek(frameHeaderLen)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
 		return err
 	}
 	f.op = hdr[0]
-	if f.op < 0x80 {
-		return errFrameOp
-	}
 	f.tag = binary.BigEndian.Uint64(hdr[1:9])
 	f.aux = binary.BigEndian.Uint32(hdr[9:13])
 	klen := int(binary.BigEndian.Uint16(hdr[13:15]))
 	vlen := int(binary.BigEndian.Uint32(hdr[15:19]))
+	r.Discard(frameHeaderLen)
+	if f.op < 0x80 {
+		return errFrameOp
+	}
 	if klen > maxKeyLen {
 		return errFrameKeyLen
 	}
@@ -113,14 +124,15 @@ func readFrame(r *bufio.Reader, f *frame) error {
 	f.key = ""
 	f.val = nil
 	if klen > 0 {
-		kb := make([]byte, klen)
-		if _, err := io.ReadFull(r, kb); err != nil {
+		kb, err := r.Peek(klen)
+		if err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
 			return err
 		}
 		f.key = string(kb)
+		r.Discard(klen)
 	}
 	if vlen > 0 {
 		f.val = make([]byte, vlen)

@@ -278,9 +278,44 @@ func (r *Ring[K, T]) Do(ctx context.Context, arg K, opts ...core.CallOption) (co
 		// secondary, so fan-out degrades to 1.
 		rr = nm
 	}
-	picked := make([]core.Handle[K, T], rr)
+	// The placement scratch stays on the stack for typical replication
+	// factors; DoPicked copies it into the call frame before launching.
+	var pbuf [4]core.Handle[K, T]
+	var picked []core.Handle[K, T]
+	if rr <= len(pbuf) {
+		picked = pbuf[:rr]
+	} else {
+		picked = make([]core.Handle[K, T], rr)
+	}
 	t.ownersInto(consistenthash.KeyHash(r.keyOf(arg)), picked)
 	return r.group.DoPicked(ctx, arg, picked, opts...)
+}
+
+// DoValue is the fast lane of Do for the no-options, first-success-wins
+// case where only the value matters: placement resolution plus
+// core.KeyedGroup's pooled-frame engine, with no option materialization
+// on the path. See core.KeyedGroup.DoValue.
+func (r *Ring[K, T]) DoValue(ctx context.Context, arg K) (T, error) {
+	t := r.table.Load()
+	nm := len(t.members)
+	if nm == 0 {
+		var zero T
+		return zero, core.ErrNoReplicas
+	}
+	rr := r.replication
+	if rr > nm {
+		rr = nm
+	}
+	var pbuf [4]core.Handle[K, T]
+	var picked []core.Handle[K, T]
+	if rr <= len(pbuf) {
+		picked = pbuf[:rr]
+	} else {
+		picked = make([]core.Handle[K, T], rr)
+	}
+	t.ownersInto(consistenthash.KeyHash(r.keyOf(arg)), picked)
+	res, err := r.group.DoPicked(ctx, arg, picked)
+	return res.Value, err
 }
 
 // ringBucket is one distinct placement's slice of a batch: the keys

@@ -37,6 +37,8 @@
 //	    redundancy.WithLabel("checkout"))                  // ...tagged for metrics
 //	res, err = g.Do(ctx,                                   // SLO-critical request:
 //	    redundancy.WithStrategyOverride(redundancy.FullReplicate{}))
+//	v, err := g.DoValue(ctx)                               // winner's value only,
+//	                                                       // pooled 4-alloc fast lane
 //
 // When the dataset no longer fits on every replica, Ring shards it:
 // keys are partitioned across backends by consistent hashing (the

@@ -10,13 +10,20 @@
 #     BENCH_core.json baseline (refresh the baseline deliberately with
 #     scripts/bench.sh when a slowdown is accepted).
 #
-# Budgets:
-#   BenchmarkCoreGroupDo:10      zero-options Do — the path every
-#                                redundant operation shares
-#   BenchmarkCoreRingDo:10       sharded routing layered on Do
-#   BenchmarkCoreDoBatch:80      64-key batch: <= 2x a single Do's
-#                                allocs for the WHOLE batch (~1.2/key)
-#   BenchmarkMemkvMuxParallel:12 one multiplexed get, client side
+# Budgets (ratcheted as the hot path loses allocations — never loosened):
+#   BenchmarkCoreGroupDo:5            zero-options Do on the pooled call
+#                                     frame (4 measured: copy ctx + done
+#                                     chan + 2 go records)
+#   BenchmarkCoreDoValue:4            the value-only fast lane — the
+#                                     floor of the whole engine
+#   BenchmarkCoreRingDo:6             sharded routing layered on Do
+#                                     (5 measured; +1 placement copy)
+#   BenchmarkCoreHedgedFastPrimary:11 hedged call whose primary wins:
+#                                     wheel-armed hedge, no timer alloc
+#   BenchmarkCoreDoBatch:80           64-key batch: <= 2x a single
+#                                     legacy Do for the WHOLE batch
+#   BenchmarkMemkvMuxParallel:3       one multiplexed get, client side
+#                                     (2 measured: key string + value)
 #
 # Usage: scripts/benchgate.sh [baseline.json]   (default BENCH_core.json)
 # Env:   TOLERANCE_PCT (default 15),
@@ -26,7 +33,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline="${1:-BENCH_core.json}"
-specs="BenchmarkCoreGroupDo:10 BenchmarkCoreRingDo:10 BenchmarkCoreDoBatch:80 BenchmarkMemkvMuxParallel:12"
+specs="BenchmarkCoreGroupDo:5 BenchmarkCoreDoValue:4 BenchmarkCoreRingDo:6 BenchmarkCoreHedgedFastPrimary:11 BenchmarkCoreDoBatch:80 BenchmarkMemkvMuxParallel:3"
 tolerance_pct="${TOLERANCE_PCT:-15}"
 count="${BENCH_COUNT:-3}"
 
@@ -36,13 +43,17 @@ if [ ! -f "$baseline" ]; then
 fi
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+table="$(mktemp)"
+trap 'rm -f "$raw" "$table"' EXIT
 
 fail=0
 for spec in $specs; do
     bench="${spec%%:*}"
     max_allocs="${spec##*:}"
-    base_ns=$(grep -F "\"$bench\":" "$baseline" | sed -En 's/.*"ns_op": *([0-9]+).*/\1/p' | head -1)
+    base_line=$(grep -F "\"$bench\":" "$baseline" | head -1)
+    base_ns=$(sed -En 's/.*"ns_op": *([0-9]+).*/\1/p' <<<"$base_line")
+    base_b=$(sed -En 's/.*"b_op": *([0-9]+).*/\1/p' <<<"$base_line")
+    base_allocs=$(sed -En 's/.*"allocs_op": *([0-9]+).*/\1/p' <<<"$base_line")
     if [ -z "$base_ns" ]; then
         echo "benchgate: $bench not found in $baseline" >&2
         exit 1
@@ -73,6 +84,8 @@ EOF
     fi
 
     echo "benchgate: $bench measured ${ns} ns/op, ${allocs} allocs/op (baseline ${base_ns} ns/op, limits: ${max_allocs} allocs, +${tolerance_pct}% ns)"
+    printf '%s %s %s %s %s %s\n' \
+        "$bench" "$base_ns" "$ns" "${base_allocs:-?}" "$allocs" "$max_allocs" >>"$table"
 
     if [ "$allocs" -gt "$max_allocs" ]; then
         echo "benchgate: FAIL — $bench at ${allocs} allocs/op exceeds its ${max_allocs}-alloc budget" >&2
@@ -84,4 +97,19 @@ EOF
         fail=1
     fi
 done
+
+# Before/after summary: committed baseline vs this run, so a glance at
+# the gate's tail shows the whole hot path's movement, not just
+# pass/fail per benchmark.
+echo
+awk '
+BEGIN {
+    printf "benchgate: %-34s %10s %10s %8s %14s %7s\n", \
+        "benchmark", "base ns", "now ns", "delta", "allocs b->n", "budget"
+}
+{
+    delta = ($2 + 0 > 0) ? sprintf("%+.1f%%", ($3 - $2) * 100.0 / $2) : "n/a"
+    printf "benchgate: %-34s %10s %10s %8s %14s %7s\n", \
+        $1, $2, $3, delta, $4 " -> " $5, $6
+}' "$table"
 exit "$fail"
