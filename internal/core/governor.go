@@ -46,6 +46,10 @@ type Governor struct {
 	load  LatDigest
 	gated atomic.Bool
 	flips atomic.Int64
+	// Background traffic-class accounting: AllowBackground grants and
+	// deferrals (see that method for the policy).
+	bgAllowed  atomic.Int64
+	bgDeferred atomic.Int64
 }
 
 // govUtilScale is the fixed-point scale for utilization samples in the
@@ -141,6 +145,30 @@ func (g *Governor) Allow(k int) int {
 	return k
 }
 
+// AllowBackground reports whether the measured load affords a unit of
+// background work — anti-entropy migration batches, read-repair pushes,
+// hint replays — right now. Where Allow degrades *foreground* redundancy
+// only past the gate-on threshold, background traffic is the first thing
+// to yield: it proceeds only while utilization sits below the low-water
+// mark of the hysteresis band (foreground redundancy is at full fan-out
+// there, with headroom to spare), and defers everywhere above it. With
+// no samples yet (cold start, or a governor fed only by the background
+// worker itself) background work is allowed — an idle system must still
+// converge. Callers poll with backoff rather than block.
+func (g *Governor) AllowBackground() bool {
+	v, ok := g.load.value()
+	if !ok {
+		g.bgAllowed.Add(1)
+		return true
+	}
+	if v/govUtilScale < g.low {
+		g.bgAllowed.Add(1)
+		return true
+	}
+	g.bgDeferred.Add(1)
+	return false
+}
+
 // Utilization returns the EWMA utilization estimate and whether any
 // sample has been observed.
 func (g *Governor) Utilization() (float64, bool) {
@@ -171,21 +199,27 @@ type GovernorStats struct {
 	Flips int64
 	// Samples counts utilization observations.
 	Samples int64
+	// BackgroundAllowed and BackgroundDeferred count AllowBackground
+	// outcomes: how often background work (migration, repair) was let
+	// through versus told to yield to foreground load.
+	BackgroundAllowed, BackgroundDeferred int64
 }
 
 // Stats returns a snapshot of the governor's state.
 func (g *Governor) Stats() GovernorStats {
 	util, ok := g.Utilization()
 	return GovernorStats{
-		Utilization: util,
-		Observed:    ok,
-		Threshold:   g.threshold,
-		Low:         g.low,
-		InFlight:    g.inflight.Load(),
-		Capacity:    g.capacity.Load(),
-		Gated:       g.gated.Load(),
-		Flips:       g.flips.Load(),
-		Samples:     g.load.Count(),
+		Utilization:        util,
+		Observed:           ok,
+		Threshold:          g.threshold,
+		Low:                g.low,
+		InFlight:           g.inflight.Load(),
+		Capacity:           g.capacity.Load(),
+		Gated:              g.gated.Load(),
+		Flips:              g.flips.Load(),
+		Samples:            g.load.Count(),
+		BackgroundAllowed:  g.bgAllowed.Load(),
+		BackgroundDeferred: g.bgDeferred.Load(),
 	}
 }
 

@@ -1,0 +1,46 @@
+package core
+
+import "testing"
+
+// AllowBackground gates convergence work on the hysteresis low-water
+// mark: allowed with no load signal at all (an idle system must still
+// converge), deferred while utilization sits above the band, allowed
+// again once it decays below.
+func TestGovernorAllowBackground(t *testing.T) {
+	g := NewGovernor(2.0, 0.5) // low-water mark at 1.5
+
+	if !g.AllowBackground() {
+		t.Fatal("no samples: background must be allowed")
+	}
+
+	for i := 0; i < 200; i++ {
+		g.Observe(3.0)
+	}
+	if g.AllowBackground() {
+		u, _ := g.Utilization()
+		t.Fatalf("utilization %.2f above low-water 1.5: background must be deferred", u)
+	}
+
+	// Load drains: the EWMA decays below the low-water mark and the gate
+	// reopens.
+	reopened := false
+	for i := 0; i < 5000; i++ {
+		g.Observe(0)
+		if g.AllowBackground() {
+			reopened = true
+			break
+		}
+	}
+	if !reopened {
+		u, _ := g.Utilization()
+		t.Fatalf("gate never reopened; utilization still %.2f", u)
+	}
+
+	s := g.Stats()
+	if s.BackgroundAllowed < 2 {
+		t.Errorf("BackgroundAllowed = %d, want >= 2", s.BackgroundAllowed)
+	}
+	if s.BackgroundDeferred < 1 {
+		t.Errorf("BackgroundDeferred = %d, want >= 1", s.BackgroundDeferred)
+	}
+}

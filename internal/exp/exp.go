@@ -115,6 +115,7 @@ func All() []Experiment {
 		{"ablcancel", "Ablation: load-aware governor vs fixed fan-out-2 across the threshold load", AblationCancel},
 		{"ablshard", "Ablation: sharded live stack — redundant primary+secondary reads vs load and value size", AblationShard},
 		{"ablmux", "Ablation: outstanding-request ceiling, memkv v1 connection-per-request vs v2 multiplexed wire", AblationMux},
+		{"ablrebalance", "Ablation: live reshard — governed anti-entropy migration, version audit, and read repair", AblationRebalance},
 	}
 }
 

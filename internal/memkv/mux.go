@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -54,10 +55,21 @@ type MuxClient struct {
 	addr    string
 	timeout time.Duration
 
-	rr     atomic.Uint64
-	conns  []atomic.Pointer[muxConn]
-	mu     sync.Mutex // serializes dialing and Close
-	closed bool
+	rr    atomic.Uint64
+	conns []atomic.Pointer[muxConn]
+
+	mu sync.Mutex // serializes dialing, redial state, and Close
+	// redialing marks stripes whose reconnection a background redialer
+	// owns: after a connection breaks, the redialer retries with
+	// jittered exponential backoff until it succeeds, so the client
+	// heals itself even if no caller ever retries. While a stripe is
+	// redialing, requests on it fail fast (wrapping ErrMuxConnLost with
+	// the last dial error) instead of piling a dial storm on a dead
+	// server.
+	redialing   []bool
+	lastDialErr []error
+	closed      bool
+	closedC     chan struct{}
 }
 
 // MuxOption configures a MuxClient.
@@ -81,11 +93,13 @@ func WithMuxConns(n int) MuxOption {
 // timeout); it is enforced on the shared timer wheel, not with a
 // per-request runtime timer. Connections are dialed lazily.
 func NewMuxClient(addr string, timeout time.Duration, opts ...MuxOption) *MuxClient {
-	m := &MuxClient{addr: addr, timeout: timeout}
+	m := &MuxClient{addr: addr, timeout: timeout, closedC: make(chan struct{})}
 	m.conns = make([]atomic.Pointer[muxConn], 1)
 	for _, o := range opts {
 		o(m)
 	}
+	m.redialing = make([]bool, len(m.conns))
+	m.lastDialErr = make([]error, len(m.conns))
 	return m
 }
 
@@ -100,6 +114,11 @@ func (m *MuxClient) NumConns() int { return len(m.conns) }
 // response frames to tag waiters.
 type muxConn struct {
 	c net.Conn
+	// owner and stripe identify this connection's slot in its client, so
+	// fail can hand the slot to the background redialer. owner is nil in
+	// tests that build bare conns.
+	owner  *MuxClient
+	stripe int
 
 	mu      sync.Mutex
 	tag     uint64
@@ -125,7 +144,7 @@ var muxWaiterPool = sync.Pool{
 	New: func() any { return &muxWaiter{ch: make(chan frame, 1)} },
 }
 
-func (m *MuxClient) dial(ctx context.Context) (*muxConn, error) {
+func (m *MuxClient) dial(ctx context.Context, stripe int) (*muxConn, error) {
 	d := net.Dialer{Timeout: m.timeout}
 	c, err := d.DialContext(ctx, "tcp", m.addr)
 	if err != nil {
@@ -133,6 +152,8 @@ func (m *MuxClient) dial(ctx context.Context) (*muxConn, error) {
 	}
 	cn := &muxConn{
 		c:       c,
+		owner:   m,
+		stripe:  stripe,
 		waiters: make(map[uint64]*muxWaiter),
 		flushC:  make(chan struct{}, 1),
 		done:    make(chan struct{}),
@@ -142,8 +163,10 @@ func (m *MuxClient) dial(ctx context.Context) (*muxConn, error) {
 	return cn, nil
 }
 
-// conn returns a live connection for the next request, redialing a dead
-// (or not-yet-dialed) stripe on demand.
+// conn returns a live connection for the next request. A stripe that has
+// never failed is dialed lazily and synchronously; a stripe whose
+// connection broke belongs to the background redialer, and requests on
+// it fail fast until it reconnects.
 func (m *MuxClient) conn(ctx context.Context) (*muxConn, error) {
 	i := int(m.rr.Add(1) % uint64(len(m.conns)))
 	if cn := m.conns[i].Load(); cn != nil && !cn.isDead() {
@@ -157,16 +180,95 @@ func (m *MuxClient) conn(ctx context.Context) (*muxConn, error) {
 	if cn := m.conns[i].Load(); cn != nil && !cn.isDead() {
 		return cn, nil
 	}
-	cn, err := m.dial(ctx)
+	if m.redialing[i] {
+		err := m.lastDialErr[i]
+		if err == nil {
+			// The redialer has not finished a failed attempt yet; the
+			// break itself is the freshest information.
+			return nil, ErrMuxConnLost
+		}
+		return nil, fmt.Errorf("%w (redialing: %v)", ErrMuxConnLost, err)
+	}
+	cn, err := m.dial(ctx, i)
 	if err != nil {
+		// The synchronous dial failed: the server is unreachable, not
+		// just this connection. Hand the stripe to the backoff redialer
+		// so the client heals itself without a caller-driven dial storm.
+		m.startRedialLocked(i, err)
 		return nil, err
 	}
 	m.conns[i].Store(cn)
 	return cn, nil
 }
 
+// stripeLost is called by muxConn.fail when an established connection
+// breaks: the stripe's reconnection moves to the background redialer.
+func (m *MuxClient) stripeLost(i int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.redialing[i] {
+		return
+	}
+	m.startRedialLocked(i, nil)
+}
+
+// startRedialLocked marks stripe i as redialing and spawns its redial
+// goroutine. The caller holds m.mu.
+func (m *MuxClient) startRedialLocked(i int, lastErr error) {
+	m.redialing[i] = true
+	m.lastDialErr[i] = lastErr
+	go m.redialLoop(i)
+}
+
+// Redial backoff bounds: the first attempt is immediate (a broken
+// connection to a live server should recover in one round trip), then
+// attempts back off exponentially with jitter up to the cap.
+const (
+	muxRedialBase = 10 * time.Millisecond
+	muxRedialMax  = 2 * time.Second
+)
+
+// redialLoop reconnects one stripe with jittered exponential backoff,
+// storing the fresh connection when it succeeds. It exits when the
+// client closes.
+func (m *MuxClient) redialLoop(i int) {
+	backoff := muxRedialBase
+	for {
+		cn, err := m.dial(context.Background(), i)
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			if cn != nil {
+				cn.fail(errors.New("client closed"))
+			}
+			return
+		}
+		if err == nil {
+			m.conns[i].Store(cn)
+			m.redialing[i] = false
+			m.lastDialErr[i] = nil
+			m.mu.Unlock()
+			return
+		}
+		m.lastDialErr[i] = err
+		m.mu.Unlock()
+		// Jittered sleep in [backoff/2, backoff), so stripes (and
+		// clients) that broke together don't retry in lockstep.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)))
+		select {
+		case <-time.After(d):
+		case <-m.closedC:
+			return
+		}
+		if backoff < muxRedialMax {
+			backoff *= 2
+		}
+	}
+}
+
 // Close closes every connection. Requests in flight fail with
-// ErrMuxConnLost; subsequent requests fail immediately.
+// ErrMuxConnLost; subsequent requests fail immediately. Background
+// redialers exit.
 func (m *MuxClient) Close() error {
 	m.mu.Lock()
 	if m.closed {
@@ -174,6 +276,7 @@ func (m *MuxClient) Close() error {
 		return nil
 	}
 	m.closed = true
+	close(m.closedC)
 	m.mu.Unlock()
 	for i := range m.conns {
 		if cn := m.conns[i].Load(); cn != nil {
@@ -217,6 +320,11 @@ func (cn *muxConn) fail(cause error) {
 	cn.mu.Unlock()
 	close(cn.done)
 	cn.c.Close()
+	if cn.owner != nil {
+		// Hand the stripe to the background redialer immediately rather
+		// than waiting for the next request to trip over the dead conn.
+		cn.owner.stripeLost(cn.stripe)
+	}
 }
 
 // start registers a waiter and assigns a tag for each request, appends
@@ -585,4 +693,148 @@ func (m *MuxClient) PutBatch(ctx context.Context, keys []string, vals [][]byte) 
 		errs[i] = frameToSet(&frs[i])
 	}
 	return errs
+}
+
+// ---- Versioned operations (the convergence surface) ----
+//
+// These are the wire counterparts of Store.GetVersion/PutVersion/Scan:
+// last-writer-wins puts carrying explicit versions, version-observing
+// gets, and the cursor-paged scan that anti-entropy streams over. The
+// v1 Client deliberately does not grow these — versioned traffic is a
+// v2-only surface, which is what VersionedBackend gates on.
+
+// GetV fetches the value, version, and remaining TTL (whole seconds,
+// 0 = never expires) stored under key. A missing key is ErrNotFound;
+// version 0 never names a live value. The TTL rides along so repair
+// paths can re-put an expiring value without immortalizing it.
+func (m *MuxClient) GetV(ctx context.Context, key string) (value []byte, version uint64, ttlSecs uint32, err error) {
+	if err := validateKey(key); err != nil {
+		return nil, 0, 0, err
+	}
+	fr, err := m.do(ctx, frame{op: opGetV, key: key})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return frameToGetV(&fr)
+}
+
+// PutV stores value under key iff version is strictly newer than the
+// stored version (last-writer-wins). It returns the key's version after
+// the call — the caller's version if applied, the newer stored version
+// if not — and whether the write applied. version must be nonzero.
+func (m *MuxClient) PutV(ctx context.Context, key string, value []byte, ttl time.Duration, version uint64) (current uint64, applied bool, err error) {
+	if err := validateKey(key); err != nil {
+		return 0, false, err
+	}
+	fr, err := m.do(ctx, frame{op: opPutV, key: key, val: appendVerPayload(nil, version, ttlSeconds(ttl), value)})
+	if err != nil {
+		return 0, false, err
+	}
+	return frameToPutV(&fr)
+}
+
+// Scan returns up to limit live entries with keys strictly greater than
+// after, in key order, with their versions and remaining TTLs. more
+// reports whether another page may exist (pass the last returned key as
+// the next cursor). This is the anti-entropy stream: a migrator walks a
+// shard page by page and re-puts remapped entries at their new owners.
+func (m *MuxClient) Scan(ctx context.Context, after string, limit int) (entries []ScanEntry, more bool, err error) {
+	if limit < 1 || limit > maxScanLimit {
+		limit = maxScanLimit
+	}
+	fr, err := m.do(ctx, frame{op: opScan, key: after, aux: uint32(limit)})
+	if err != nil {
+		return nil, false, err
+	}
+	switch fr.op {
+	case opScanResp:
+		entries, err := decodeScanEntries(fr.val)
+		if err != nil {
+			return nil, false, err
+		}
+		return entries, fr.aux == 1, nil
+	case opErr:
+		return nil, false, fmt.Errorf("memkv: server error: %s", fr.val)
+	default:
+		return nil, false, fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+	}
+}
+
+// VersionedPut is one entry of a PutVBatch.
+type VersionedPut struct {
+	Key     string
+	Value   []byte
+	TTL     time.Duration
+	Version uint64
+}
+
+// PutVResult is one entry's outcome from PutVBatch.
+type PutVResult struct {
+	Current uint64
+	Applied bool
+	Err     error
+}
+
+// PutVBatch issues many versioned puts in one coalesced round — the
+// migrator's bulk-transfer primitive. Results align with puts by index.
+func (m *MuxClient) PutVBatch(ctx context.Context, puts []VersionedPut) []PutVResult {
+	out := make([]PutVResult, len(puts))
+	reqs := make([]frame, len(puts))
+	bad := false
+	for i := range puts {
+		if err := validateKey(puts[i].Key); err != nil {
+			out[i].Err = err
+			bad = true
+			continue
+		}
+		reqs[i] = frame{
+			op:  opPutV,
+			key: puts[i].Key,
+			val: appendVerPayload(nil, puts[i].Version, ttlSeconds(puts[i].TTL), puts[i].Value),
+		}
+	}
+	if bad {
+		return out
+	}
+	frs, errs := m.doBatch(ctx, reqs)
+	for i := range frs {
+		if errs[i] != nil {
+			out[i].Err = errs[i]
+			continue
+		}
+		out[i].Current, out[i].Applied, out[i].Err = frameToPutV(&frs[i])
+	}
+	return out
+}
+
+func frameToGetV(fr *frame) (value []byte, version uint64, ttlSecs uint32, err error) {
+	switch fr.op {
+	case opValueV:
+		ver, ttl, data, err := decodeVerPayload(fr.val)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return data, ver, ttl, nil
+	case opNotFound:
+		return nil, 0, 0, ErrNotFound
+	case opErr:
+		return nil, 0, 0, fmt.Errorf("memkv: server error: %s", fr.val)
+	default:
+		return nil, 0, 0, fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+	}
+}
+
+func frameToPutV(fr *frame) (current uint64, applied bool, err error) {
+	switch fr.op {
+	case opStoredV:
+		ver, _, _, err := decodeVerPayload(fr.val)
+		if err != nil {
+			return 0, false, err
+		}
+		return ver, fr.aux == 1, nil
+	case opErr:
+		return 0, false, fmt.Errorf("memkv: server error: %s", fr.val)
+	default:
+		return 0, false, fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+	}
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -40,10 +41,29 @@ import (
 const (
 	maxKeyLen   = 250
 	maxValueLen = 8 << 20 // 8 MB, as memcached's default item limit order
+	// maxScanLimit caps the entries one opScan request may ask for; the
+	// per-page byte cap (scanMaxBytes) usually binds first.
+	maxScanLimit = 4096
 )
 
 // Store is a sharded in-memory key-value map, safe for concurrent use.
+//
+// Every stored value carries a monotonically increasing version (the
+// kvdb "ModifiedIndex" idiom): local writes draw fresh versions from the
+// store's index, and replicated writes (PutVersion) apply only when
+// strictly newer than what the store holds — last-writer-wins by
+// version. Versions are what make redundant reads self-healing: a
+// quorum read that observes two replicas at different versions knows
+// which copy is stale and exactly what to push back.
 type Store struct {
+	// index is the store's version source. It is advanced past every
+	// version the store witnesses (local or replicated), so a local
+	// write always produces a version newer than anything stored. Fresh
+	// versions are also floored at the wall clock in nanoseconds, which
+	// keeps versions from independent stores and clients roughly
+	// comparable — the LWW tiebreak of replicated writes stays sane even
+	// when two writers never read each other.
+	index  atomic.Uint64
 	shards [shardCount]shard
 }
 
@@ -56,6 +76,7 @@ type shard struct {
 
 type item struct {
 	flags     uint32
+	version   uint64
 	data      []byte
 	expiresAt time.Time // zero = never expires
 }
@@ -81,22 +102,164 @@ func (s *Store) shardFor(key string) *shard {
 	return &s.shards[h%shardCount]
 }
 
+// tick returns a fresh version: strictly greater than every version the
+// store has witnessed, and at least the current wall clock in
+// nanoseconds.
+func (s *Store) tick() uint64 {
+	now := uint64(time.Now().UnixNano())
+	for {
+		last := s.index.Load()
+		v := now
+		if v <= last {
+			v = last + 1
+		}
+		if s.index.CompareAndSwap(last, v) {
+			return v
+		}
+	}
+}
+
+// witness advances the store's index to at least v, so local writes
+// after a replicated write at v produce strictly newer versions.
+func (s *Store) witness(v uint64) {
+	for {
+		last := s.index.Load()
+		if last >= v || s.index.CompareAndSwap(last, v) {
+			return
+		}
+	}
+}
+
 // Set stores value under key with opaque flags and no expiry.
 func (s *Store) Set(key string, flags uint32, value []byte) {
 	s.SetTTL(key, flags, value, 0)
 }
 
 // SetTTL stores value under key, expiring after ttl (0 = never). Expiry is
-// lazy: expired items are reaped on access, as in memcached.
+// lazy: expired items are reaped on access, as in memcached. The write is
+// assigned a fresh version from the store's index.
 func (s *Store) SetTTL(key string, flags uint32, value []byte, ttl time.Duration) {
+	var exp time.Time
+	if ttl > 0 {
+		exp = time.Now().Add(ttl)
+	}
+	ver := s.tick()
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.m[key] = item{flags: flags, version: ver, data: append([]byte(nil), value...), expiresAt: exp}
+	sh.mu.Unlock()
+}
+
+// PutVersion applies a replicated write carrying an explicit version: the
+// value is stored only if version is strictly newer than the stored
+// version (or the key is absent) — last-writer-wins, so replaying a hint
+// or pushing a repair can never clobber data a replica learned later. It
+// returns the version now current for the key and whether this write
+// applied. The store's index is advanced past version either way.
+func (s *Store) PutVersion(key string, flags uint32, value []byte, ttl time.Duration, version uint64) (current uint64, applied bool) {
+	s.witness(version)
 	var exp time.Time
 	if ttl > 0 {
 		exp = time.Now().Add(ttl)
 	}
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	sh.m[key] = item{flags: flags, data: append([]byte(nil), value...), expiresAt: exp}
+	cur, ok := sh.m[key]
+	if ok && !cur.expiresAt.IsZero() && time.Now().After(cur.expiresAt) {
+		ok = false
+	}
+	if ok && cur.version >= version {
+		sh.mu.Unlock()
+		return cur.version, false
+	}
+	sh.m[key] = item{flags: flags, version: version, data: append([]byte(nil), value...), expiresAt: exp}
 	sh.mu.Unlock()
+	return version, true
+}
+
+// GetVersion is Get plus the stored version and the remaining TTL
+// (rounded up to whole seconds; 0 = no expiry) — the read-side surface
+// replica convergence needs: a repair or migration push preserves both
+// the version and the expiry of what it copies.
+func (s *Store) GetVersion(key string) (value []byte, flags uint32, version uint64, ttlSecs uint32, ok bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	it, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, 0, 0, 0, false
+	}
+	if !it.expiresAt.IsZero() {
+		left := time.Until(it.expiresAt)
+		if left <= 0 {
+			sh.mu.Lock()
+			if cur, still := sh.m[key]; still && !cur.expiresAt.IsZero() && time.Now().After(cur.expiresAt) {
+				delete(sh.m, key)
+			}
+			sh.mu.Unlock()
+			return nil, 0, 0, 0, false
+		}
+		ttlSecs = uint32((left + time.Second - 1) / time.Second)
+		if ttlSecs == 0 {
+			ttlSecs = 1
+		}
+	}
+	return it.data, it.flags, it.version, ttlSecs, true
+}
+
+// ScanEntry is one key's snapshot in a Scan page.
+type ScanEntry struct {
+	Key     string
+	Flags   uint32
+	Version uint64
+	// TTLSecs is the remaining TTL in whole seconds (0 = no expiry).
+	TTLSecs uint32
+	Value   []byte
+}
+
+// scanMaxBytes caps the value bytes packed into one scan page, so a page
+// of large values cannot balloon toward the frame size limit.
+const scanMaxBytes = 1 << 20
+
+// Scan returns up to limit live entries with keys strictly greater than
+// after, in ascending key order, and whether more remain. It is the
+// anti-entropy enumeration primitive: a migrator pages through a shard's
+// keyspace with a resumable cursor (the last key of the previous page)
+// while writes proceed. A page also ends early once its values exceed
+// scanMaxBytes (always returning at least one entry). Entries are
+// point-in-time per key, not a consistent snapshot of the store.
+func (s *Store) Scan(after string, limit int) (entries []ScanEntry, more bool) {
+	if limit < 1 {
+		limit = 1
+	}
+	var keys []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			if k > after {
+				keys = append(keys, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	bytes := 0
+	for _, k := range keys {
+		if len(entries) >= limit {
+			return entries, true
+		}
+		val, flags, ver, ttl, ok := s.GetVersion(k)
+		if !ok {
+			continue // expired or deleted since the key sweep
+		}
+		if len(entries) > 0 && bytes+len(val) > scanMaxBytes {
+			return entries, true
+		}
+		entries = append(entries, ScanEntry{Key: k, Flags: flags, Version: ver, TTLSecs: ttl, Value: val})
+		bytes += len(val)
+	}
+	return entries, false
 }
 
 // Get returns the value and flags for key. Expired items are absent (and
@@ -162,8 +325,16 @@ type Server struct {
 	// Protocol counters, exposed by the stats command.
 	cmdGet    atomic.Int64
 	cmdSet    atomic.Int64
+	cmdScan   atomic.Int64
 	getHits   atomic.Int64
 	getMisses atomic.Int64
+	// stalePuts counts versioned puts that did not apply because the
+	// store already held a newer version — replayed hints and
+	// anti-entropy pushes that lost the last-writer-wins race. A healthy
+	// converged system shows a few of these after every repair storm;
+	// a growing count under steady state means writers are clobbering
+	// each other.
+	stalePuts atomic.Int64
 	// aborted counts requests abandoned mid-delay because the client went
 	// away — the server-side half of copy cancellation: a cancelled
 	// redundant read closes its connection, and the server stops burning
@@ -375,10 +546,12 @@ func (s *Server) serveText(conn net.Conn, r *bufio.Reader) {
 		case "stats":
 			fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.cmdGet.Load())
 			fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.cmdSet.Load())
+			fmt.Fprintf(w, "STAT cmd_scan %d\r\n", s.cmdScan.Load())
 			fmt.Fprintf(w, "STAT get_hits %d\r\n", s.getHits.Load())
 			fmt.Fprintf(w, "STAT get_misses %d\r\n", s.getMisses.Load())
 			fmt.Fprintf(w, "STAT curr_items %d\r\n", s.store.Len())
 			fmt.Fprintf(w, "STAT aborted_ops %d\r\n", s.aborted.Load())
+			fmt.Fprintf(w, "STAT stale_puts %d\r\n", s.stalePuts.Load())
 			w.WriteString("END\r\n")
 		case "quit":
 			w.Flush()

@@ -132,6 +132,54 @@ func (m *muxSession) exec(f *frame) {
 		} else {
 			m.pending = appendFrame(m.pending, &frame{op: opNotFound, tag: f.tag})
 		}
+	case opGetV:
+		s.cmdGet.Add(1)
+		if val, flags, ver, ttl, ok := s.store.GetVersion(f.key); ok {
+			s.getHits.Add(1)
+			m.pending = appendFrame(m.pending, &frame{
+				op: opValueV, tag: f.tag, aux: flags,
+				val: appendVerPayload(nil, ver, ttl, val),
+			})
+		} else {
+			s.getMisses.Add(1)
+			m.pending = appendFrame(m.pending, &frame{op: opNotFound, tag: f.tag})
+		}
+	case opPutV:
+		if f.key == "" {
+			m.pending = appendErrFrame(m.pending, f.tag, "putv requires a key")
+			break
+		}
+		ver, ttl, data, err := decodeVerPayload(f.val)
+		if err != nil || ver == 0 {
+			m.pending = appendErrFrame(m.pending, f.tag, "putv requires a versioned payload")
+			break
+		}
+		s.cmdSet.Add(1)
+		cur, applied := s.store.PutVersion(f.key, f.aux, data, time.Duration(ttl)*time.Second, ver)
+		if !applied {
+			s.stalePuts.Add(1)
+		}
+		resp := frame{op: opStoredV, tag: f.tag, val: appendVerPayload(nil, cur, 0, nil)}
+		if applied {
+			resp.aux = 1
+		}
+		m.pending = appendFrame(m.pending, &resp)
+	case opScan:
+		limit := int(f.aux)
+		if limit < 1 || limit > maxScanLimit {
+			limit = maxScanLimit
+		}
+		s.cmdScan.Add(1)
+		entries, more := s.store.Scan(f.key, limit)
+		var val []byte
+		for i := range entries {
+			val = appendScanEntry(val, &entries[i])
+		}
+		resp := frame{op: opScanResp, tag: f.tag, val: val}
+		if more {
+			resp.aux = 1
+		}
+		m.pending = appendFrame(m.pending, &resp)
 	default:
 		m.pending = appendErrFrame(m.pending, f.tag, "unknown op %#x", f.op)
 	}

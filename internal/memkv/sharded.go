@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redundancy/internal/core"
@@ -39,6 +40,17 @@ type ShardedClient struct {
 	writes      *ring.Ring[setReq, struct{}]
 	replication int
 	writeQuorum int
+
+	// Versioned (convergence) surface — see sharded_versioned.go. readsV
+	// mirrors reads' topology but returns value+version and treats a
+	// missing key as a successful read of version 0, so quorum reads
+	// succeed over partial misses and the miss becomes repairable
+	// divergence. clock is the client's Lamport version clock; sink, when
+	// set, receives repair work (missed writes, divergence, topology
+	// changes).
+	readsV *ring.Ring[string, verVal]
+	clock  atomic.Uint64
+	sink   atomic.Pointer[sinkBox]
 }
 
 // Backend is the single-shard client surface ShardedClient routes over.
@@ -114,6 +126,9 @@ func NewShardedClient(cfg ShardedConfig, clients ...Backend) *ShardedClient {
 	// Writes always fan out to the whole placement; WithQuorum decides
 	// how many acks complete the call.
 	sc.writes = ring.NewKeyed[setReq, struct{}](core.FullReplicate{}, func(w setReq) string { return w.key }, ropts...)
+	// Versioned quorum reads query the whole placement too: divergence is
+	// only observable on the copies actually read.
+	sc.readsV = ring.New[string, verVal](core.FullReplicate{}, ropts...)
 	for _, cl := range clients {
 		sc.AddShard(cl)
 	}
@@ -121,34 +136,76 @@ func NewShardedClient(cfg ShardedConfig, clients ...Backend) *ShardedClient {
 }
 
 // AddShard registers a shard; keys whose placement now includes it route
-// there from the next call on (existing data is not migrated). Adding a
-// shard whose address is already present is a no-op.
+// there from the next call on. Data written under the old topology is
+// converged by the repair sink, if one is installed (repair.Manager):
+// the sink is notified with the before/after placements and migrates
+// remapped keys in the background. Adding a shard whose address is
+// already present is a no-op.
 func (sc *ShardedClient) AddShard(cl Backend) {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	addr := cl.Addr()
 	if _, ok := sc.clients[addr]; ok {
+		sc.mu.Unlock()
 		return
 	}
+	prev := sc.readsV.Placement()
 	sc.clients[addr] = cl
 	sc.reads.Add(addr, cl.Get)
 	sc.writes.Add(addr, func(ctx context.Context, w setReq) (struct{}, error) {
 		return struct{}{}, cl.SetTTL(ctx, w.key, w.value, w.ttl)
 	})
+	if vb, ok := cl.(VersionedBackend); ok {
+		sc.readsV.Add(addr, func(ctx context.Context, key string) (verVal, error) {
+			val, ver, ttl, err := vb.GetV(ctx, key)
+			if errors.Is(err, ErrNotFound) {
+				// A miss is a successful read of version 0: the quorum
+				// holds over partial misses and the gap becomes repairable
+				// divergence rather than an error.
+				return verVal{}, nil
+			}
+			if err != nil {
+				return verVal{}, err
+			}
+			return verVal{val: val, ver: ver, ttlSecs: ttl}, nil
+		})
+	} else {
+		// A v1 shard can't serve versioned reads: quorum reads that place
+		// on it fail with a recognizable error instead of silently losing
+		// version information.
+		sc.readsV.Add(addr, func(context.Context, string) (verVal, error) {
+			return verVal{}, fmt.Errorf("%s: %w", addr, errShardNotVersioned)
+		})
+	}
+	cur := sc.readsV.Placement()
+	sink := sc.repairSink()
+	sc.mu.Unlock()
+	if sink != nil {
+		sink.TopologyChanged(prev, cur)
+	}
 }
 
 // RemoveShard drops the shard serving addr from placement, reporting
 // whether it was present. Calls in flight may still complete against it;
-// it is not closed (the caller owns its lifecycle).
+// it is not closed (the caller owns its lifecycle). An installed repair
+// sink is notified with the before/after placements so remapped keys can
+// be re-homed (the removed shard may still be readable for draining).
 func (sc *ShardedClient) RemoveShard(addr string) bool {
 	sc.mu.Lock()
-	defer sc.mu.Unlock()
 	if _, ok := sc.clients[addr]; !ok {
+		sc.mu.Unlock()
 		return false
 	}
+	prev := sc.readsV.Placement()
 	delete(sc.clients, addr)
 	sc.reads.Remove(addr)
 	sc.writes.Remove(addr)
+	sc.readsV.Remove(addr)
+	cur := sc.readsV.Placement()
+	sink := sc.repairSink()
+	sc.mu.Unlock()
+	if sink != nil {
+		sink.TopologyChanged(prev, cur)
+	}
 	return true
 }
 

@@ -1,0 +1,359 @@
+package memkv
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"redundancy/internal/ring"
+)
+
+// ---- Store versioning ----
+
+func TestStoreVersionsMonotonic(t *testing.T) {
+	s := NewStore()
+	s.Set("k", 0, []byte("one"))
+	_, _, v1, _, ok := s.GetVersion("k")
+	if !ok || v1 == 0 {
+		t.Fatalf("first write version = %d, ok=%v", v1, ok)
+	}
+	s.Set("k", 0, []byte("two"))
+	_, _, v2, _, _ := s.GetVersion("k")
+	if v2 <= v1 {
+		t.Fatalf("second write version %d not greater than first %d", v2, v1)
+	}
+}
+
+func TestStorePutVersionLWW(t *testing.T) {
+	s := NewStore()
+	if cur, applied := s.PutVersion("k", 0, []byte("new"), 0, 100); !applied || cur != 100 {
+		t.Fatalf("put on absent key: applied=%v cur=%d", applied, cur)
+	}
+	// A stale replay must lose and report the resident version.
+	if cur, applied := s.PutVersion("k", 0, []byte("old"), 0, 50); applied || cur != 100 {
+		t.Fatalf("stale put: applied=%v cur=%d, want refused at 100", applied, cur)
+	}
+	// Equal version is not strictly newer: refused (idempotent replay).
+	if _, applied := s.PutVersion("k", 0, []byte("dup"), 0, 100); applied {
+		t.Fatal("equal-version put applied; want refused")
+	}
+	if cur, applied := s.PutVersion("k", 0, []byte("newest"), 0, 101); !applied || cur != 101 {
+		t.Fatalf("newer put: applied=%v cur=%d", applied, cur)
+	}
+	v, _, ok := s.Get("k")
+	if !ok || string(v) != "newest" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+// The witness rule: after applying a replicated write at version V, a
+// local write must mint a version strictly greater than V, even if V is
+// far ahead of this store's clock.
+func TestStoreWitnessAdvancesClock(t *testing.T) {
+	s := NewStore()
+	future := uint64(time.Now().Add(time.Hour).UnixNano())
+	s.PutVersion("remote", 0, []byte("x"), 0, future)
+	s.Set("local", 0, []byte("y"))
+	_, _, v, _, _ := s.GetVersion("local")
+	if v <= future {
+		t.Fatalf("local write version %d did not advance past witnessed %d", v, future)
+	}
+}
+
+func TestStoreScanPages(t *testing.T) {
+	s := NewStore()
+	want := make([]string, 0, 30)
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("scan-%02d", i)
+		s.Set(k, uint32(i), []byte(k))
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		entries, more := s.Scan(cursor, 7)
+		for i := range entries {
+			e := &entries[i]
+			got = append(got, e.Key)
+			cursor = e.Key
+			if e.Version == 0 {
+				t.Fatalf("entry %q has version 0", e.Key)
+			}
+			if !bytes.Equal(e.Value, []byte(e.Key)) {
+				t.Fatalf("entry %q value %q", e.Key, e.Value)
+			}
+		}
+		pages++
+		if !more {
+			break
+		}
+		if len(entries) > 7 {
+			t.Fatalf("page of %d entries exceeds limit 7", len(entries))
+		}
+	}
+	if pages < 5 {
+		t.Fatalf("scan used %d pages for 30 keys at limit 7", pages)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("scan keys not in ascending order")
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan saw %d keys, want %d", len(got), len(want))
+	}
+}
+
+// ---- versioned payload and scan-entry codecs ----
+
+func TestVerPayloadRoundTrip(t *testing.T) {
+	enc := appendVerPayload(nil, 42, 7, []byte("payload"))
+	ver, ttl, data, err := decodeVerPayload(enc)
+	if err != nil || ver != 42 || ttl != 7 || string(data) != "payload" {
+		t.Fatalf("decode = (%d, %d, %q, %v)", ver, ttl, data, err)
+	}
+	if _, _, _, err := decodeVerPayload(enc[:verPayloadHeader-1]); !errors.Is(err, errVerPayload) {
+		t.Fatalf("short payload decode err = %v", err)
+	}
+}
+
+func TestScanEntryRoundTrip(t *testing.T) {
+	in := []ScanEntry{
+		{Key: "a", Flags: 1, Version: 10, TTLSecs: 0, Value: []byte("va")},
+		{Key: "bb", Flags: 0, Version: 11, TTLSecs: 30, Value: nil},
+		{Key: "ccc", Flags: 9, Version: 12, TTLSecs: 1, Value: bytes.Repeat([]byte{'x'}, 100)},
+	}
+	var enc []byte
+	for i := range in {
+		enc = appendScanEntry(enc, &in[i])
+	}
+	out, err := decodeScanEntries(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Key != in[i].Key || out[i].Flags != in[i].Flags ||
+			out[i].Version != in[i].Version || out[i].TTLSecs != in[i].TTLSecs ||
+			!bytes.Equal(out[i].Value, in[i].Value) {
+			t.Fatalf("entry %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+	if _, err := decodeScanEntries(enc[:len(enc)-1]); !errors.Is(err, errScanEntry) {
+		t.Fatalf("truncated entries decode err = %v", err)
+	}
+}
+
+// ---- MuxClient versioned operations over a live server ----
+
+func TestMuxVersionedOps(t *testing.T) {
+	_, cl := startMux(t)
+	ctx := context.Background()
+
+	cur, applied, err := cl.PutV(ctx, "vk", []byte("v1"), 0, 100)
+	if err != nil || !applied || cur != 100 {
+		t.Fatalf("PutV = (%d, %v, %v)", cur, applied, err)
+	}
+	val, ver, ttl, err := cl.GetV(ctx, "vk")
+	if err != nil || string(val) != "v1" || ver != 100 || ttl != 0 {
+		t.Fatalf("GetV = (%q, %d, %d, %v)", val, ver, ttl, err)
+	}
+	// Stale put refused server-side, current version reported back.
+	cur, applied, err = cl.PutV(ctx, "vk", []byte("old"), 0, 99)
+	if err != nil || applied || cur != 100 {
+		t.Fatalf("stale PutV = (%d, %v, %v)", cur, applied, err)
+	}
+	if _, _, _, err := cl.GetV(ctx, "absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetV(absent) = %v, want ErrNotFound", err)
+	}
+
+	// TTL survives the versioned round trip.
+	if _, _, err := cl.PutV(ctx, "vt", []byte("x"), time.Minute, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ttl, err := cl.GetV(ctx, "vt"); err != nil || ttl == 0 || ttl > 60 {
+		t.Fatalf("GetV ttl = %d, %v; want (0, 60]", ttl, err)
+	}
+}
+
+func TestMuxPutVBatchAndScan(t *testing.T) {
+	_, cl := startMux(t)
+	ctx := context.Background()
+	puts := make([]VersionedPut, 20)
+	for i := range puts {
+		puts[i] = VersionedPut{Key: fmt.Sprintf("b-%02d", i), Value: []byte{byte(i)}, Version: uint64(1000 + i)}
+	}
+	for i, r := range cl.PutVBatch(ctx, puts) {
+		if r.Err != nil || !r.Applied || r.Current != puts[i].Version {
+			t.Fatalf("batch put %d = %+v", i, r)
+		}
+	}
+	// Replaying the batch is refused entry by entry but not an error.
+	for i, r := range cl.PutVBatch(ctx, puts) {
+		if r.Err != nil || r.Applied {
+			t.Fatalf("replayed batch put %d = %+v, want refused", i, r)
+		}
+	}
+	var seen []string
+	cursor := ""
+	for {
+		entries, more, err := cl.Scan(ctx, cursor, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range entries {
+			seen = append(seen, entries[i].Key)
+			cursor = entries[i].Key
+		}
+		if !more {
+			break
+		}
+	}
+	if len(seen) != len(puts) || !sort.StringsAreSorted(seen) {
+		t.Fatalf("scan saw %d sorted=%v, want %d in order", len(seen), sort.StringsAreSorted(seen), len(puts))
+	}
+}
+
+// ---- ShardedClient versioned quorum surface ----
+
+// startMuxShards launches n live servers with v2 mux backends.
+func startMuxShards(t *testing.T, n int, cfg ShardedConfig) (*ShardedClient, map[string]*Server) {
+	t.Helper()
+	servers := make(map[string]*Server, n)
+	clients := make([]Backend, n)
+	for i := 0; i < n; i++ {
+		srv, addr := startServer(t)
+		servers[addr] = srv
+		clients[i] = NewMuxClient(addr, 2*time.Second)
+	}
+	sc := NewShardedClient(cfg, clients...)
+	t.Cleanup(func() { sc.Close() })
+	return sc, servers
+}
+
+// recordingSink captures RepairSink callbacks for assertions.
+type recordingSink struct {
+	mu       sync.Mutex
+	missed   []string // "key@owner"
+	diverged []string // "key:staleOwner"
+	topo     int
+}
+
+func (r *recordingSink) WriteMissed(key string, _ []byte, _ uint64, _ time.Duration, owner string) {
+	r.mu.Lock()
+	r.missed = append(r.missed, key+"@"+owner)
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) Divergence(key string, _ []byte, _ uint64, _ uint32, staleOwners []string) {
+	r.mu.Lock()
+	for _, o := range staleOwners {
+		r.diverged = append(r.diverged, key+":"+o)
+	}
+	r.mu.Unlock()
+}
+
+func (r *recordingSink) TopologyChanged(_, _ ring.Placement) {
+	r.mu.Lock()
+	r.topo++
+	r.mu.Unlock()
+}
+
+func TestShardedPutVersionedGetQuorum(t *testing.T) {
+	sc, _ := startMuxShards(t, 3, ShardedConfig{Replication: 2, WriteQuorum: 2})
+	ctx := context.Background()
+	ver, err := sc.PutVersioned(ctx, "qk", []byte("quorum"), 0)
+	if err != nil || ver == 0 {
+		t.Fatalf("PutVersioned = (%d, %v)", ver, err)
+	}
+	val, got, err := sc.GetQuorum(ctx, "qk", 2)
+	if err != nil || string(val) != "quorum" || got != ver {
+		t.Fatalf("GetQuorum = (%q, %d, %v), want version %d", val, got, err, ver)
+	}
+	if _, _, err := sc.GetQuorum(ctx, "absent", 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetQuorum(absent) = %v, want ErrNotFound", err)
+	}
+	// Both placement copies must hold the value at the minted version —
+	// PutVersioned does not stop at the quorum.
+	for _, owner := range sc.Owners("qk") {
+		vb := sc.VersionedShard(owner)
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			_, v, _, err := vb.GetV(ctx, "qk")
+			if err == nil && v == ver {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("owner %s: version %d, err %v; want %d", owner, v, err, ver)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestGetQuorumReportsDivergence(t *testing.T) {
+	sc, _ := startMuxShards(t, 3, ShardedConfig{Replication: 2, WriteQuorum: 2})
+	ctx := context.Background()
+	sink := &recordingSink{}
+	sc.SetRepairSink(sink)
+
+	if _, err := sc.PutVersioned(ctx, "dk", []byte("old"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Stale the secondary: write a newer version to the primary only.
+	owners := sc.Owners("dk")
+	newer := sc.NextVersion()
+	if _, _, err := sc.VersionedShard(owners[0]).PutV(ctx, "dk", []byte("new"), 0, newer); err != nil {
+		t.Fatal(err)
+	}
+	val, ver, err := sc.GetQuorum(ctx, "dk", 2)
+	if err != nil || string(val) != "new" || ver != newer {
+		t.Fatalf("GetQuorum = (%q, %d, %v), want newest %d", val, ver, err, newer)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	want := "dk:" + owners[1]
+	for _, d := range sink.diverged {
+		if d == want {
+			return
+		}
+	}
+	t.Fatalf("divergence reports %v missing %q", sink.diverged, want)
+}
+
+func TestPutVersionedReportsMissedWrites(t *testing.T) {
+	sc, servers := startMuxShards(t, 3, ShardedConfig{Replication: 2, WriteQuorum: 1})
+	ctx := context.Background()
+	sink := &recordingSink{}
+	sc.SetRepairSink(sink)
+
+	key := "mk"
+	owners := sc.Owners(key)
+	servers[owners[1]].Close() // secondary dies; quorum 1 still reachable
+	if _, err := sc.PutVersioned(ctx, key, []byte("v"), 0); err != nil {
+		t.Fatalf("PutVersioned with one dead owner: %v", err)
+	}
+	want := key + "@" + owners[1]
+	deadline := time.Now().Add(versionedStragglerTimeout + 2*time.Second)
+	for {
+		sink.mu.Lock()
+		for _, m := range sink.missed {
+			if m == want {
+				sink.mu.Unlock()
+				return
+			}
+		}
+		sink.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("no WriteMissed(%q) observed", want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -40,6 +40,13 @@ const (
 	opGet    = 0x81
 	opSet    = 0x82
 	opDelete = 0x83
+	// Versioned requests (the convergence surface): opGetV reads value +
+	// version, opPutV writes with an explicit version that applies only
+	// if newer than stored (last-writer-wins), opScan pages through a
+	// shard's keyspace with versions — the anti-entropy stream.
+	opGetV = 0x84 // key
+	opPutV = 0x85 // key, val = version payload (see verPayload)
+	opScan = 0x86 // key = exclusive start cursor, aux = max entries
 
 	// Response ops.
 	opValue    = 0xC1 // val = stored bytes, aux = flags
@@ -47,6 +54,9 @@ const (
 	opStored   = 0xC3
 	opDeleted  = 0xC4
 	opErr      = 0xC5 // val = error message
+	opValueV   = 0xC6 // aux = flags, val = version payload
+	opStoredV  = 0xC7 // aux = 1 if the put applied, val = current version payload (no data)
+	opScanResp = 0xC8 // aux = 1 if more pages remain, val = packed scan entries
 
 	// opTimeout is an internal sentinel delivered to a waiter whose
 	// request timed out; it never appears on the wire (no high bit).
@@ -150,4 +160,92 @@ func readFrame(r *bufio.Reader, f *frame) error {
 func appendErrFrame(dst []byte, tag uint64, format string, args ...any) []byte {
 	f := frame{op: opErr, tag: tag, val: []byte(fmt.Sprintf(format, args...))}
 	return appendFrame(dst, &f)
+}
+
+// Versioned value payload — the val bytes of opPutV requests and
+// opValueV/opStoredV responses:
+//
+//	version u64 | ttl u32 (remaining whole seconds, 0 = never) | data
+//
+// Carrying the TTL next to the version is what lets read repair and
+// anti-entropy pushes preserve an expiring key's remaining lifetime
+// instead of silently immortalizing it.
+const verPayloadHeader = 12
+
+var errVerPayload = errors.New("memkv: short versioned payload")
+
+// appendVerPayload appends the versioned payload encoding to dst.
+func appendVerPayload(dst []byte, version uint64, ttlSecs uint32, data []byte) []byte {
+	var hdr [verPayloadHeader]byte
+	binary.BigEndian.PutUint64(hdr[0:8], version)
+	binary.BigEndian.PutUint32(hdr[8:12], ttlSecs)
+	dst = append(dst, hdr[:]...)
+	return append(dst, data...)
+}
+
+// decodeVerPayload splits a versioned payload. data aliases p.
+func decodeVerPayload(p []byte) (version uint64, ttlSecs uint32, data []byte, err error) {
+	if len(p) < verPayloadHeader {
+		return 0, 0, nil, errVerPayload
+	}
+	return binary.BigEndian.Uint64(p[0:8]),
+		binary.BigEndian.Uint32(p[8:12]),
+		p[verPayloadHeader:], nil
+}
+
+// Scan entry packing — the val bytes of an opScanResp frame are a
+// sequence of entries, each:
+//
+//	klen u16 | key | version u64 | flags u32 | ttl u32 | vlen u32 | value
+//
+// One frame carries a whole page, so the mux's one-response-per-tag
+// demux discipline holds for scans too (no multi-frame streams to
+// reassemble).
+var errScanEntry = errors.New("memkv: malformed scan entry")
+
+// appendScanEntry appends one packed entry to dst.
+func appendScanEntry(dst []byte, e *ScanEntry) []byte {
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(e.Key)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, e.Key...)
+	var meta [16]byte
+	binary.BigEndian.PutUint64(meta[0:8], e.Version)
+	binary.BigEndian.PutUint32(meta[8:12], e.Flags)
+	binary.BigEndian.PutUint32(meta[12:16], e.TTLSecs)
+	dst = append(dst, meta[:]...)
+	var vlen [4]byte
+	binary.BigEndian.PutUint32(vlen[:], uint32(len(e.Value)))
+	dst = append(dst, vlen[:]...)
+	return append(dst, e.Value...)
+}
+
+// decodeScanEntries unpacks a full opScanResp payload. Entry values are
+// freshly allocated (they must outlive the frame buffer).
+func decodeScanEntries(p []byte) ([]ScanEntry, error) {
+	var out []ScanEntry
+	for len(p) > 0 {
+		if len(p) < 2 {
+			return nil, errScanEntry
+		}
+		klen := int(binary.BigEndian.Uint16(p[0:2]))
+		p = p[2:]
+		if len(p) < klen+20 || klen > maxKeyLen {
+			return nil, errScanEntry
+		}
+		e := ScanEntry{Key: string(p[:klen])}
+		p = p[klen:]
+		e.Version = binary.BigEndian.Uint64(p[0:8])
+		e.Flags = binary.BigEndian.Uint32(p[8:12])
+		e.TTLSecs = binary.BigEndian.Uint32(p[12:16])
+		vlen := int(binary.BigEndian.Uint32(p[16:20]))
+		p = p[20:]
+		if vlen > maxValueLen || len(p) < vlen {
+			return nil, errScanEntry
+		}
+		e.Value = append([]byte(nil), p[:vlen]...)
+		p = p[vlen:]
+		out = append(out, e)
+	}
+	return out, nil
 }

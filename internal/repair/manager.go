@@ -1,0 +1,774 @@
+// Package repair is the convergence subsystem over the sharded memkv
+// data plane: it makes the redundancy the paper's analysis assumes —
+// every replica in a key's placement actually holds the data — true
+// again after failures and topology changes, without putting that work
+// on any caller's critical path.
+//
+// A Manager implements memkv.RepairSink and turns the three signals a
+// ShardedClient emits into background convergence work:
+//
+//   - WriteMissed (a quorum write's copy failed) becomes a *hint*:
+//     the missed write is queued in a bounded in-memory queue, durably
+//     mirrored onto a reachable shard under HintKeyPrefix, and replayed
+//     against the intended owner with per-owner exponential backoff
+//     until it lands — Dynamo-style hinted handoff.
+//   - Divergence (a quorum read saw stale or missing copies) becomes a
+//     *read repair*: the newest value is pushed to the stale copies
+//     asynchronously.
+//   - TopologyChanged (AddShard/RemoveShard) becomes an *anti-entropy
+//     migration*: the Rebalance loop diffs the before/after placements
+//     (ring.Placement.SameOwners), streams only remapped keys off each
+//     shard with cursor-paged scans, and re-puts them at their new
+//     owners in batches.
+//
+// All three traffic classes yield to foreground load: each unit of
+// background work first asks the shared core.Governor's AllowBackground
+// gate, which only opens below the governor's low-water utilization
+// mark. Versioned last-writer-wins puts make every repair action safe
+// to repeat and safe to race with live writes — a repair can only ever
+// install a value at a replica that lacks something newer.
+//
+// Limitations (documented, deliberate): deletes carry no tombstones, so
+// a repair or replayed hint can resurrect a concurrently deleted key;
+// version comparability across independent writers relies on the
+// wall-clock-seeded Lamport clocks in ShardedClient and Store.
+package repair
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redundancy/internal/core"
+	"redundancy/internal/memkv"
+	"redundancy/internal/ring"
+)
+
+// HintKeyPrefix marks durable hint records in shard keyspaces. The
+// migrator and recovery scans treat keys under it as repair metadata,
+// never as data; user keys must not start with it.
+const HintKeyPrefix = "!hint/"
+
+// Defaults for Config zero values.
+const (
+	DefaultBatchSize        = 64
+	DefaultScanPageSize     = 256
+	DefaultMaxHintEntries   = 4096
+	DefaultMaxHintBytes     = 16 << 20
+	DefaultReplayInterval   = 100 * time.Millisecond
+	DefaultReplayMaxBackoff = 5 * time.Second
+	DefaultBackgroundPause  = 10 * time.Millisecond
+)
+
+// Config configures a Manager. The zero value gets the defaults above,
+// no governor (background work always allowed), and manual rebalancing.
+type Config struct {
+	// Governor, when set, gates every unit of background work (hint
+	// replay batch, repair push, migration page) on AllowBackground —
+	// share the governor that also measures foreground load, so
+	// convergence traffic yields to it.
+	Governor *core.Governor
+	// BatchSize is the versioned puts per migration/replay batch.
+	BatchSize int
+	// ScanPageSize is the entries per anti-entropy scan page.
+	ScanPageSize int
+	// MaxHintEntries and MaxHintBytes bound the in-memory hint queue;
+	// at either cap the oldest hint is dropped (counted in Stats), so a
+	// long-dead owner cannot OOM the process holding its hints.
+	MaxHintEntries int
+	MaxHintBytes   int
+	// ReplayInterval is the hint replay cadence (and the initial
+	// per-owner backoff); ReplayMaxBackoff caps the backoff.
+	ReplayInterval   time.Duration
+	ReplayMaxBackoff time.Duration
+	// BackgroundPause is how long background work sleeps when the
+	// governor defers it before asking again.
+	BackgroundPause time.Duration
+	// DeleteAfterMigrate removes a migrated key from the source shard
+	// once its new owners hold it and the source is no longer in the
+	// key's placement. Off by default (extra copies are harmless under
+	// LWW and cover placement flaps).
+	DeleteAfterMigrate bool
+	// AutoRebalance runs Rebalance automatically whenever the client
+	// reports a topology change.
+	AutoRebalance bool
+}
+
+func (c *Config) setDefaults() {
+	if c.BatchSize < 1 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.ScanPageSize < 1 {
+		c.ScanPageSize = DefaultScanPageSize
+	}
+	if c.MaxHintEntries < 1 {
+		c.MaxHintEntries = DefaultMaxHintEntries
+	}
+	if c.MaxHintBytes < 1 {
+		c.MaxHintBytes = DefaultMaxHintBytes
+	}
+	if c.ReplayInterval <= 0 {
+		c.ReplayInterval = DefaultReplayInterval
+	}
+	if c.ReplayMaxBackoff < c.ReplayInterval {
+		c.ReplayMaxBackoff = DefaultReplayMaxBackoff
+	}
+	if c.BackgroundPause <= 0 {
+		c.BackgroundPause = DefaultBackgroundPause
+	}
+}
+
+// Stats is a point-in-time view of a Manager's counters.
+type Stats struct {
+	// Hinted handoff.
+	HintsQueued    int64 // hints accepted into the queue
+	HintsReplayed  int64 // hints that landed at their owner (or rerouted)
+	HintsDropped   int64 // oldest-dropped at the entry/byte caps
+	HintsPersisted int64 // durable hint records written
+	HintsRecovered int64 // hints re-queued from durable records
+	HintsPending   int64 // currently queued
+	HintBytes      int64 // bytes currently queued
+	// Read repair.
+	DivergenceObserved int64 // Divergence reports received
+	DivergenceDropped  int64 // reports dropped on a full repair queue
+	RepairsPushed      int64 // stale copies successfully repaired
+	RepairsFailed      int64 // repair pushes that errored
+	// Anti-entropy migration.
+	Rebalances   int64 // Rebalance passes completed
+	KeysScanned  int64 // entries seen by migration scans
+	KeysMigrated int64 // entries pushed to at least one new owner
+	MigrateStale int64 // migration puts refused as stale (already newer)
+	MigrateErrs  int64 // migration put/scan errors
+}
+
+// Manager is the convergence worker: install it on a ShardedClient with
+// SetRepairSink, then Start it. See the package comment for what it
+// does. All methods are safe for concurrent use.
+type Manager struct {
+	sc  *memkv.ShardedClient
+	cfg Config
+
+	hints hintQueue
+
+	divergeC chan divergeItem
+
+	topoMu      sync.Mutex
+	topoPrev    ring.Placement
+	topoCur     ring.Placement
+	topoPending bool
+	topoC       chan struct{}
+
+	stopC   chan struct{}
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	started bool
+	closed  bool
+
+	stDivergeObs  atomic.Int64
+	stDivergeDrop atomic.Int64
+	stRepairOK    atomic.Int64
+	stRepairErr   atomic.Int64
+	stRebalances  atomic.Int64
+	stScanned     atomic.Int64
+	stMigrated    atomic.Int64
+	stStale       atomic.Int64
+	stMigErrs     atomic.Int64
+	stReplayed    atomic.Int64
+	stPersisted   atomic.Int64
+	stRecovered   atomic.Int64
+}
+
+var _ memkv.RepairSink = (*Manager)(nil)
+
+// divergeItem is one queued read-repair unit.
+type divergeItem struct {
+	key     string
+	value   []byte
+	version uint64
+	ttl     time.Duration
+	owners  []string
+}
+
+// NewManager builds a Manager over sc. The caller wires it up with
+// sc.SetRepairSink(m) and m.Start(); Attach does both.
+func NewManager(sc *memkv.ShardedClient, cfg Config) *Manager {
+	cfg.setDefaults()
+	m := &Manager{
+		sc:       sc,
+		cfg:      cfg,
+		divergeC: make(chan divergeItem, 1024),
+		topoC:    make(chan struct{}, 1),
+		stopC:    make(chan struct{}),
+	}
+	m.hints.maxEntries = cfg.MaxHintEntries
+	m.hints.maxBytes = cfg.MaxHintBytes
+	return m
+}
+
+// Attach builds a Manager, installs it as sc's repair sink, and starts
+// its background loops. Close detaches and stops it.
+func Attach(sc *memkv.ShardedClient, cfg Config) *Manager {
+	m := NewManager(sc, cfg)
+	sc.SetRepairSink(m)
+	m.Start()
+	return m
+}
+
+// Start launches the background loops (idempotent).
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started || m.closed {
+		return
+	}
+	m.started = true
+	m.wg.Add(2)
+	go m.replayLoop()
+	go m.repairLoop()
+	if m.cfg.AutoRebalance {
+		m.wg.Add(1)
+		go m.rebalanceLoop()
+	}
+}
+
+// Close stops the background loops and detaches the manager from its
+// client's sink slot. Queued hints and repairs are abandoned (durable
+// hint records survive for RecoverHints on a future manager).
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	started := m.started
+	m.mu.Unlock()
+	m.sc.SetRepairSink(nil)
+	close(m.stopC)
+	if started {
+		m.wg.Wait()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	pending, bytes, dropped, queued := m.hints.counters()
+	return Stats{
+		HintsQueued:        queued,
+		HintsReplayed:      m.stReplayed.Load(),
+		HintsDropped:       dropped,
+		HintsPersisted:     m.stPersisted.Load(),
+		HintsRecovered:     m.stRecovered.Load(),
+		HintsPending:       pending,
+		HintBytes:          bytes,
+		DivergenceObserved: m.stDivergeObs.Load(),
+		DivergenceDropped:  m.stDivergeDrop.Load(),
+		RepairsPushed:      m.stRepairOK.Load(),
+		RepairsFailed:      m.stRepairErr.Load(),
+		Rebalances:         m.stRebalances.Load(),
+		KeysScanned:        m.stScanned.Load(),
+		KeysMigrated:       m.stMigrated.Load(),
+		MigrateStale:       m.stStale.Load(),
+		MigrateErrs:        m.stMigErrs.Load(),
+	}
+}
+
+// ---- memkv.RepairSink ----
+
+// WriteMissed implements memkv.RepairSink: queue a hint. Non-blocking;
+// the value is copied (the caller may reuse its slice).
+func (m *Manager) WriteMissed(key string, value []byte, version uint64, ttl time.Duration, owner string) {
+	if strings.HasPrefix(key, HintKeyPrefix) {
+		// Never hint a hint record: the durable mirror is best-effort
+		// metadata, and recursing would amplify every owner outage.
+		return
+	}
+	m.hints.push(&hint{
+		key:     key,
+		value:   append([]byte(nil), value...),
+		version: version,
+		ttl:     ttl,
+		owner:   owner,
+	})
+}
+
+// Divergence implements memkv.RepairSink: queue an async read repair.
+// Non-blocking — on a full queue the report is dropped and counted (the
+// next quorum read of the key will observe the divergence again).
+func (m *Manager) Divergence(key string, value []byte, version uint64, ttlSecs uint32, staleOwners []string) {
+	m.stDivergeObs.Add(1)
+	it := divergeItem{
+		key:     key,
+		value:   append([]byte(nil), value...),
+		version: version,
+		ttl:     time.Duration(ttlSecs) * time.Second,
+		owners:  append([]string(nil), staleOwners...),
+	}
+	select {
+	case m.divergeC <- it:
+	default:
+		m.stDivergeDrop.Add(1)
+	}
+}
+
+// TopologyChanged implements memkv.RepairSink: record the placement
+// delta for the next Rebalance. Consecutive changes coalesce — the
+// pending pair keeps the earliest prev and the latest cur, so one
+// Rebalance converges a burst of membership churn.
+func (m *Manager) TopologyChanged(prev, cur ring.Placement) {
+	m.topoMu.Lock()
+	if !m.topoPending {
+		m.topoPrev = prev
+		m.topoPending = true
+	}
+	m.topoCur = cur
+	m.topoMu.Unlock()
+	select {
+	case m.topoC <- struct{}{}:
+	default:
+	}
+}
+
+// takeTopology consumes the pending placement delta, if any.
+func (m *Manager) takeTopology() (prev, cur ring.Placement, ok bool) {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	if !m.topoPending {
+		return ring.Placement{}, ring.Placement{}, false
+	}
+	m.topoPending = false
+	return m.topoPrev, m.topoCur, true
+}
+
+// ---- background gating ----
+
+var errClosed = errors.New("repair: manager closed")
+
+// waitBackground blocks until the governor affords a unit of background
+// work (or immediately with no governor), polling with BackgroundPause.
+func (m *Manager) waitBackground(ctx context.Context) error {
+	for {
+		if m.cfg.Governor == nil || m.cfg.Governor.AllowBackground() {
+			return nil
+		}
+		select {
+		case <-time.After(m.cfg.BackgroundPause):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-m.stopC:
+			return errClosed
+		}
+	}
+}
+
+// opCtx returns a bounded context for one background shard operation.
+func (m *Manager) opCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+// ---- hinted handoff ----
+
+// hint is one missed write: replay value@version to owner.
+type hint struct {
+	key     string
+	value   []byte
+	version uint64
+	ttl     time.Duration
+	owner   string
+	// durableAddr/durableKey locate the hint's durable mirror, once
+	// persisted, so replay can delete it.
+	durableAddr string
+	durableKey  string
+}
+
+func (h *hint) size() int { return len(h.key) + len(h.value) + len(h.owner) + 64 }
+
+// hintQueue is the bounded FIFO of pending hints. One global FIFO keeps
+// drop-oldest exact; replay groups by owner per pass.
+type hintQueue struct {
+	mu         sync.Mutex
+	q          []*hint
+	bytes      int
+	maxEntries int
+	maxBytes   int
+	dropped    int64
+	queued     int64
+	// gc collects durable record locations of dropped hints, for the
+	// replay loop to delete.
+	gc []hintRef
+}
+
+type hintRef struct{ addr, key string }
+
+func (hq *hintQueue) push(h *hint) {
+	sz := h.size()
+	hq.mu.Lock()
+	for len(hq.q) > 0 && (len(hq.q)+1 > hq.maxEntries || hq.bytes+sz > hq.maxBytes) {
+		old := hq.q[0]
+		hq.q = hq.q[1:]
+		hq.bytes -= old.size()
+		hq.dropped++
+		if old.durableKey != "" {
+			hq.gc = append(hq.gc, hintRef{addr: old.durableAddr, key: old.durableKey})
+		}
+	}
+	if 1 > hq.maxEntries || sz > hq.maxBytes {
+		// A single hint larger than the whole budget is refused outright.
+		hq.dropped++
+		hq.mu.Unlock()
+		return
+	}
+	hq.q = append(hq.q, h)
+	hq.bytes += sz
+	hq.queued++
+	hq.mu.Unlock()
+}
+
+// snapshot returns the queued hints (shared pointers; the replay loop is
+// the only mutator of hint fields after enqueue).
+func (hq *hintQueue) snapshot() []*hint {
+	hq.mu.Lock()
+	defer hq.mu.Unlock()
+	return append([]*hint(nil), hq.q...)
+}
+
+// remove deletes the given hints (by identity) from the queue.
+func (hq *hintQueue) remove(done map[*hint]bool) {
+	if len(done) == 0 {
+		return
+	}
+	hq.mu.Lock()
+	kept := hq.q[:0]
+	for _, h := range hq.q {
+		if done[h] {
+			hq.bytes -= h.size()
+			continue
+		}
+		kept = append(kept, h)
+	}
+	hq.q = kept
+	hq.mu.Unlock()
+}
+
+func (hq *hintQueue) takeGC() []hintRef {
+	hq.mu.Lock()
+	defer hq.mu.Unlock()
+	gc := hq.gc
+	hq.gc = nil
+	return gc
+}
+
+func (hq *hintQueue) counters() (pending, bytes, dropped, queued int64) {
+	hq.mu.Lock()
+	defer hq.mu.Unlock()
+	return int64(len(hq.q)), int64(hq.bytes), hq.dropped, hq.queued
+}
+
+// replayLoop drives hint persistence and replay at ReplayInterval, with
+// per-owner exponential backoff between failed attempts.
+func (m *Manager) replayLoop() {
+	defer m.wg.Done()
+	type ownerState struct {
+		next  time.Time
+		delay time.Duration
+	}
+	backoff := make(map[string]*ownerState)
+	ticker := time.NewTicker(m.cfg.ReplayInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopC:
+			return
+		case <-ticker.C:
+		}
+		m.gcDurable()
+		hints := m.hints.snapshot()
+		if len(hints) == 0 {
+			continue
+		}
+		if err := m.waitBackground(context.Background()); err != nil {
+			return
+		}
+		m.persistHints(hints)
+		// Group by owner and replay owners whose backoff has elapsed.
+		byOwner := make(map[string][]*hint)
+		for _, h := range hints {
+			byOwner[h.owner] = append(byOwner[h.owner], h)
+		}
+		now := time.Now()
+		done := make(map[*hint]bool)
+		for owner, hs := range byOwner {
+			st := backoff[owner]
+			if st == nil {
+				st = &ownerState{delay: m.cfg.ReplayInterval}
+				backoff[owner] = st
+			}
+			if now.Before(st.next) {
+				continue
+			}
+			ok := m.replayOwner(owner, hs, done)
+			if ok {
+				st.delay = m.cfg.ReplayInterval
+				st.next = time.Time{}
+			} else {
+				st.next = now.Add(st.delay)
+				st.delay *= 2
+				if st.delay > m.cfg.ReplayMaxBackoff {
+					st.delay = m.cfg.ReplayMaxBackoff
+				}
+			}
+		}
+		m.hints.remove(done)
+	}
+}
+
+// replayOwner attempts one owner's hints in batches. Returns true if
+// the owner accepted them (resetting its backoff).
+func (m *Manager) replayOwner(owner string, hs []*hint, done map[*hint]bool) bool {
+	vb := m.sc.VersionedShard(owner)
+	if vb == nil {
+		// The owner left the topology: the data still belongs somewhere.
+		// Reroute each hint through the ring at its original version; LWW
+		// makes this safe even if the key has since been rewritten.
+		allOK := true
+		for _, h := range hs {
+			ctx, cancel := m.opCtx()
+			err := m.sc.PutVersionAt(ctx, h.key, h.value, h.ttl, h.version)
+			cancel()
+			if err != nil {
+				allOK = false
+				continue
+			}
+			m.finishHint(h, done)
+		}
+		return allOK
+	}
+	allOK := true
+	for start := 0; start < len(hs); start += m.cfg.BatchSize {
+		end := start + m.cfg.BatchSize
+		if end > len(hs) {
+			end = len(hs)
+		}
+		batch := hs[start:end]
+		puts := make([]memkv.VersionedPut, len(batch))
+		for i, h := range batch {
+			puts[i] = memkv.VersionedPut{Key: h.key, Value: h.value, TTL: h.ttl, Version: h.version}
+		}
+		ctx, cancel := m.opCtx()
+		res := vb.PutVBatch(ctx, puts)
+		cancel()
+		for i, r := range res {
+			if r.Err != nil {
+				allOK = false
+				continue
+			}
+			// Applied or stale both mean the owner now holds >= version.
+			m.finishHint(batch[i], done)
+		}
+		if !allOK {
+			break
+		}
+	}
+	return allOK
+}
+
+// finishHint marks a hint landed: count it, schedule its durable record
+// for deletion, and mark it for removal from the queue.
+func (m *Manager) finishHint(h *hint, done map[*hint]bool) {
+	done[h] = true
+	m.stReplayed.Add(1)
+	if h.durableKey != "" {
+		if vb := m.sc.VersionedShard(h.durableAddr); vb != nil {
+			ctx, cancel := m.opCtx()
+			_ = vb.Delete(ctx, h.durableKey)
+			cancel()
+		}
+	}
+}
+
+// gcDurable deletes durable records of hints dropped at the cap.
+func (m *Manager) gcDurable() {
+	for _, ref := range m.hints.takeGC() {
+		if vb := m.sc.VersionedShard(ref.addr); vb != nil {
+			ctx, cancel := m.opCtx()
+			_ = vb.Delete(ctx, ref.key)
+			cancel()
+		}
+	}
+}
+
+// persistHints writes a durable mirror of each not-yet-persisted hint
+// onto a reachable shard other than the hint's owner, so hints survive
+// this process dying before replay. Best-effort: a hint that can't be
+// persisted stays memory-only.
+func (m *Manager) persistHints(hints []*hint) {
+	addrs := m.sc.ShardAddrs()
+	for _, h := range hints {
+		if h.durableKey != "" {
+			continue
+		}
+		dk := HintKeyPrefix + h.owner + "/" + h.key
+		if len(dk) > 250 {
+			continue // over the key limit: memory-only
+		}
+		for _, addr := range addrs {
+			if addr == h.owner {
+				continue
+			}
+			vb := m.sc.VersionedShard(addr)
+			if vb == nil {
+				continue
+			}
+			ctx, cancel := m.opCtx()
+			_, _, err := vb.PutV(ctx, dk, encodeHintRecord(h), 0, h.version)
+			cancel()
+			if err == nil {
+				h.durableAddr = addr
+				h.durableKey = dk
+				m.stPersisted.Add(1)
+				break
+			}
+		}
+	}
+}
+
+// Hint record payload: the replay fields, self-describing so recovery
+// needs only the record (the durable key is just an address).
+//
+//	version u64 | ttl u32 (secs) | olen u16 | owner | klen u16 | key | value
+func encodeHintRecord(h *hint) []byte {
+	buf := make([]byte, 0, 16+len(h.owner)+len(h.key)+len(h.value))
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], h.version)
+	buf = append(buf, u64[:]...)
+	var u32 [4]byte
+	ttlSecs := uint32(0)
+	if h.ttl > 0 {
+		ttlSecs = uint32((h.ttl + time.Second - 1) / time.Second)
+	}
+	binary.BigEndian.PutUint32(u32[:], ttlSecs)
+	buf = append(buf, u32[:]...)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(h.owner)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, h.owner...)
+	binary.BigEndian.PutUint16(u16[:], uint16(len(h.key)))
+	buf = append(buf, u16[:]...)
+	buf = append(buf, h.key...)
+	return append(buf, h.value...)
+}
+
+var errHintRecord = errors.New("repair: malformed hint record")
+
+func decodeHintRecord(p []byte) (*hint, error) {
+	if len(p) < 14 {
+		return nil, errHintRecord
+	}
+	h := &hint{version: binary.BigEndian.Uint64(p[0:8])}
+	h.ttl = time.Duration(binary.BigEndian.Uint32(p[8:12])) * time.Second
+	olen := int(binary.BigEndian.Uint16(p[12:14]))
+	p = p[14:]
+	if len(p) < olen+2 {
+		return nil, errHintRecord
+	}
+	h.owner = string(p[:olen])
+	p = p[olen:]
+	klen := int(binary.BigEndian.Uint16(p[0:2]))
+	p = p[2:]
+	if len(p) < klen {
+		return nil, errHintRecord
+	}
+	h.key = string(p[:klen])
+	h.value = append([]byte(nil), p[klen:]...)
+	if h.version == 0 || h.owner == "" || h.key == "" {
+		return nil, errHintRecord
+	}
+	return h, nil
+}
+
+// RecoverHints scans every reachable shard for durable hint records and
+// re-queues them — run once at startup after a crash, before traffic.
+// Returns how many hints were recovered. Recovery is best-effort per
+// shard: an unreachable shard is skipped (its records are unreadable
+// regardless) and reported via the returned error after the others were
+// scanned.
+func (m *Manager) RecoverHints(ctx context.Context) (int, error) {
+	recovered := 0
+	var firstErr error
+	for _, addr := range m.sc.ShardAddrs() {
+		vb := m.sc.VersionedShard(addr)
+		if vb == nil {
+			continue
+		}
+		// Hint keys sort from the prefix; stop when past it.
+		cursor := ""
+		for {
+			entries, more, err := vb.Scan(ctx, cursor, m.cfg.ScanPageSize)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("repair: recover scan %s: %w", addr, err)
+				}
+				break
+			}
+			for i := range entries {
+				e := &entries[i]
+				cursor = e.Key
+				if !strings.HasPrefix(e.Key, HintKeyPrefix) {
+					continue
+				}
+				h, err := decodeHintRecord(e.Value)
+				if err != nil {
+					continue
+				}
+				h.durableAddr = addr
+				h.durableKey = e.Key
+				m.hints.push(h)
+				m.stRecovered.Add(1)
+				recovered++
+			}
+			if !more {
+				break
+			}
+		}
+	}
+	return recovered, firstErr
+}
+
+// ---- read repair ----
+
+// repairLoop drains divergence reports and pushes the newest value to
+// each stale copy, under the governor.
+func (m *Manager) repairLoop() {
+	defer m.wg.Done()
+	for {
+		var it divergeItem
+		select {
+		case <-m.stopC:
+			return
+		case it = <-m.divergeC:
+		}
+		if err := m.waitBackground(context.Background()); err != nil {
+			return
+		}
+		for _, owner := range it.owners {
+			vb := m.sc.VersionedShard(owner)
+			if vb == nil {
+				continue // owner left the topology; migration covers it
+			}
+			ctx, cancel := m.opCtx()
+			_, _, err := vb.PutV(ctx, it.key, it.value, it.ttl, it.version)
+			cancel()
+			if err != nil {
+				m.stRepairErr.Add(1)
+			} else {
+				m.stRepairOK.Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"redundancy/internal/memkv"
+	"redundancy/internal/ring"
+)
+
+// This file is the anti-entropy migrator: after AddShard/RemoveShard it
+// walks every shard's keyspace with cursor-paged scans, diffs each
+// key's owner set between the before and after placements, and re-puts
+// only the remapped keys at their new owners in governed batches.
+// Versioned LWW puts make the whole pass idempotent and safe under live
+// writes: a migration put can never clobber a newer foreground write,
+// it just loses (counted as stale).
+
+// RebalanceStats summarizes one Rebalance or Drain pass.
+type RebalanceStats struct {
+	// KeysScanned is the data entries examined (hint records excluded).
+	KeysScanned int64
+	// KeysMigrated is the entries pushed to at least one owner.
+	KeysMigrated int64
+	// PutsApplied and PutsStale split the migration puts by outcome: a
+	// stale put found the destination already holding a newer version.
+	PutsApplied, PutsStale int64
+	// PutsFailed counts puts (and scan pages) that errored.
+	PutsFailed int64
+	// Deleted is the source-side deletions (DeleteAfterMigrate).
+	Deleted int64
+	// Elapsed is the pass's wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Rebalance converges the pending topology change: every key whose
+// owner set differs between the recorded before/after placements is
+// streamed to its new owners. With no pending change it returns zero
+// stats. Safe to run concurrently with live traffic; each scan page and
+// put batch yields to the governor first.
+func (m *Manager) Rebalance(ctx context.Context) (RebalanceStats, error) {
+	prev, cur, ok := m.takeTopology()
+	if !ok {
+		return RebalanceStats{}, nil
+	}
+	return m.rebalance(ctx, prev, cur)
+}
+
+// RebalanceBetween runs a migration pass for an explicit placement
+// delta — the manual form of Rebalance for callers tracking placements
+// themselves (tests, the ablrebalance experiment).
+func (m *Manager) RebalanceBetween(ctx context.Context, prev, cur ring.Placement) (RebalanceStats, error) {
+	return m.rebalance(ctx, prev, cur)
+}
+
+func (m *Manager) rebalance(ctx context.Context, prev, cur ring.Placement) (RebalanceStats, error) {
+	start := time.Now()
+	var st RebalanceStats
+	var firstErr error
+	for _, src := range cur.Names() {
+		vb := m.sc.VersionedShard(src)
+		if vb == nil {
+			continue // v1 shard or racing removal: nothing to scan here
+		}
+		if err := m.migrateFrom(ctx, src, vb, prev, cur, true, &st); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	st.Elapsed = time.Since(start)
+	m.stRebalances.Add(1)
+	m.stScanned.Add(st.KeysScanned)
+	m.stMigrated.Add(st.KeysMigrated)
+	m.stStale.Add(st.PutsStale)
+	m.stMigErrs.Add(st.PutsFailed)
+	return st, firstErr
+}
+
+// Drain streams every key off src to its owners under the current
+// placement — the exit path for a shard that was just removed from the
+// topology but is still reachable (src is the removed shard's backend,
+// which the client no longer routes to). Unlike Rebalance it does not
+// diff placements: every key on src is pushed.
+func (m *Manager) Drain(ctx context.Context, src memkv.VersionedBackend) (RebalanceStats, error) {
+	start := time.Now()
+	var st RebalanceStats
+	cur := m.sc.PlacementSnapshot()
+	err := m.migrateFrom(ctx, src.Addr(), src, ring.Placement{}, cur, false, &st)
+	st.Elapsed = time.Since(start)
+	m.stScanned.Add(st.KeysScanned)
+	m.stMigrated.Add(st.KeysMigrated)
+	m.stStale.Add(st.PutsStale)
+	m.stMigErrs.Add(st.PutsFailed)
+	return st, err
+}
+
+// migrateFrom scans src page by page and pushes remapped keys to their
+// owners under cur. With diff true, keys whose owner set is identical
+// under prev and cur are skipped — the remap diff; with diff false
+// every key is pushed (Drain). Deletions (DeleteAfterMigrate) happen
+// only after the key's pushes all succeeded.
+func (m *Manager) migrateFrom(ctx context.Context, srcAddr string, src memkv.VersionedBackend, prev, cur ring.Placement, diff bool, st *RebalanceStats) error {
+	type pendingPut struct {
+		put memkv.VersionedPut
+		del bool // delete from src once landed
+	}
+	batches := make(map[string][]pendingPut)
+	ownerScratch := make([]string, cur.Replication())
+
+	flush := func() {
+		for owner, puts := range batches {
+			vb := m.sc.VersionedShard(owner)
+			if vb == nil {
+				st.PutsFailed += int64(len(puts))
+				continue
+			}
+			vps := make([]memkv.VersionedPut, len(puts))
+			for i := range puts {
+				vps[i] = puts[i].put
+			}
+			opCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			res := vb.PutVBatch(opCtx, vps)
+			cancel()
+			for i, r := range res {
+				switch {
+				case r.Err != nil:
+					st.PutsFailed++
+				case r.Applied:
+					st.PutsApplied++
+				default:
+					st.PutsStale++
+				}
+				if r.Err == nil && puts[i].del && m.cfg.DeleteAfterMigrate {
+					dCtx, dCancel := context.WithTimeout(ctx, 5*time.Second)
+					if src.Delete(dCtx, puts[i].put.Key) == nil {
+						st.Deleted++
+					}
+					dCancel()
+				}
+			}
+		}
+		clear(batches)
+	}
+
+	cursor := ""
+	for {
+		if err := m.waitBackground(ctx); err != nil {
+			return err
+		}
+		entries, more, err := src.Scan(ctx, cursor, m.cfg.ScanPageSize)
+		if err != nil {
+			st.PutsFailed++
+			return fmt.Errorf("repair: scan %s: %w", srcAddr, err)
+		}
+		if len(entries) == 0 {
+			break
+		}
+		batched := 0
+		for i := range entries {
+			e := &entries[i]
+			cursor = e.Key
+			if strings.HasPrefix(e.Key, HintKeyPrefix) {
+				continue // repair metadata, never migrated
+			}
+			st.KeysScanned++
+			if diff && prev.SameOwners(cur, e.Key) {
+				continue
+			}
+			n := cur.OwnersInto(e.Key, ownerScratch)
+			owners := ownerScratch[:n]
+			srcOwns := false
+			pushed := false
+			for _, o := range owners {
+				if o == srcAddr {
+					srcOwns = true
+					continue
+				}
+				batches[o] = append(batches[o], pendingPut{
+					put: memkv.VersionedPut{
+						Key:     e.Key,
+						Value:   e.Value,
+						TTL:     time.Duration(e.TTLSecs) * time.Second,
+						Version: e.Version,
+					},
+					// Delete from src only via the LAST owner's entry, so
+					// the key survives on src until that push landed.
+					del: false,
+				})
+				pushed = true
+			}
+			if pushed {
+				st.KeysMigrated++
+				if !srcOwns {
+					// Mark the final pending put for this key as the one
+					// that triggers source deletion.
+					for o := len(owners) - 1; o >= 0; o-- {
+						if owners[o] == srcAddr {
+							continue
+						}
+						ps := batches[owners[o]]
+						ps[len(ps)-1].del = true
+						break
+					}
+				}
+			}
+			batched++
+			if batched >= m.cfg.BatchSize {
+				flush()
+				batched = 0
+			}
+		}
+		flush()
+		if !more {
+			break
+		}
+	}
+	return nil
+}
+
+// rebalanceLoop (AutoRebalance) waits for topology-change signals and
+// converges each pending delta.
+func (m *Manager) rebalanceLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stopC:
+			return
+		case <-m.topoC:
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-m.stopC:
+				cancel()
+			case <-stop:
+			}
+		}()
+		_, _ = m.Rebalance(ctx)
+		close(stop)
+		cancel()
+	}
+}

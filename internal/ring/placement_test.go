@@ -1,0 +1,106 @@
+package ring_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"redundancy/internal/ring"
+)
+
+// A Placement snapshot must agree exactly with the live ring it was
+// taken from, and must keep agreeing after the ring changes — that
+// immutability is what makes before/after remap diffs possible.
+func TestPlacementSnapshotIsImmutable(t *testing.T) {
+	r := ring.New[string, string](nil, ring.WithReplication(2))
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n, named(n))
+	}
+	p := r.Placement()
+	if p.Len() != 3 || p.Replication() != 2 {
+		t.Fatalf("Len=%d Replication=%d", p.Len(), p.Replication())
+	}
+	names := append([]string(nil), p.Names()...)
+	sort.Strings(names)
+	if fmt.Sprint(names) != "[a b c]" {
+		t.Fatalf("Names = %v", names)
+	}
+
+	before := make(map[string][]string)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("pk-%d", i)
+		owners := p.Owners(key)
+		if got := r.Owners(key); fmt.Sprint(owners) != fmt.Sprint(got) {
+			t.Fatalf("Placement.Owners(%q) = %v, ring says %v", key, owners, got)
+		}
+		before[key] = owners
+	}
+
+	// Mutating the ring must not disturb the snapshot.
+	r.Add("d", named("d"))
+	for key, owners := range before {
+		if got := p.Owners(key); fmt.Sprint(got) != fmt.Sprint(owners) {
+			t.Fatalf("snapshot Owners(%q) changed from %v to %v after Add", key, owners, got)
+		}
+	}
+}
+
+func TestPlacementOwnersInto(t *testing.T) {
+	r := ring.New[string, string](nil, ring.WithReplication(3))
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.Add(n, named(n))
+	}
+	p := r.Placement()
+	dst := make([]string, 3)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("oi-%d", i)
+		n := p.OwnersInto(key, dst)
+		if fmt.Sprint(dst[:n]) != fmt.Sprint(p.Owners(key)) {
+			t.Fatalf("OwnersInto(%q) = %v, Owners = %v", key, dst[:n], p.Owners(key))
+		}
+	}
+	// A short destination truncates rather than overflows.
+	short := make([]string, 1)
+	if n := p.OwnersInto("oi-0", short); n != 1 || short[0] != p.Owners("oi-0")[0] {
+		t.Fatalf("OwnersInto with len-1 dst = %d, %v", n, short)
+	}
+}
+
+// SameOwners is the remap diff: identical placements agree on every
+// key; after adding a member, exactly the keys whose owner set moved
+// must report false.
+func TestPlacementSameOwnersDiff(t *testing.T) {
+	r := ring.New[string, string](nil, ring.WithReplication(2))
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.Add(n, named(n))
+	}
+	prev := r.Placement()
+	if !prev.SameOwners(prev, "any-key") {
+		t.Fatal("placement disagrees with itself")
+	}
+	r.Add("e", named("e"))
+	cur := r.Placement()
+
+	moved, stayed := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("diff-%d", i)
+		same := prev.SameOwners(cur, key)
+		want := fmt.Sprint(prev.Owners(key)) == fmt.Sprint(cur.Owners(key))
+		if same != want {
+			t.Fatalf("SameOwners(%q) = %v; prev %v cur %v", key, same, prev.Owners(key), cur.Owners(key))
+		}
+		if same {
+			stayed++
+		} else {
+			moved++
+		}
+	}
+	// One member joining a 4-member ring must remap some keys and leave
+	// most alone.
+	if moved == 0 || stayed == 0 {
+		t.Fatalf("degenerate diff: moved=%d stayed=%d", moved, stayed)
+	}
+	if moved > stayed {
+		t.Fatalf("adding 1 of 5 members moved %d/%d keys: remap not minimal", moved, moved+stayed)
+	}
+}

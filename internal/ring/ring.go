@@ -516,6 +516,118 @@ func (r *Ring[K, T]) Stats() Stats {
 	return s
 }
 
+// Placement is an immutable, non-generic snapshot of a ring's routing
+// decision: it answers "which members own key k" under one frozen
+// topology, detached from the ring's element types and from later
+// Add/Remove calls. An anti-entropy migrator captures one Placement
+// before a topology change and one after, then enumerates keys and
+// re-homes exactly those whose owner set differs — the remap diff.
+type Placement struct {
+	points      []point // aliases the immutable route table; never mutated
+	names       []string
+	replication int
+}
+
+// Placement captures the ring's current routing as an immutable
+// snapshot. The snapshot shares the route table's point slice (tables
+// are copy-on-write, so it stays valid forever) and is safe for
+// concurrent use.
+func (r *Ring[K, T]) Placement() Placement {
+	t := r.table.Load()
+	names := make([]string, len(t.members))
+	for i := range t.members {
+		names[i] = t.members[i].name
+	}
+	return Placement{points: t.points, names: names, replication: r.replication}
+}
+
+// Len returns the snapshot's member count.
+func (p Placement) Len() int { return len(p.names) }
+
+// Names returns the snapshot's member names in registration order.
+// The caller must not mutate the returned slice.
+func (p Placement) Names() []string { return p.names }
+
+// Replication returns the placement copies per key under this snapshot.
+func (p Placement) Replication() int { return p.replication }
+
+// OwnersInto fills dst with the names of key's owners, primary first,
+// and returns how many it wrote: min(len(dst), replication, members).
+// This is the allocation-free core of Owners for tight diff loops.
+func (p Placement) OwnersInto(key string, dst []string) int {
+	nm := len(p.names)
+	if nm == 0 || len(dst) == 0 {
+		return 0
+	}
+	want := p.replication
+	if want > nm {
+		want = nm
+	}
+	if want > len(dst) {
+		want = len(dst)
+	}
+	pts := p.points
+	hash := consistenthash.KeyHash(key)
+	start := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= hash })
+	n := 0
+walk:
+	for j := 0; j < len(pts) && n < want; j++ {
+		name := p.names[pts[(start+j)%len(pts)].owner]
+		for i := 0; i < n; i++ {
+			if dst[i] == name {
+				continue walk
+			}
+		}
+		dst[n] = name
+		n++
+	}
+	return n
+}
+
+// Owners returns the names of key's owners under this snapshot, primary
+// first (at most Replication; nil on an empty snapshot).
+func (p Placement) Owners(key string) []string {
+	nm := len(p.names)
+	if nm == 0 {
+		return nil
+	}
+	rr := p.replication
+	if rr > nm {
+		rr = nm
+	}
+	dst := make([]string, rr)
+	return dst[:p.OwnersInto(key, dst)]
+}
+
+// SameOwners reports whether key has an identical ordered owner set
+// under p and q — the "no migration needed" test of a remap diff. It
+// allocates nothing for replication factors up to 4.
+func (p Placement) SameOwners(q Placement, key string) bool {
+	var pb, qb [4]string
+	var ps, qs []string
+	if p.replication <= len(pb) {
+		ps = pb[:min(p.replication, len(p.names))]
+	} else {
+		ps = make([]string, min(p.replication, len(p.names)))
+	}
+	if q.replication <= len(qb) {
+		qs = qb[:min(q.replication, len(q.names))]
+	} else {
+		qs = make([]string, min(q.replication, len(q.names)))
+	}
+	pn := p.OwnersInto(key, ps)
+	qn := q.OwnersInto(key, qs)
+	if pn != qn {
+		return false
+	}
+	for i := 0; i < pn; i++ {
+		if ps[i] != qs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // keyShares returns each member's primary-ownership fraction of the
 // hash space: point i owns the arc (hash[i-1], hash[i]], wrapping.
 func (t *table[K, T]) keyShares() []float64 {

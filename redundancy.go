@@ -76,6 +76,7 @@ import (
 	"time"
 
 	"redundancy/internal/core"
+	"redundancy/internal/repair"
 	"redundancy/internal/ring"
 )
 
@@ -426,3 +427,39 @@ func WithRingBudget(b *Budget) RingOption { return ring.WithBudget(b) }
 
 // WithRingObserver attaches an Observer to a Ring's call engine.
 func WithRingObserver(o Observer) RingOption { return ring.WithObserver(o) }
+
+// RingPlacement is an immutable, non-generic snapshot of a Ring's
+// routing decision — which members own which key under one frozen
+// topology. Capture one before and one after a topology change and
+// diff with SameOwners to enumerate the keys that must migrate.
+type RingPlacement = ring.Placement
+
+// ---- Convergence subsystem (internal/repair over the memkv data plane) ----
+//
+// The repair layer makes the redundancy the paper assumes — every
+// replica in a key's placement actually holding the data — true again
+// after failures and topology changes: write-time hinted handoff,
+// asynchronous read repair, and a governed anti-entropy migrator. It
+// operates on the sharded memkv store (the repo's live data plane) and
+// is exercised end to end by the selfheal example and the ablrebalance
+// experiment; the aliases below surface its configuration and stats.
+
+// RepairManager is the convergence worker: it implements the sharded
+// store's repair sink, queueing missed writes as bounded hints replayed
+// with backoff, pushing newest values to stale replicas after divergent
+// quorum reads, and migrating remapped keys after topology changes.
+type RepairManager = repair.Manager
+
+// RepairConfig configures a RepairManager (hint-queue bounds, batch and
+// scan page sizes, replay backoff, governor gating, auto-rebalance).
+type RepairConfig = repair.Config
+
+// RepairStats is a point-in-time view of a RepairManager's counters.
+type RepairStats = repair.Stats
+
+// RebalanceStats summarizes one anti-entropy migration pass.
+type RebalanceStats = repair.RebalanceStats
+
+// RepairHintKeyPrefix marks durable hint records in shard keyspaces;
+// user keys must not start with it.
+const RepairHintKeyPrefix = repair.HintKeyPrefix
