@@ -116,6 +116,7 @@ func All() []Experiment {
 		{"ablshard", "Ablation: sharded live stack — redundant primary+secondary reads vs load and value size", AblationShard},
 		{"ablmux", "Ablation: outstanding-request ceiling, memkv v1 connection-per-request vs v2 multiplexed wire", AblationMux},
 		{"ablrebalance", "Ablation: live reshard — governed anti-entropy migration, version audit, and read repair", AblationRebalance},
+		{"ablwatch", "Ablation: redundant prefix watch — event delivery p99 single replica vs subscribe-everywhere, exactly-once across a shard kill", AblationWatch},
 	}
 }
 

@@ -123,6 +123,10 @@ type muxConn struct {
 	mu      sync.Mutex
 	tag     uint64
 	waiters map[uint64]*muxWaiter
+	// watches routes server-push frames (opEvent/opWatchEnd) by the
+	// owning watch's tag — the streaming sibling of waiters. Lazily
+	// allocated on the first Watch.
+	watches map[uint64]*WatchStream
 	pending []byte
 	dead    bool
 	err     error
@@ -317,9 +321,17 @@ func (cn *muxConn) fail(cause error) {
 	cn.dead = true
 	cn.err = fmt.Errorf("%w: %v", ErrMuxConnLost, cause)
 	cn.waiters = nil
+	ws := cn.watches
+	cn.watches = nil
 	cn.mu.Unlock()
 	close(cn.done)
 	cn.c.Close()
+	for _, st := range ws {
+		// Streams on a dead connection end with the conn-lost error so
+		// their consumers know to resubscribe (events in the gap are
+		// gone; the redundant sharded watch covers it).
+		st.end(cn.err)
+	}
 	if cn.owner != nil {
 		// Hand the stripe to the background redialer immediately rather
 		// than waiting for the next request to trip over the dead conn.
@@ -357,9 +369,10 @@ func (cn *muxConn) start(reqs []frame, ws []*muxWaiter) error {
 	return nil
 }
 
-// reader demuxes response frames to their tag's waiter. A frame whose
-// tag has no waiter was cancelled or timed out after the request went
-// out: the response is discarded and the connection lives on.
+// reader demuxes response frames to their tag's waiter, and server-push
+// frames (opEvent/opWatchEnd) to their tag's watch stream. A frame
+// whose tag has no waiter was cancelled or timed out after the request
+// went out: the response is discarded and the connection lives on.
 func (cn *muxConn) reader() {
 	r := bufio.NewReaderSize(cn.c, 64<<10)
 	for {
@@ -367,6 +380,19 @@ func (cn *muxConn) reader() {
 		if err := readFrame(r, &f); err != nil {
 			cn.fail(err)
 			return
+		}
+		if f.op == opEvent || f.op == opWatchEnd {
+			cn.mu.Lock()
+			st := cn.watches[f.tag]
+			if st != nil && f.op == opWatchEnd {
+				// The terminal frame: nothing more arrives on this tag.
+				delete(cn.watches, f.tag)
+			}
+			cn.mu.Unlock()
+			if st != nil {
+				st.deliver(&f) // non-blocking by contract
+			}
+			continue
 		}
 		cn.mu.Lock()
 		w := cn.waiters[f.tag]

@@ -1,0 +1,284 @@
+package memkv
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+// This file is the client half of the streaming surface: CAS requests
+// (ordinary request/response frames) and watch streams — the first
+// server-push traffic the mux carries. A watch rides the same tag space
+// as requests: the opWatch frame's tag becomes the stream's identity,
+// and every opEvent the server pushes carries it. The reader goroutine
+// demuxes events to a per-watch channel exactly as it demuxes responses
+// to waiters; a slow consumer is disconnected rather than allowed to
+// head-of-line-block the connection every other request shares.
+
+// ErrWatchClosed reports a watch stream the server ended deliberately
+// (session shutdown path) rather than for slowness or connection loss.
+var ErrWatchClosed = errors.New("memkv: watch closed by server")
+
+// WatchStream is one live prefix subscription on a MuxClient. Consume
+// Events until it closes, then check Err for why: nil after a local
+// Close, ErrSlowWatcher if the consumer fell behind, ErrWatchClosed if
+// the server ended it, an ErrMuxConnLost-wrapping error if the
+// connection died (redial and re-Watch to resume — events between loss
+// and resubscription are gone; the redundant sharded watch exists to
+// cover exactly that gap with the other replicas).
+type WatchStream struct {
+	cn     *muxConn
+	tag    uint64
+	prefix string
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+	ch     chan WatchEvent
+	done   chan struct{}
+}
+
+// Events returns the stream's event channel, closed when the stream
+// ends.
+func (s *WatchStream) Events() <-chan WatchEvent { return s.ch }
+
+// Prefix returns the watched key prefix.
+func (s *WatchStream) Prefix() string { return s.prefix }
+
+// Done returns a channel closed when the stream ends (for select
+// without consuming events).
+func (s *WatchStream) Done() <-chan struct{} { return s.done }
+
+// Err reports why the stream ended (nil while live or after Close).
+func (s *WatchStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close ends the stream and tells the server (best effort) to drop the
+// subscription. Idempotent.
+func (s *WatchStream) Close() { s.closeAndUnwatch(nil) }
+
+// end closes the stream locally with err, reporting whether this call
+// did it.
+func (s *WatchStream) end(err error) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.closed = true
+	s.err = err
+	close(s.ch)
+	close(s.done)
+	s.mu.Unlock()
+	return true
+}
+
+// closeAndUnwatch ends the stream locally and enqueues a fire-and-forget
+// opUnwatch so the server releases the subscription (skipped if the
+// connection is already dead). The opUnwatched ack arrives with no
+// waiter registered and is discarded — the mux cancellation idiom.
+func (s *WatchStream) closeAndUnwatch(err error) {
+	if !s.end(err) {
+		return
+	}
+	cn := s.cn
+	cn.mu.Lock()
+	if cn.watches != nil {
+		delete(cn.watches, s.tag)
+	}
+	dead := cn.dead
+	if !dead {
+		cn.tag++
+		var tb [8]byte
+		binary.BigEndian.PutUint64(tb[:], s.tag)
+		cn.pending = appendFrame(cn.pending, &frame{op: opUnwatch, tag: cn.tag, val: tb[:]})
+	}
+	cn.mu.Unlock()
+	if !dead {
+		select {
+		case cn.flushC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// deliver routes one server-push frame (opEvent or opWatchEnd) into the
+// stream. It runs on the connection's reader goroutine and must not
+// block: a full event buffer disconnects this stream instead of
+// stalling every request and watch sharing the connection.
+func (s *WatchStream) deliver(f *frame) {
+	if f.op == opWatchEnd {
+		err := ErrWatchClosed
+		if f.aux == watchEndSlow {
+			err = ErrSlowWatcher
+		}
+		s.end(err)
+		return
+	}
+	ver, ttl, data, derr := decodeVerPayload(f.val)
+	if derr != nil {
+		s.closeAndUnwatch(derr)
+		return
+	}
+	ev := WatchEvent{Type: EventType(f.aux), Key: f.key, Value: data, Version: ver, TTLSecs: ttl}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	ok := false
+	select {
+	case s.ch <- ev:
+		ok = true
+	default:
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.closeAndUnwatch(ErrSlowWatcher)
+	}
+}
+
+// startWatch assigns a tag, registers both the response waiter and the
+// stream's event route under one lock acquisition, and enqueues the
+// opWatch frame. Registering the route before the frame is on the wire
+// means no event can arrive unroutable, however fast the server pushes
+// after opWatchOK.
+func (cn *muxConn) startWatch(req frame, st *WatchStream) (*muxWaiter, uint64, error) {
+	cn.mu.Lock()
+	if cn.dead {
+		err := cn.err
+		cn.mu.Unlock()
+		if err == nil {
+			err = ErrMuxConnLost
+		}
+		return nil, 0, err
+	}
+	cn.tag++
+	req.tag = cn.tag
+	st.tag = cn.tag
+	w := muxWaiterPool.Get().(*muxWaiter)
+	cn.waiters[cn.tag] = w
+	if cn.watches == nil {
+		cn.watches = make(map[uint64]*WatchStream)
+	}
+	cn.watches[cn.tag] = st
+	cn.pending = appendFrame(cn.pending, &req)
+	cn.mu.Unlock()
+	select {
+	case cn.flushC <- struct{}{}:
+	default:
+	}
+	return w, req.tag, nil
+}
+
+// Watch opens a prefix subscription on one of the client's connections
+// and returns its stream once the server acknowledges it. buf sizes the
+// client-side event buffer (non-positive = DefaultWatchBuffer) and is
+// also requested as the server-side buffer. The stream ends when ctx is
+// cancelled, Close is called, the consumer falls behind, or the
+// connection dies — it does NOT resubscribe on its own (the sharded
+// layer owns that policy).
+func (m *MuxClient) Watch(ctx context.Context, prefix string, buf int) (*WatchStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cn, err := m.conn(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if buf < 1 {
+		buf = DefaultWatchBuffer
+	}
+	if buf > maxWatchBuffer {
+		buf = maxWatchBuffer
+	}
+	st := &WatchStream{cn: cn, prefix: prefix, ch: make(chan WatchEvent, buf), done: make(chan struct{})}
+	w, tag, err := cn.startWatch(frame{op: opWatch, key: prefix, aux: uint32(buf)}, st)
+	if err != nil {
+		return nil, err
+	}
+	var tm core.WheelTimer
+	if m.timeout > 0 {
+		tm = core.SharedWheel().AfterFunc(m.timeout, muxTimeoutFired, cn, int64(tag))
+	}
+	select {
+	case fr := <-w.ch:
+		tm.Stop()
+		muxWaiterPool.Put(w)
+		switch fr.op {
+		case opWatchOK:
+			if ctx.Done() != nil {
+				go func() {
+					select {
+					case <-ctx.Done():
+						st.closeAndUnwatch(context.Cause(ctx))
+					case <-st.done:
+					}
+				}()
+			}
+			return st, nil
+		case opTimeout:
+			err := fmt.Errorf("%w after %v", ErrMuxTimeout, m.timeout)
+			st.closeAndUnwatch(err)
+			return nil, err
+		case opErr:
+			err := fmt.Errorf("memkv: server error: %s", fr.val)
+			st.closeAndUnwatch(err)
+			return nil, err
+		default:
+			err := fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+			st.closeAndUnwatch(err)
+			return nil, err
+		}
+	case <-ctx.Done():
+		tm.Stop()
+		cn.abandon(tag, w)
+		st.closeAndUnwatch(ctx.Err())
+		return nil, ctx.Err()
+	case <-cn.done:
+		tm.Stop()
+		err := cn.lostErr()
+		st.end(err)
+		return nil, err
+	}
+}
+
+// CAS stores value under key only if the stored version equals expect
+// (0 = create if absent; an expired key counts as absent). On success
+// applied is true and current is the freshly minted version; on
+// conflict applied is false and current is the version the server
+// holds (0 if absent) — retry from it if the caller's intent survives
+// a concurrent update.
+func (m *MuxClient) CAS(ctx context.Context, key string, value []byte, ttl time.Duration, expect uint64) (current uint64, applied bool, err error) {
+	if err := validateKey(key); err != nil {
+		return 0, false, err
+	}
+	fr, err := m.do(ctx, frame{op: opCAS, key: key, aux: ttlSeconds(ttl), val: appendVerPayload(nil, expect, 0, value)})
+	if err != nil {
+		return 0, false, err
+	}
+	return frameToCAS(&fr)
+}
+
+func frameToCAS(fr *frame) (current uint64, applied bool, err error) {
+	switch fr.op {
+	case opCASResp:
+		ver, _, _, err := decodeVerPayload(fr.val)
+		if err != nil {
+			return 0, false, err
+		}
+		return ver, fr.aux == 1, nil
+	case opErr:
+		return 0, false, fmt.Errorf("memkv: server error: %s", fr.val)
+	default:
+		return 0, false, fmt.Errorf("memkv: unexpected response op %#x", fr.op)
+	}
+}

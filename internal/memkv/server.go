@@ -36,6 +36,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"redundancy/internal/core"
 )
 
 const (
@@ -65,6 +67,9 @@ type Store struct {
 	// when two writers never read each other.
 	index  atomic.Uint64
 	shards [shardCount]shard
+	// watch fans mutations out to registered prefix watchers (watch.go).
+	// Zero-valued and dormant until the first Watch call.
+	watch watchRegistry
 }
 
 const shardCount = 32
@@ -79,6 +84,57 @@ type item struct {
 	version   uint64
 	data      []byte
 	expiresAt time.Time // zero = never expires
+	// exp is the item's active-expiry timer on the shared wheel (zero =
+	// none armed). The sweeper callback deletes the item at its deadline
+	// and emits an expire watch event, so expired-but-never-read items
+	// stop pinning memory; lazy reap-on-access remains as a backstop for
+	// the window between the deadline and the wheel tick.
+	exp core.WheelTimer
+}
+
+// expireRec is the static-callback argument for active expiry: which
+// store and key the timer concerns. The armed version rides in the
+// callback's int64 slot, so a timer surviving its item's overwrite
+// fires as a no-op instead of killing the successor.
+type expireRec struct {
+	s   *Store
+	key string
+}
+
+// storeExpireFired is the shared wheel's expiry callback (static
+// function + expireRec, the wheel's no-closure idiom).
+func storeExpireFired(c any, i int64) {
+	r := c.(*expireRec)
+	r.s.expireFired(r.key, uint64(i))
+}
+
+// armExpiry schedules active expiry for (key, version) after d.
+func (s *Store) armExpiry(key string, ver uint64, d time.Duration) core.WheelTimer {
+	return core.SharedWheel().AfterFunc(d, storeExpireFired, &expireRec{s: s, key: key}, int64(ver))
+}
+
+// expireFired runs on the wheel goroutine at an item's expiry deadline.
+// The version check makes stale timers harmless: an overwrite between
+// arm and fire changed the version, so the timer does nothing. A timer
+// that fired early — the wheel clamps deltas beyond its ~262s horizon —
+// re-arms for the remainder instead of expiring the item prematurely.
+func (s *Store) expireFired(key string, ver uint64) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	it, ok := sh.m[key]
+	if !ok || it.version != ver || it.expiresAt.IsZero() {
+		sh.mu.Unlock()
+		return
+	}
+	if left := time.Until(it.expiresAt); left > 0 {
+		it.exp = s.armExpiry(key, ver, left)
+		sh.m[key] = it
+		sh.mu.Unlock()
+		return
+	}
+	delete(sh.m, key)
+	s.watch.notify(WatchEvent{Type: EventExpire, Key: key, Version: ver})
+	sh.mu.Unlock()
 }
 
 // NewStore returns an empty store.
@@ -135,9 +191,10 @@ func (s *Store) Set(key string, flags uint32, value []byte) {
 	s.SetTTL(key, flags, value, 0)
 }
 
-// SetTTL stores value under key, expiring after ttl (0 = never). Expiry is
-// lazy: expired items are reaped on access, as in memcached. The write is
-// assigned a fresh version from the store's index.
+// SetTTL stores value under key, expiring after ttl (0 = never). Expiry
+// is active — a shared-wheel timer reaps the item at its deadline and
+// notifies watchers — with lazy reap-on-access as the backstop. The
+// write is assigned a fresh version from the store's index.
 func (s *Store) SetTTL(key string, flags uint32, value []byte, ttl time.Duration) {
 	var exp time.Time
 	if ttl > 0 {
@@ -146,8 +203,27 @@ func (s *Store) SetTTL(key string, flags uint32, value []byte, ttl time.Duration
 	ver := s.tick()
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	sh.m[key] = item{flags: flags, version: ver, data: append([]byte(nil), value...), expiresAt: exp}
+	if old, ok := sh.m[key]; ok {
+		old.exp.Stop()
+	}
+	it := item{flags: flags, version: ver, data: append([]byte(nil), value...), expiresAt: exp}
+	if ttl > 0 {
+		it.exp = s.armExpiry(key, ver, ttl)
+	}
+	sh.m[key] = it
+	s.watch.notify(WatchEvent{Type: EventPut, Key: key, Value: it.data, Version: ver, TTLSecs: ttlEventSecs(ttl)})
 	sh.mu.Unlock()
+}
+
+// ttlEventSecs renders a write's TTL for its watch event: whole seconds
+// rounded up (0 = never). This is the TTL as written, not a remaining
+// TTL, so rounding up cannot compound — unlike the read path, which
+// floors (see GetVersion).
+func ttlEventSecs(ttl time.Duration) uint32 {
+	if ttl <= 0 {
+		return 0
+	}
+	return uint32((ttl + time.Second - 1) / time.Second)
 }
 
 // PutVersion applies a replicated write carrying an explicit version: the
@@ -172,15 +248,69 @@ func (s *Store) PutVersion(key string, flags uint32, value []byte, ttl time.Dura
 		sh.mu.Unlock()
 		return cur.version, false
 	}
-	sh.m[key] = item{flags: flags, version: version, data: append([]byte(nil), value...), expiresAt: exp}
+	cur.exp.Stop() // zero handle when absent: no-op
+	it := item{flags: flags, version: version, data: append([]byte(nil), value...), expiresAt: exp}
+	if ttl > 0 {
+		it.exp = s.armExpiry(key, version, ttl)
+	}
+	sh.m[key] = it
+	s.watch.notify(WatchEvent{Type: EventPut, Key: key, Value: it.data, Version: version, TTLSecs: ttlEventSecs(ttl)})
 	sh.mu.Unlock()
 	return version, true
 }
 
-// GetVersion is Get plus the stored version and the remaining TTL
-// (rounded up to whole seconds; 0 = no expiry) — the read-side surface
+// CompareAndSwap stores value under key only if the stored version
+// equals expect — expect 0 means "create if absent" (an expired or
+// deleted key counts as absent). On success it mints and returns a
+// fresh version with applied true; on conflict it returns the version
+// currently held (0 if absent) with applied false. The conditional is
+// atomic under the key's shard lock, so of N racing writers carrying
+// the same expect exactly one wins; the rest observe the winner's
+// version and can retry from it.
+func (s *Store) CompareAndSwap(key string, flags uint32, value []byte, ttl time.Duration, expect uint64) (current uint64, applied bool) {
+	var exp time.Time
+	if ttl > 0 {
+		exp = time.Now().Add(ttl)
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	cur, ok := sh.m[key]
+	if ok && !cur.expiresAt.IsZero() && time.Now().After(cur.expiresAt) {
+		ok = false
+	}
+	var curVer uint64
+	if ok {
+		curVer = cur.version
+	}
+	if curVer != expect {
+		sh.mu.Unlock()
+		return curVer, false
+	}
+	ver := s.tick()
+	cur.exp.Stop()
+	it := item{flags: flags, version: ver, data: append([]byte(nil), value...), expiresAt: exp}
+	if ttl > 0 {
+		it.exp = s.armExpiry(key, ver, ttl)
+	}
+	sh.m[key] = it
+	s.watch.notify(WatchEvent{Type: EventPut, Key: key, Value: it.data, Version: ver, TTLSecs: ttlEventSecs(ttl)})
+	sh.mu.Unlock()
+	return ver, true
+}
+
+// GetVersion is Get plus the stored version and the remaining TTL in
+// whole seconds, floored (0 = no expiry) — the read-side surface
 // replica convergence needs: a repair or migration push preserves both
 // the version and the expiry of what it copies.
+//
+// The floor matters: this value is re-applied relative-to-now at every
+// repair, hint-replay, and migration hop, so rounding it UP (as this
+// function once did, with a 1s minimum) let each hop extend the key's
+// life — a key bouncing through repair often enough never expired.
+// Flooring makes every hop shrink the remaining TTL or keep it, never
+// grow it; the last sub-second of a key's life is forfeited instead
+// (an item with <1s remaining reads as absent — the sweeper, not this
+// read, reaps it at the true deadline).
 func (s *Store) GetVersion(key string) (value []byte, flags uint32, version uint64, ttlSecs uint32, ok bool) {
 	sh := s.shardFor(key)
 	sh.mu.RLock()
@@ -192,19 +322,32 @@ func (s *Store) GetVersion(key string) (value []byte, flags uint32, version uint
 	if !it.expiresAt.IsZero() {
 		left := time.Until(it.expiresAt)
 		if left <= 0 {
-			sh.mu.Lock()
-			if cur, still := sh.m[key]; still && !cur.expiresAt.IsZero() && time.Now().After(cur.expiresAt) {
-				delete(sh.m, key)
-			}
-			sh.mu.Unlock()
+			s.reapExpired(key)
 			return nil, 0, 0, 0, false
 		}
-		ttlSecs = uint32((left + time.Second - 1) / time.Second)
-		if ttlSecs == 0 {
-			ttlSecs = 1
+		if left < time.Second {
+			// Dying in under a second: absent to versioned readers, but
+			// not reaped — the sweeper owns the true deadline.
+			return nil, 0, 0, 0, false
 		}
+		ttlSecs = uint32(left / time.Second)
 	}
 	return it.data, it.flags, it.version, ttlSecs, true
+}
+
+// reapExpired removes key if it is (still) past its deadline, emitting
+// the expire watch event — the lazy-expiry backstop shared by the read
+// paths. Re-checks under the write lock: the item may have been
+// replaced with a fresh value since the caller's read.
+func (s *Store) reapExpired(key string) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	if cur, still := sh.m[key]; still && !cur.expiresAt.IsZero() && time.Now().After(cur.expiresAt) {
+		delete(sh.m, key)
+		cur.exp.Stop()
+		s.watch.notify(WatchEvent{Type: EventExpire, Key: key, Version: cur.version})
+	}
+	sh.mu.Unlock()
 }
 
 // ScanEntry is one key's snapshot in a Scan page.
@@ -228,38 +371,108 @@ const scanMaxBytes = 1 << 20
 // while writes proceed. A page also ends early once its values exceed
 // scanMaxBytes (always returning at least one entry). Entries are
 // point-in-time per key, not a consistent snapshot of the store.
+//
+// The sweep is bounded: a size-limit max-heap keeps only the limit
+// smallest candidate keys, so a page allocates O(limit) and compares
+// O(n) — not the copy-every-key-and-sort O(n log n) per page that made
+// a full enumeration of a large store quadratic.
 func (s *Store) Scan(after string, limit int) (entries []ScanEntry, more bool) {
 	if limit < 1 {
 		limit = 1
 	}
-	var keys []string
+	for {
+		keys, overflow := s.scanKeys(after, limit)
+		if len(keys) == 0 {
+			return entries, false
+		}
+		bytes := 0
+		for _, k := range keys {
+			val, flags, ver, ttl, ok := s.GetVersion(k)
+			if !ok {
+				continue // expired or deleted since the key sweep
+			}
+			if len(entries) > 0 && bytes+len(val) > scanMaxBytes {
+				return entries, true
+			}
+			entries = append(entries, ScanEntry{Key: k, Flags: flags, Version: ver, TTLSecs: ttl, Value: val})
+			bytes += len(val)
+		}
+		if len(entries) > 0 {
+			return entries, overflow
+		}
+		// Every selected key died between sweep and fetch. Cursor loops
+		// treat an empty page as end-of-keyspace, so an empty page with
+		// more=true must never escape: advance the cursor past the dead
+		// keys and re-sweep.
+		if !overflow {
+			return nil, false
+		}
+		after = keys[len(keys)-1]
+	}
+}
+
+// scanKeys collects the limit smallest keys strictly greater than after
+// across every shard, returning them in ascending order plus whether
+// any candidate was left out (more pages exist). It maintains a bounded
+// max-heap: a candidate either displaces the current largest kept key
+// or is discarded, so cost is O(n) comparisons and O(limit) space per
+// page regardless of store size.
+func (s *Store) scanKeys(after string, limit int) (keys []string, overflow bool) {
+	h := make([]string, 0, limit)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for k := range sh.m {
-			if k > after {
-				keys = append(keys, k)
+			if k <= after {
+				continue
+			}
+			if len(h) < limit {
+				h = append(h, k)
+				scanHeapUp(h, len(h)-1)
+			} else if k < h[0] {
+				overflow = true
+				h[0] = k
+				scanHeapDown(h)
+			} else {
+				overflow = true
 			}
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Strings(keys)
-	bytes := 0
-	for _, k := range keys {
-		if len(entries) >= limit {
-			return entries, true
+	sort.Strings(h)
+	return h, overflow
+}
+
+// scanHeapUp restores the max-heap property after appending at i.
+func scanHeapUp(h []string, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			return
 		}
-		val, flags, ver, ttl, ok := s.GetVersion(k)
-		if !ok {
-			continue // expired or deleted since the key sweep
-		}
-		if len(entries) > 0 && bytes+len(val) > scanMaxBytes {
-			return entries, true
-		}
-		entries = append(entries, ScanEntry{Key: k, Flags: flags, Version: ver, TTLSecs: ttl, Value: val})
-		bytes += len(val)
+		h[i], h[p] = h[p], h[i]
+		i = p
 	}
-	return entries, false
+}
+
+// scanHeapDown restores the max-heap property after replacing the root.
+func scanHeapDown(h []string) {
+	i, n := 0, len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && h[r] > h[l] {
+			big = r
+		}
+		if h[big] <= h[i] {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
 }
 
 // Get returns the value and flags for key. Expired items are absent (and
@@ -273,26 +486,33 @@ func (s *Store) Get(key string) (value []byte, flags uint32, ok bool) {
 		return nil, 0, false
 	}
 	if !it.expiresAt.IsZero() && time.Now().After(it.expiresAt) {
-		sh.mu.Lock()
-		// Re-check under the write lock: the item may have been replaced
-		// with a fresh (unexpired) value since the read.
-		if cur, still := sh.m[key]; still && !cur.expiresAt.IsZero() && time.Now().After(cur.expiresAt) {
-			delete(sh.m, key)
-		}
-		sh.mu.Unlock()
+		s.reapExpired(key)
 		return nil, 0, false
 	}
 	return it.data, it.flags, true
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether a live value was present. An
+// expired-but-unreaped item is reaped (with an expire event, not a
+// delete event) and reported absent.
 func (s *Store) Delete(key string) bool {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	_, ok := sh.m[key]
+	it, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		return false
+	}
 	delete(sh.m, key)
+	it.exp.Stop()
+	if !it.expiresAt.IsZero() && time.Now().After(it.expiresAt) {
+		s.watch.notify(WatchEvent{Type: EventExpire, Key: key, Version: it.version})
+		sh.mu.Unlock()
+		return false
+	}
+	s.watch.notify(WatchEvent{Type: EventDelete, Key: key, Version: it.version})
 	sh.mu.Unlock()
-	return ok
+	return true
 }
 
 // Len returns the total number of stored keys.
@@ -552,6 +772,8 @@ func (s *Server) serveText(conn net.Conn, r *bufio.Reader) {
 			fmt.Fprintf(w, "STAT curr_items %d\r\n", s.store.Len())
 			fmt.Fprintf(w, "STAT aborted_ops %d\r\n", s.aborted.Load())
 			fmt.Fprintf(w, "STAT stale_puts %d\r\n", s.stalePuts.Load())
+			fmt.Fprintf(w, "STAT watchers %d\r\n", s.store.Watchers())
+			fmt.Fprintf(w, "STAT watch_disconnects %d\r\n", s.store.WatchDisconnects())
 			w.WriteString("END\r\n")
 		case "quit":
 			w.Flush()

@@ -2,6 +2,7 @@ package memkv
 
 import (
 	"bufio"
+	"encoding/binary"
 	"net"
 	"sync"
 	"time"
@@ -41,10 +42,22 @@ type muxSession struct {
 	mu      sync.Mutex
 	pending []byte
 	closed  bool
+	// watches maps a watch's identity — the tag of the opWatch frame
+	// that opened it — to its store-side subscription. Each entry has a
+	// pump goroutine moving store events into the pending buffer.
+	watches map[uint64]*StoreWatch
 
 	flushC chan struct{}
 	done   chan struct{}
 }
+
+// muxWatchBacklogCap bounds the un-flushed response bytes a session may
+// accumulate before its watches are treated as slow consumers: a client
+// that stops reading its socket must shed its watches rather than grow
+// the pending buffer without bound. Request/response traffic is bounded
+// by the client's in-flight window; only server-push events are not,
+// which is why the cap is enforced on the event path alone.
+const muxWatchBacklogCap = 4 << 20
 
 // serveMux runs the v2 frame loop on a connection whose first byte
 // identified it as framed. It returns when the connection dies; delayed
@@ -180,8 +193,108 @@ func (m *muxSession) exec(f *frame) {
 			resp.aux = 1
 		}
 		m.pending = appendFrame(m.pending, &resp)
+	case opCAS:
+		if f.key == "" {
+			m.pending = appendErrFrame(m.pending, f.tag, "cas requires a key")
+			break
+		}
+		expect, _, data, err := decodeVerPayload(f.val)
+		if err != nil {
+			m.pending = appendErrFrame(m.pending, f.tag, "cas requires a versioned payload")
+			break
+		}
+		s.cmdSet.Add(1)
+		cur, applied := s.store.CompareAndSwap(f.key, 0, data, time.Duration(f.aux)*time.Second, expect)
+		resp := frame{op: opCASResp, tag: f.tag, val: appendVerPayload(nil, cur, 0, nil)}
+		if applied {
+			resp.aux = 1
+		}
+		m.pending = appendFrame(m.pending, &resp)
+	case opWatch:
+		if m.watches == nil {
+			m.watches = make(map[uint64]*StoreWatch)
+		}
+		if _, dup := m.watches[f.tag]; dup {
+			m.pending = appendErrFrame(m.pending, f.tag, "watch tag %d already in use", f.tag)
+			break
+		}
+		sw := s.store.Watch(f.key, int(f.aux))
+		m.watches[f.tag] = sw
+		m.pending = appendFrame(m.pending, &frame{op: opWatchOK, tag: f.tag, aux: uint32(cap(sw.ch))})
+		go m.pumpWatch(f.tag, sw)
+	case opUnwatch:
+		if len(f.val) != 8 {
+			m.pending = appendErrFrame(m.pending, f.tag, "unwatch requires a watch tag")
+			break
+		}
+		wtag := binary.BigEndian.Uint64(f.val)
+		if sw := m.watches[wtag]; sw != nil {
+			// Close the store watch; its pump drains any buffered events
+			// and then emits the opWatchEnd for wtag. Unwatching an
+			// unknown tag is a no-op ack (the watch may have just ended).
+			sw.Close()
+		}
+		m.pending = appendFrame(m.pending, &frame{op: opUnwatched, tag: f.tag})
 	default:
 		m.pending = appendErrFrame(m.pending, f.tag, "unknown op %#x", f.op)
+	}
+	m.mu.Unlock()
+	select {
+	case m.flushC <- struct{}{}:
+	default:
+	}
+}
+
+// pumpWatch moves one watch's store events into the session's pending
+// buffer, then emits the stream's terminal opWatchEnd. It is the only
+// goroutine the watch path holds per subscription, and it spends its
+// life parked on the event channel — the store's notify side never
+// blocks on this session (bounded channel, non-blocking send).
+func (m *muxSession) pumpWatch(tag uint64, sw *StoreWatch) {
+	for ev := range sw.Events() {
+		if !m.pushEvent(tag, &ev) {
+			// Session backlog over cap (or session closed): shed this
+			// watch rather than buffer without bound. Buffered events
+			// after the gap are discarded — the stream is ending anyway.
+			sw.closeWith(ErrSlowWatcher)
+			break
+		}
+	}
+	reason := uint32(watchEndClosed)
+	if sw.Err() != nil {
+		reason = watchEndSlow
+	}
+	m.endWatch(tag, reason)
+}
+
+// pushEvent appends one opEvent frame, reporting false if the session
+// is closed or its write backlog is over muxWatchBacklogCap (the
+// session-level slow-consumer guard; the caller sheds the watch).
+func (m *muxSession) pushEvent(tag uint64, ev *WatchEvent) bool {
+	m.mu.Lock()
+	if m.closed || len(m.pending) > muxWatchBacklogCap {
+		m.mu.Unlock()
+		return false
+	}
+	m.pending = appendFrame(m.pending, &frame{
+		op: opEvent, tag: tag, aux: uint32(ev.Type), key: ev.Key,
+		val: appendVerPayload(nil, ev.Version, ev.TTLSecs, ev.Value),
+	})
+	m.mu.Unlock()
+	select {
+	case m.flushC <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// endWatch removes the watch from the session and sends its terminal
+// opWatchEnd (skipped if the connection already died).
+func (m *muxSession) endWatch(tag uint64, reason uint32) {
+	m.mu.Lock()
+	delete(m.watches, tag)
+	if !m.closed {
+		m.pending = appendFrame(m.pending, &frame{op: opWatchEnd, tag: tag, aux: reason})
 	}
 	m.mu.Unlock()
 	select {
@@ -220,7 +333,9 @@ func (m *muxSession) flusher() {
 }
 
 // shutdown marks the session closed (idempotent): parked delayed
-// requests become aborts at fire time, and the flusher exits.
+// requests become aborts at fire time, the flusher exits, and every
+// store watch the session held is released (their pumps drain and exit;
+// no opWatchEnd goes out — the connection is gone).
 func (m *muxSession) shutdown() {
 	m.mu.Lock()
 	if m.closed {
@@ -229,7 +344,14 @@ func (m *muxSession) shutdown() {
 	}
 	m.closed = true
 	m.pending = nil
+	ws := make([]*StoreWatch, 0, len(m.watches))
+	for _, sw := range m.watches {
+		ws = append(ws, sw)
+	}
 	m.mu.Unlock()
 	close(m.done)
 	m.conn.Close()
+	for _, sw := range ws {
+		sw.Close()
+	}
 }

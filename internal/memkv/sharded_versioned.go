@@ -169,6 +169,23 @@ func (sc *ShardedClient) PutVersionAt(ctx context.Context, key string, value []b
 	if q > len(owners) {
 		q = len(owners)
 	}
+	return sc.replicateVersion(ctx, key, value, ttl, version, owners, q)
+}
+
+// replicateVersion pushes an already-versioned value to owners and
+// returns once q of them acked (q <= 0 returns immediately — used by
+// CAS, whose primary ack already satisfied a quorum of 1). Every copy
+// runs to completion detached from the caller (bounded by
+// versionedStragglerTimeout); each copy that ultimately fails becomes a
+// WriteMissed hint. This is the shared durability tail of PutVersioned,
+// PutVersionAt, and CAS.
+func (sc *ShardedClient) replicateVersion(ctx context.Context, key string, value []byte, ttl time.Duration, version uint64, owners []string, q int) error {
+	if len(owners) == 0 {
+		return nil
+	}
+	if q > len(owners) {
+		q = len(owners)
+	}
 	results := make(chan error, len(owners))
 	for _, addr := range owners {
 		go func(addr string) {

@@ -47,6 +47,15 @@ const (
 	opGetV = 0x84 // key
 	opPutV = 0x85 // key, val = version payload (see verPayload)
 	opScan = 0x86 // key = exclusive start cursor, aux = max entries
+	// Conditional / streaming requests. opCAS writes only if the stored
+	// version equals the expected one (0 = create if absent). opWatch
+	// opens a long-lived prefix subscription: the request's tag becomes
+	// the watch's identity, and the server pushes opEvent frames carrying
+	// that tag until opUnwatch, a slow-consumer disconnect, or the
+	// connection dies — the protocol's first server-initiated frames.
+	opCAS     = 0x87 // key, aux = TTL seconds, val = version payload (version = expected, data = new value)
+	opWatch   = 0x88 // key = prefix (may be empty), aux = event buffer size (0 = server default)
+	opUnwatch = 0x89 // val = u64 tag of the watch to end
 
 	// Response ops.
 	opValue    = 0xC1 // val = stored bytes, aux = flags
@@ -57,10 +66,32 @@ const (
 	opValueV   = 0xC6 // aux = flags, val = version payload
 	opStoredV  = 0xC7 // aux = 1 if the put applied, val = current version payload (no data)
 	opScanResp = 0xC8 // aux = 1 if more pages remain, val = packed scan entries
+	opCASResp  = 0xC9 // aux = 1 if the swap applied, val = current version payload (no data)
+	opWatchOK  = 0xCA // aux = granted event buffer size
+	// opEvent is a server-push frame: tag = the owning watch's tag, aux =
+	// event type (EventPut/EventDelete/EventExpire), key = the mutated
+	// key, val = version payload (version, remaining TTL, value bytes —
+	// empty for delete/expire).
+	opEvent = 0xCB
+	// opWatchEnd terminates a watch stream: tag = the watch's tag, aux =
+	// a watchEnd* reason. Sent exactly once per established watch, after
+	// its last opEvent.
+	opWatchEnd  = 0xCC
+	opUnwatched = 0xCD // ack for opUnwatch (by the opUnwatch request's own tag)
 
 	// opTimeout is an internal sentinel delivered to a waiter whose
 	// request timed out; it never appears on the wire (no high bit).
 	opTimeout = 0x01
+)
+
+// opWatchEnd reasons.
+const (
+	// watchEndClosed: the client unwatched, or the server shut the
+	// session down cleanly.
+	watchEndClosed = 1
+	// watchEndSlow: the watcher fell behind its event buffer (or the
+	// session's write backlog) and was disconnected; events were lost.
+	watchEndSlow = 2
 )
 
 // Frame decode errors. Truncated input surfaces as io.ErrUnexpectedEOF

@@ -129,6 +129,7 @@ type Stats struct {
 	HintsQueued    int64 // hints accepted into the queue
 	HintsReplayed  int64 // hints that landed at their owner (or rerouted)
 	HintsDropped   int64 // oldest-dropped at the entry/byte caps
+	HintsExpired   int64 // hints discarded because their TTL deadline passed
 	HintsPersisted int64 // durable hint records written
 	HintsRecovered int64 // hints re-queued from durable records
 	HintsPending   int64 // currently queued
@@ -138,12 +139,14 @@ type Stats struct {
 	DivergenceDropped  int64 // reports dropped on a full repair queue
 	RepairsPushed      int64 // stale copies successfully repaired
 	RepairsFailed      int64 // repair pushes that errored
+	RepairsExpired     int64 // repairs skipped because the value's deadline passed
 	// Anti-entropy migration.
-	Rebalances   int64 // Rebalance passes completed
-	KeysScanned  int64 // entries seen by migration scans
-	KeysMigrated int64 // entries pushed to at least one new owner
-	MigrateStale int64 // migration puts refused as stale (already newer)
-	MigrateErrs  int64 // migration put/scan errors
+	Rebalances     int64 // Rebalance passes completed
+	KeysScanned    int64 // entries seen by migration scans
+	KeysMigrated   int64 // entries pushed to at least one new owner
+	MigrateStale   int64 // migration puts refused as stale (already newer)
+	MigrateExpired int64 // migration puts skipped because the entry expired in flight
+	MigrateErrs    int64 // migration put/scan errors
 }
 
 // Manager is the convergence worker: install it on a ShardedClient with
@@ -169,29 +172,36 @@ type Manager struct {
 	started bool
 	closed  bool
 
-	stDivergeObs  atomic.Int64
-	stDivergeDrop atomic.Int64
-	stRepairOK    atomic.Int64
-	stRepairErr   atomic.Int64
-	stRebalances  atomic.Int64
-	stScanned     atomic.Int64
-	stMigrated    atomic.Int64
-	stStale       atomic.Int64
-	stMigErrs     atomic.Int64
-	stReplayed    atomic.Int64
-	stPersisted   atomic.Int64
-	stRecovered   atomic.Int64
+	stDivergeObs   atomic.Int64
+	stDivergeDrop  atomic.Int64
+	stRepairOK     atomic.Int64
+	stRepairErr    atomic.Int64
+	stRepairExp    atomic.Int64
+	stRebalances   atomic.Int64
+	stScanned      atomic.Int64
+	stMigrated     atomic.Int64
+	stStale        atomic.Int64
+	stMigExpired   atomic.Int64
+	stMigErrs      atomic.Int64
+	stReplayed     atomic.Int64
+	stHintsExpired atomic.Int64
+	stPersisted    atomic.Int64
+	stRecovered    atomic.Int64
 }
 
 var _ memkv.RepairSink = (*Manager)(nil)
 
-// divergeItem is one queued read-repair unit.
+// divergeItem is one queued read-repair unit. The TTL observed at
+// report time is stored as an absolute deadline so the push — which may
+// run arbitrarily later under the governor — re-derives the remaining
+// TTL instead of re-applying the original and extending the key's life
+// on every hop.
 type divergeItem struct {
-	key     string
-	value   []byte
-	version uint64
-	ttl     time.Duration
-	owners  []string
+	key      string
+	value    []byte
+	version  uint64
+	deadline time.Time // zero = no expiry
+	owners   []string
 }
 
 // NewManager builds a Manager over sc. The caller wires it up with
@@ -263,6 +273,7 @@ func (m *Manager) Stats() Stats {
 		HintsQueued:        queued,
 		HintsReplayed:      m.stReplayed.Load(),
 		HintsDropped:       dropped,
+		HintsExpired:       m.stHintsExpired.Load(),
 		HintsPersisted:     m.stPersisted.Load(),
 		HintsRecovered:     m.stRecovered.Load(),
 		HintsPending:       pending,
@@ -271,10 +282,12 @@ func (m *Manager) Stats() Stats {
 		DivergenceDropped:  m.stDivergeDrop.Load(),
 		RepairsPushed:      m.stRepairOK.Load(),
 		RepairsFailed:      m.stRepairErr.Load(),
+		RepairsExpired:     m.stRepairExp.Load(),
 		Rebalances:         m.stRebalances.Load(),
 		KeysScanned:        m.stScanned.Load(),
 		KeysMigrated:       m.stMigrated.Load(),
 		MigrateStale:       m.stStale.Load(),
+		MigrateExpired:     m.stMigExpired.Load(),
 		MigrateErrs:        m.stMigErrs.Load(),
 	}
 }
@@ -290,11 +303,11 @@ func (m *Manager) WriteMissed(key string, value []byte, version uint64, ttl time
 		return
 	}
 	m.hints.push(&hint{
-		key:     key,
-		value:   append([]byte(nil), value...),
-		version: version,
-		ttl:     ttl,
-		owner:   owner,
+		key:      key,
+		value:    append([]byte(nil), value...),
+		version:  version,
+		deadline: deadlineFromTTL(ttl),
+		owner:    owner,
 	})
 }
 
@@ -304,11 +317,11 @@ func (m *Manager) WriteMissed(key string, value []byte, version uint64, ttl time
 func (m *Manager) Divergence(key string, value []byte, version uint64, ttlSecs uint32, staleOwners []string) {
 	m.stDivergeObs.Add(1)
 	it := divergeItem{
-		key:     key,
-		value:   append([]byte(nil), value...),
-		version: version,
-		ttl:     time.Duration(ttlSecs) * time.Second,
-		owners:  append([]string(nil), staleOwners...),
+		key:      key,
+		value:    append([]byte(nil), value...),
+		version:  version,
+		deadline: deadlineFromTTL(time.Duration(ttlSecs) * time.Second),
+		owners:   append([]string(nil), staleOwners...),
 	}
 	select {
 	case m.divergeC <- it:
@@ -374,17 +387,47 @@ func (m *Manager) opCtx() (context.Context, context.CancelFunc) {
 
 // ---- hinted handoff ----
 
-// hint is one missed write: replay value@version to owner.
+// hint is one missed write: replay value@version to owner. The
+// deadline is the absolute instant the write's TTL expires (zero =
+// never): replay recomputes the remaining TTL from it, so however long
+// the hint waits — and however many managers it passes through via the
+// durable record — the key still dies when the original write said it
+// would. Storing the TTL itself here was the drift bug: every replay
+// hop restarted the clock.
 type hint struct {
-	key     string
-	value   []byte
-	version uint64
-	ttl     time.Duration
-	owner   string
+	key      string
+	value    []byte
+	version  uint64
+	deadline time.Time
+	owner    string
 	// durableAddr/durableKey locate the hint's durable mirror, once
 	// persisted, so replay can delete it.
 	durableAddr string
 	durableKey  string
+}
+
+// deadlineFromTTL pins a relative TTL to the current wall clock
+// (zero/negative TTL = no expiry = zero time).
+func deadlineFromTTL(ttl time.Duration) time.Time {
+	if ttl <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(ttl)
+}
+
+// ttlFromDeadline converts an absolute deadline back to a remaining
+// TTL at use time. ok=false means the deadline has passed (or is so
+// close that a 1-second wire round-up would extend the key's life):
+// the work item should be dropped, not replayed.
+func ttlFromDeadline(deadline time.Time) (ttl time.Duration, ok bool) {
+	if deadline.IsZero() {
+		return 0, true
+	}
+	left := time.Until(deadline)
+	if left < time.Second {
+		return 0, false
+	}
+	return left, true
 }
 
 func (h *hint) size() int { return len(h.key) + len(h.value) + len(h.owner) + 64 }
@@ -531,6 +574,21 @@ func (m *Manager) replayLoop() {
 // replayOwner attempts one owner's hints in batches. Returns true if
 // the owner accepted them (resetting its backoff).
 func (m *Manager) replayOwner(owner string, hs []*hint, done map[*hint]bool) bool {
+	// Expired hints are dropped before any replay attempt: replaying a
+	// value past its deadline would resurrect a key the original writer
+	// already declared dead.
+	live := hs[:0:0]
+	for _, h := range hs {
+		if _, ok := ttlFromDeadline(h.deadline); !ok {
+			m.expireHint(h, done)
+			continue
+		}
+		live = append(live, h)
+	}
+	hs = live
+	if len(hs) == 0 {
+		return true
+	}
 	vb := m.sc.VersionedShard(owner)
 	if vb == nil {
 		// The owner left the topology: the data still belongs somewhere.
@@ -538,8 +596,9 @@ func (m *Manager) replayOwner(owner string, hs []*hint, done map[*hint]bool) boo
 		// makes this safe even if the key has since been rewritten.
 		allOK := true
 		for _, h := range hs {
+			ttl, _ := ttlFromDeadline(h.deadline)
 			ctx, cancel := m.opCtx()
-			err := m.sc.PutVersionAt(ctx, h.key, h.value, h.ttl, h.version)
+			err := m.sc.PutVersionAt(ctx, h.key, h.value, ttl, h.version)
 			cancel()
 			if err != nil {
 				allOK = false
@@ -558,7 +617,8 @@ func (m *Manager) replayOwner(owner string, hs []*hint, done map[*hint]bool) boo
 		batch := hs[start:end]
 		puts := make([]memkv.VersionedPut, len(batch))
 		for i, h := range batch {
-			puts[i] = memkv.VersionedPut{Key: h.key, Value: h.value, TTL: h.ttl, Version: h.version}
+			ttl, _ := ttlFromDeadline(h.deadline)
+			puts[i] = memkv.VersionedPut{Key: h.key, Value: h.value, TTL: ttl, Version: h.version}
 		}
 		ctx, cancel := m.opCtx()
 		res := vb.PutVBatch(ctx, puts)
@@ -583,12 +643,27 @@ func (m *Manager) replayOwner(owner string, hs []*hint, done map[*hint]bool) boo
 func (m *Manager) finishHint(h *hint, done map[*hint]bool) {
 	done[h] = true
 	m.stReplayed.Add(1)
-	if h.durableKey != "" {
-		if vb := m.sc.VersionedShard(h.durableAddr); vb != nil {
-			ctx, cancel := m.opCtx()
-			_ = vb.Delete(ctx, h.durableKey)
-			cancel()
-		}
+	m.deleteDurable(h)
+}
+
+// expireHint retires a hint whose deadline passed before it could be
+// replayed: counted separately from replays, removed from the queue,
+// and its durable record deleted — the key is dead, there is nothing
+// left to hand off.
+func (m *Manager) expireHint(h *hint, done map[*hint]bool) {
+	done[h] = true
+	m.stHintsExpired.Add(1)
+	m.deleteDurable(h)
+}
+
+func (m *Manager) deleteDurable(h *hint) {
+	if h.durableKey == "" {
+		return
+	}
+	if vb := m.sc.VersionedShard(h.durableAddr); vb != nil {
+		ctx, cancel := m.opCtx()
+		_ = vb.Delete(ctx, h.durableKey)
+		cancel()
 	}
 }
 
@@ -641,19 +716,23 @@ func (m *Manager) persistHints(hints []*hint) {
 // Hint record payload: the replay fields, self-describing so recovery
 // needs only the record (the durable key is just an address).
 //
-//	version u64 | ttl u32 (secs) | olen u16 | owner | klen u16 | key | value
+//	version u64 | deadline i64 (unixnano, 0 = never) | olen u16 | owner | klen u16 | key | value
+//
+// The deadline is absolute precisely so that recovery on a different
+// process at a much later wall-clock time still expires the key when
+// the original write intended — encoding a relative TTL here restarted
+// the clock on every recover/replay hop.
 func encodeHintRecord(h *hint) []byte {
-	buf := make([]byte, 0, 16+len(h.owner)+len(h.key)+len(h.value))
+	buf := make([]byte, 0, 20+len(h.owner)+len(h.key)+len(h.value))
 	var u64 [8]byte
 	binary.BigEndian.PutUint64(u64[:], h.version)
 	buf = append(buf, u64[:]...)
-	var u32 [4]byte
-	ttlSecs := uint32(0)
-	if h.ttl > 0 {
-		ttlSecs = uint32((h.ttl + time.Second - 1) / time.Second)
+	var nanos int64
+	if !h.deadline.IsZero() {
+		nanos = h.deadline.UnixNano()
 	}
-	binary.BigEndian.PutUint32(u32[:], ttlSecs)
-	buf = append(buf, u32[:]...)
+	binary.BigEndian.PutUint64(u64[:], uint64(nanos))
+	buf = append(buf, u64[:]...)
 	var u16 [2]byte
 	binary.BigEndian.PutUint16(u16[:], uint16(len(h.owner)))
 	buf = append(buf, u16[:]...)
@@ -667,13 +746,15 @@ func encodeHintRecord(h *hint) []byte {
 var errHintRecord = errors.New("repair: malformed hint record")
 
 func decodeHintRecord(p []byte) (*hint, error) {
-	if len(p) < 14 {
+	if len(p) < 18 {
 		return nil, errHintRecord
 	}
 	h := &hint{version: binary.BigEndian.Uint64(p[0:8])}
-	h.ttl = time.Duration(binary.BigEndian.Uint32(p[8:12])) * time.Second
-	olen := int(binary.BigEndian.Uint16(p[12:14]))
-	p = p[14:]
+	if nanos := int64(binary.BigEndian.Uint64(p[8:16])); nanos != 0 {
+		h.deadline = time.Unix(0, nanos)
+	}
+	olen := int(binary.BigEndian.Uint16(p[16:18]))
+	p = p[18:]
 	if len(p) < olen+2 {
 		return nil, errHintRecord
 	}
@@ -756,13 +837,21 @@ func (m *Manager) repairLoop() {
 		if err := m.waitBackground(context.Background()); err != nil {
 			return
 		}
+		// Remaining TTL at push time, not report time: a repair delayed by
+		// the governor must not stretch the key's life, and one for an
+		// already-dead value must not resurrect it.
+		ttl, live := ttlFromDeadline(it.deadline)
+		if !live {
+			m.stRepairExp.Add(1)
+			continue
+		}
 		for _, owner := range it.owners {
 			vb := m.sc.VersionedShard(owner)
 			if vb == nil {
 				continue // owner left the topology; migration covers it
 			}
 			ctx, cancel := m.opCtx()
-			_, _, err := vb.PutV(ctx, it.key, it.value, it.ttl, it.version)
+			_, _, err := vb.PutV(ctx, it.key, it.value, ttl, it.version)
 			cancel()
 			if err != nil {
 				m.stRepairErr.Add(1)

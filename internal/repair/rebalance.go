@@ -27,6 +27,10 @@ type RebalanceStats struct {
 	// PutsApplied and PutsStale split the migration puts by outcome: a
 	// stale put found the destination already holding a newer version.
 	PutsApplied, PutsStale int64
+	// PutsExpired counts entries whose TTL deadline passed between the
+	// scan page that produced them and the flush that would have pushed
+	// them — dead keys are dropped, not re-animated at the destination.
+	PutsExpired int64
 	// PutsFailed counts puts (and scan pages) that errored.
 	PutsFailed int64
 	// Deleted is the source-side deletions (DeleteAfterMigrate).
@@ -75,6 +79,7 @@ func (m *Manager) rebalance(ctx context.Context, prev, cur ring.Placement) (Reba
 	m.stScanned.Add(st.KeysScanned)
 	m.stMigrated.Add(st.KeysMigrated)
 	m.stStale.Add(st.PutsStale)
+	m.stMigExpired.Add(st.PutsExpired)
 	m.stMigErrs.Add(st.PutsFailed)
 	return st, firstErr
 }
@@ -93,6 +98,7 @@ func (m *Manager) Drain(ctx context.Context, src memkv.VersionedBackend) (Rebala
 	m.stScanned.Add(st.KeysScanned)
 	m.stMigrated.Add(st.KeysMigrated)
 	m.stStale.Add(st.PutsStale)
+	m.stMigExpired.Add(st.PutsExpired)
 	m.stMigErrs.Add(st.PutsFailed)
 	return st, err
 }
@@ -105,7 +111,13 @@ func (m *Manager) Drain(ctx context.Context, src memkv.VersionedBackend) (Rebala
 func (m *Manager) migrateFrom(ctx context.Context, srcAddr string, src memkv.VersionedBackend, prev, cur ring.Placement, diff bool, st *RebalanceStats) error {
 	type pendingPut struct {
 		put memkv.VersionedPut
-		del bool // delete from src once landed
+		// deadline pins the entry's remaining TTL (reported by the scan as
+		// seconds left at page time) to the wall clock, so the flush — which
+		// may run much later under the governor — re-derives what is left
+		// instead of re-applying the page-time remainder and stretching the
+		// key's life by the scan-to-flush gap on every migration.
+		deadline time.Time
+		del      bool // delete from src once landed
 	}
 	batches := make(map[string][]pendingPut)
 	ownerScratch := make([]string, cur.Replication())
@@ -117,9 +129,24 @@ func (m *Manager) migrateFrom(ctx context.Context, srcAddr string, src memkv.Ver
 				st.PutsFailed += int64(len(puts))
 				continue
 			}
-			vps := make([]memkv.VersionedPut, len(puts))
+			vps := make([]memkv.VersionedPut, 0, len(puts))
+			idx := make([]int, 0, len(puts))
 			for i := range puts {
-				vps[i] = puts[i].put
+				ttl, live := ttlFromDeadline(puts[i].deadline)
+				if !live {
+					// Expired between scan and flush: the key is dead
+					// everywhere that matters; do not re-animate it at the
+					// destination.
+					st.PutsExpired++
+					continue
+				}
+				p := puts[i].put
+				p.TTL = ttl
+				vps = append(vps, p)
+				idx = append(idx, i)
+			}
+			if len(vps) == 0 {
+				continue
 			}
 			opCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
 			res := vb.PutVBatch(opCtx, vps)
@@ -133,9 +160,9 @@ func (m *Manager) migrateFrom(ctx context.Context, srcAddr string, src memkv.Ver
 				default:
 					st.PutsStale++
 				}
-				if r.Err == nil && puts[i].del && m.cfg.DeleteAfterMigrate {
+				if r.Err == nil && puts[idx[i]].del && m.cfg.DeleteAfterMigrate {
 					dCtx, dCancel := context.WithTimeout(ctx, 5*time.Second)
-					if src.Delete(dCtx, puts[i].put.Key) == nil {
+					if src.Delete(dCtx, puts[idx[i]].put.Key) == nil {
 						st.Deleted++
 					}
 					dCancel()
@@ -158,6 +185,7 @@ func (m *Manager) migrateFrom(ctx context.Context, srcAddr string, src memkv.Ver
 		if len(entries) == 0 {
 			break
 		}
+		pageTime := time.Now()
 		batched := 0
 		for i := range entries {
 			e := &entries[i]
@@ -178,13 +206,17 @@ func (m *Manager) migrateFrom(ctx context.Context, srcAddr string, src memkv.Ver
 					srcOwns = true
 					continue
 				}
+				var deadline time.Time
+				if e.TTLSecs > 0 {
+					deadline = pageTime.Add(time.Duration(e.TTLSecs) * time.Second)
+				}
 				batches[o] = append(batches[o], pendingPut{
 					put: memkv.VersionedPut{
 						Key:     e.Key,
 						Value:   e.Value,
-						TTL:     time.Duration(e.TTLSecs) * time.Second,
 						Version: e.Version,
 					},
+					deadline: deadline,
 					// Delete from src only via the LAST owner's entry, so
 					// the key survives on src until that push landed.
 					del: false,

@@ -15,10 +15,10 @@ out="${1:-BENCH_core.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'BenchmarkCore|BenchmarkMemkvMux' -benchtime 1s -count 3 . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkCore|BenchmarkMemkvMux|BenchmarkMemkvWatchFanout' -benchtime 1s -count 3 . | tee "$raw"
 
 awk '
-/^BenchmarkCore|^BenchmarkMemkvMux/ {
+/^BenchmarkCore|^BenchmarkMemkvMux|^BenchmarkMemkvWatchFanout/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
     ns = ""; b = ""; allocs = ""

@@ -24,6 +24,11 @@
 #                                     legacy Do for the WHOLE batch
 #   BenchmarkMemkvMuxParallel:3       one multiplexed get, client side
 #                                     (2 measured: key string + value)
+#   BenchmarkMemkvWatchFanout:2       one put fanned out to 16 prefix
+#                                     watchers (1 measured: the put's
+#                                     stored-value copy — every event
+#                                     shares it, fan-out itself is
+#                                     alloc-free)
 #
 # Usage: scripts/benchgate.sh [baseline.json]   (default BENCH_core.json)
 # Env:   TOLERANCE_PCT (default 15),
@@ -33,7 +38,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 baseline="${1:-BENCH_core.json}"
-specs="BenchmarkCoreGroupDo:5 BenchmarkCoreDoValue:4 BenchmarkCoreRingDo:6 BenchmarkCoreHedgedFastPrimary:11 BenchmarkCoreDoBatch:80 BenchmarkMemkvMuxParallel:3"
+specs="BenchmarkCoreGroupDo:5 BenchmarkCoreDoValue:4 BenchmarkCoreRingDo:6 BenchmarkCoreHedgedFastPrimary:11 BenchmarkCoreDoBatch:80 BenchmarkMemkvMuxParallel:3 BenchmarkMemkvWatchFanout:2"
 tolerance_pct="${TOLERANCE_PCT:-15}"
 count="${BENCH_COUNT:-3}"
 
