@@ -159,6 +159,101 @@ func (l *LatDigest) snapshot(counts *[digestBinCount]uint64) int64 {
 	return total
 }
 
+// DigestSnapshot is a point-in-time copy of a LatDigest's histogram —
+// the observation hook feedback controllers use to turn the cumulative
+// digest into *windowed* statistics. Capture one snapshot per control
+// interval and ask for quantiles of only the observations that arrived
+// between two captures; a controller that read the cumulative digest
+// instead would be steering on the entire history and never see the
+// effect of its own knob moves.
+//
+// The zero value is an empty snapshot, a valid "beginning of time"
+// baseline. Snapshots are plain values: copy and reuse them freely.
+// Capturing is safe concurrently with Observe; the two snapshots of a
+// window must come from the same digest, prev captured no later than
+// the receiver.
+type DigestSnapshot struct {
+	counts [digestBinCount]uint64
+	total  int64
+}
+
+// Snapshot captures the digest's current histogram into s, overwriting
+// whatever s held.
+func (l *LatDigest) Snapshot(s *DigestSnapshot) {
+	s.total = l.snapshot(&s.counts)
+}
+
+// Count returns the number of observations captured in the snapshot.
+func (s *DigestSnapshot) Count() int64 { return s.total }
+
+// windowInto writes the per-bin counts of the (prev, s] window into w
+// and returns the window's total. A nil prev means "since the beginning
+// of the digest". Subtraction saturates at zero per bin, so a racing
+// capture can only under-count a bin, never corrupt the histogram.
+func (s *DigestSnapshot) windowInto(prev *DigestSnapshot, w *[digestBinCount]uint64) int64 {
+	if prev == nil {
+		*w = s.counts
+		return s.total
+	}
+	total := int64(0)
+	for i := range s.counts {
+		c := s.counts[i]
+		if p := prev.counts[i]; p < c {
+			c -= p
+		} else {
+			c = 0
+		}
+		w[i] = c
+		total += int64(c)
+	}
+	return total
+}
+
+// WindowCount returns how many observations were recorded between prev
+// and s (nil prev: since the beginning).
+func (s *DigestSnapshot) WindowCount(prev *DigestSnapshot) int64 {
+	if prev == nil {
+		return s.total
+	}
+	if d := s.total - prev.total; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// WindowQuantile estimates the p-th quantile (p in [0, 1]) of the
+// observations recorded between prev and s — two captures of the same
+// digest, prev the earlier — with the digest's usual conservative
+// upper-bin-edge estimate. ok is false when the window is empty. A nil
+// prev quantiles the whole history, matching LatDigest.Quantile.
+func (s *DigestSnapshot) WindowQuantile(prev *DigestSnapshot, p float64) (time.Duration, bool) {
+	var w [digestBinCount]uint64
+	total := s.windowInto(prev, &w)
+	if total == 0 {
+		return 0, false
+	}
+	return quantileOf(&w, total, p), true
+}
+
+// WindowMean returns the histogram-weighted mean of the observations in
+// the (prev, s] window, using each bin's upper edge (so the estimate
+// errs conservatively late, like the quantiles). ok is false when the
+// window is empty.
+func (s *DigestSnapshot) WindowMean(prev *DigestSnapshot) (time.Duration, bool) {
+	var w [digestBinCount]uint64
+	total := s.windowInto(prev, &w)
+	if total == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for i, c := range w {
+		if c != 0 {
+			sum += float64(c) * float64(digestBinUpper(i))
+		}
+	}
+	return time.Duration(sum / float64(total)), true
+}
+
 func quantileOf(counts *[digestBinCount]uint64, total int64, p float64) time.Duration {
 	if p < 0 {
 		p = 0

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -156,5 +157,82 @@ func TestLatDigestConcurrent(t *testing.T) {
 	q, ok := d.Quantile(1.0)
 	if !ok || q < 100*time.Millisecond {
 		t.Errorf("max quantile = %v, %v", q, ok)
+	}
+}
+
+func TestDigestSnapshotWindow(t *testing.T) {
+	var d LatDigest
+	// Phase 1: slow observations only.
+	for i := 0; i < 1000; i++ {
+		d.Observe(100 * time.Millisecond)
+	}
+	var s1 DigestSnapshot
+	d.Snapshot(&s1)
+	if s1.Count() != 1000 {
+		t.Fatalf("snapshot count = %d, want 1000", s1.Count())
+	}
+	// Phase 2: fast observations only.
+	for i := 0; i < 1000; i++ {
+		d.Observe(1 * time.Millisecond)
+	}
+	var s2 DigestSnapshot
+	d.Snapshot(&s2)
+
+	if n := s2.WindowCount(&s1); n != 1000 {
+		t.Errorf("window count = %d, want 1000", n)
+	}
+	// The cumulative p99 straddles both phases; the window p99 must see
+	// phase 2 only (1ms +12.5% bin error).
+	q, ok := s2.WindowQuantile(&s1, 0.99)
+	if !ok {
+		t.Fatal("window quantile: no data")
+	}
+	if q > 2*time.Millisecond {
+		t.Errorf("window p99 = %v, want ~1ms (phase 2 only)", q)
+	}
+	cum, ok := d.Quantile(0.99)
+	if !ok || cum < 50*time.Millisecond {
+		t.Errorf("cumulative p99 = %v, %v, want >=50ms (both phases)", cum, ok)
+	}
+	// Nil prev windows the whole history.
+	if q, ok := s2.WindowQuantile(nil, 0.99); !ok || q < 50*time.Millisecond {
+		t.Errorf("nil-prev window p99 = %v, %v, want cumulative", q, ok)
+	}
+	m, ok := s2.WindowMean(&s1)
+	if !ok || m > 2*time.Millisecond {
+		t.Errorf("window mean = %v, %v, want ~1ms", m, ok)
+	}
+	// An empty window reports no data, not a bogus zero quantile.
+	var s3 DigestSnapshot
+	d.Snapshot(&s3)
+	if _, ok := s3.WindowQuantile(&s2, 0.5); ok {
+		t.Error("empty window reported data")
+	}
+	if _, ok := s3.WindowMean(&s2); ok {
+		t.Error("empty window reported a mean")
+	}
+}
+
+func TestCountersLabelSnapshot(t *testing.T) {
+	c := NewCounters()
+	for i := 0; i < 10; i++ {
+		c.Observe(Observation{Winner: "a", Launched: 2, Latency: time.Millisecond, Label: "web"})
+	}
+	c.Observe(Observation{Launched: 1, Err: context.DeadlineExceeded, Label: "web"})
+	if _, ok := c.LabelSnapshot("nope"); ok {
+		t.Error("unknown label reported present")
+	}
+	s, ok := c.LabelSnapshot("web")
+	if !ok {
+		t.Fatal("label web missing")
+	}
+	if s.Ops != 11 || s.Failures != 1 || s.Launched != 21 {
+		t.Errorf("snapshot = %+v, want ops 11, failures 1, launched 21", s)
+	}
+	// Labels() agrees with the single-label view.
+	for _, ls := range c.Labels() {
+		if ls.Label == "web" && ls.Launched != s.Launched {
+			t.Errorf("Labels launched %d != snapshot %d", ls.Launched, s.Launched)
+		}
 	}
 }

@@ -137,6 +137,16 @@ func (c *Counters) CancelledCopies() int64 {
 	return c.cancelled
 }
 
+// LaunchedCopies returns the total number of copies launched — the raw
+// counter behind CopiesPerOp, exposed (like LabelStats.Launched) so
+// controllers can difference two readings into a windowed extra-load
+// measurement.
+func (c *Counters) LaunchedCopies() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.launched
+}
+
 // CopiesPerOp returns the average number of copies launched per operation —
 // the realized redundancy overhead (1.0 means no redundancy used).
 func (c *Counters) CopiesPerOp() float64 {
@@ -176,6 +186,11 @@ type LabelStats struct {
 	Label string
 	// Ops and Failures count the class's operations.
 	Ops, Failures int64
+	// Launched counts the class's copies launched — the raw counter
+	// behind CopiesPerOp, exposed so controllers can compute *windowed*
+	// extra load from two successive snapshots (cumulative ratios hide
+	// recent knob changes).
+	Launched int64
 	// Cancelled counts the class's copies cancelled in flight.
 	Cancelled int64
 	// CopiesPerOp is the class's realized redundancy overhead.
@@ -190,13 +205,30 @@ func (c *Counters) Labels() []LabelStats {
 	defer c.mu.Unlock()
 	out := make([]LabelStats, 0, len(c.labels))
 	for label, la := range c.labels {
-		s := LabelStats{Label: label, Ops: la.ops, Failures: la.failures, Cancelled: la.cancelled}
+		s := LabelStats{Label: label, Ops: la.ops, Failures: la.failures, Launched: la.launched, Cancelled: la.cancelled}
 		if la.ops > 0 {
 			s.CopiesPerOp = float64(la.launched) / float64(la.ops)
 		}
 		out = append(out, s)
 	}
 	return out
+}
+
+// LabelSnapshot returns the aggregate for one traffic class and whether
+// the label has been observed at all — the single-label form of Labels,
+// for control loops polling one class per tick.
+func (c *Counters) LabelSnapshot(label string) (LabelStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	la := c.labels[label]
+	if la == nil {
+		return LabelStats{}, false
+	}
+	s := LabelStats{Label: label, Ops: la.ops, Failures: la.failures, Launched: la.launched, Cancelled: la.cancelled}
+	if la.ops > 0 {
+		s.CopiesPerOp = float64(la.launched) / float64(la.ops)
+	}
+	return s, true
 }
 
 // LabelOps returns the number of operations observed under label.

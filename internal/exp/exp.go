@@ -117,6 +117,7 @@ func All() []Experiment {
 		{"ablmux", "Ablation: outstanding-request ceiling, memkv v1 connection-per-request vs v2 multiplexed wire", AblationMux},
 		{"ablrebalance", "Ablation: live reshard — governed anti-entropy migration, version audit, and read repair", AblationRebalance},
 		{"ablwatch", "Ablation: redundant prefix watch — event delivery p99 single replica vs subscribe-everywhere, exactly-once across a shard kill", AblationWatch},
+		{"ablslo", "Ablation: self-tuning SLO controller vs fixed k=1 and fixed k=2@p50 across a load ramp", AblationSLO},
 	}
 }
 

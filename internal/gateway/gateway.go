@@ -1,0 +1,473 @@
+// Package gateway is the HTTP/JSON front door over a sharded memkv
+// cluster: the paper's redundancy machinery — hedged reads, quorum
+// reads, CAS, prefix watches — behind plain HTTP, with the SLO
+// controller steering each request's traffic class.
+//
+// The surface (statuses are the contract the tests pin):
+//
+//	GET    /kv/{key}      200 value bytes · 404 not_found · 503 quorum_unreachable
+//	PUT    /kv/{key}      200 {"version":v} · 409 cas_conflict (with X-Expect-Version)
+//	GET    /scan          200 {"entries":[…],"more":b}
+//	GET    /watch         SSE stream of put/delete/expire events
+//	GET    /stats         200 aggregate counters + ring topology
+//	GET    /slo           200 controller targets, operating points, move counts
+//
+// Per-request headers:
+//
+//	X-SLO-Class:      traffic class: labels the call and applies the
+//	                  controller's live operating point for that class.
+//	X-Read-Quorum:    explicit read quorum (>= 1); implies a quorum read.
+//	X-Consistency:    "primary" (default; hedged read) or "quorum".
+//	X-Expect-Version: on PUT, compare-and-swap against this version
+//	                  (0 = create only).
+//
+// Malformed headers and parameters are 400 with a JSON body
+// {"error":"bad_request","detail":…}; every non-2xx response carries
+// {"error":code,"detail":…}.
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"redundancy/internal/core"
+	"redundancy/internal/memkv"
+	"redundancy/internal/slo"
+)
+
+// Config wires a Gateway. Client is required; everything else degrades
+// gracefully when absent (no controller: classes only label metrics; no
+// counters: /stats reports topology only).
+type Config struct {
+	// Client is the sharded store the gateway fronts.
+	Client *memkv.ShardedClient
+	// Controller, when set, supplies per-class strategies and read
+	// quorums, and backs the /slo endpoint.
+	Controller *slo.Controller
+	// Counters, when set, backs /stats. Install the same instance as
+	// the client's ShardedConfig.Observer (and the controller's
+	// Config.Counters) so all three see the same traffic.
+	Counters *core.Counters
+	// Governor, when set, wraps class strategies so gated load sheds
+	// redundancy on the request path too, and adds a governor section
+	// to /stats.
+	Governor *core.Governor
+	// MaxValueBytes caps a PUT body (default 1 MiB).
+	MaxValueBytes int64
+}
+
+// Gateway is the HTTP handler. Create with New; it is an http.Handler.
+type Gateway struct {
+	client   *memkv.ShardedClient
+	ctl      *slo.Controller
+	ctr      *core.Counters
+	gov      *core.Governor
+	maxValue int64
+	mux      *http.ServeMux
+
+	mu          sync.Mutex
+	classStrats map[string]core.Strategy
+}
+
+// New builds a Gateway over cfg.Client.
+func New(cfg Config) *Gateway {
+	if cfg.Client == nil {
+		panic("gateway: Config.Client is required")
+	}
+	g := &Gateway{
+		client:      cfg.Client,
+		ctl:         cfg.Controller,
+		ctr:         cfg.Counters,
+		gov:         cfg.Governor,
+		maxValue:    cfg.MaxValueBytes,
+		classStrats: make(map[string]core.Strategy),
+	}
+	if g.maxValue <= 0 {
+		g.maxValue = 1 << 20
+	}
+	m := http.NewServeMux()
+	m.HandleFunc("GET /kv/{key...}", g.handleGet)
+	m.HandleFunc("PUT /kv/{key...}", g.handlePut)
+	m.HandleFunc("GET /scan", g.handleScan)
+	m.HandleFunc("GET /watch", g.handleWatch)
+	m.HandleFunc("GET /stats", g.handleStats)
+	m.HandleFunc("GET /slo", g.handleSLO)
+	g.mux = m
+	return g
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// errBody is every non-2xx response's JSON shape.
+type errBody struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, detail string) {
+	writeJSON(w, status, errBody{Error: code, Detail: detail})
+}
+
+// writeStoreErr maps a store error onto the documented status codes.
+func writeStoreErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, memkv.ErrNotFound):
+		writeErr(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, memkv.ErrCASConflict):
+		writeErr(w, http.StatusConflict, "cas_conflict", err.Error())
+	case errors.Is(err, core.ErrQuorumUnreachable), errors.Is(err, core.ErrNoReplicas):
+		writeErr(w, http.StatusServiceUnavailable, "quorum_unreachable", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func validKey(key string) error {
+	if key == "" || len(key) > 250 {
+		return fmt.Errorf("invalid key length %d", len(key))
+	}
+	if strings.ContainsAny(key, " \r\n\t") {
+		return errors.New("key contains whitespace")
+	}
+	return nil
+}
+
+// classStrategy returns the request strategy for a class: the
+// controller's live per-class view, wrapped in the shared governor (if
+// any) so an overloaded cluster sheds gateway redundancy exactly like
+// every other caller's.
+func (g *Gateway) classStrategy(class string) core.Strategy {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.classStrats[class]; ok {
+		return s
+	}
+	var s core.Strategy = g.ctl.Class(class)
+	if g.gov != nil {
+		s = core.LoadAwareWith(s, g.gov)
+	}
+	g.classStrats[class] = s
+	return s
+}
+
+// readPlan resolves the consistency headers into either a hedged
+// primary read (quorum 0) or a quorum read (quorum >= 1, 0 meaning the
+// client's default), plus the call options for the class.
+func (g *Gateway) readPlan(r *http.Request) (quorumRead bool, quorum int, opts []core.CallOption, err error) {
+	class := r.Header.Get("X-SLO-Class")
+	cons := strings.ToLower(r.Header.Get("X-Consistency"))
+	switch cons {
+	case "", "primary", "quorum":
+	default:
+		return false, 0, nil, fmt.Errorf("X-Consistency must be primary or quorum, got %q", cons)
+	}
+	if qh := r.Header.Get("X-Read-Quorum"); qh != "" {
+		q, perr := strconv.Atoi(qh)
+		if perr != nil || q < 1 {
+			return false, 0, nil, fmt.Errorf("X-Read-Quorum must be a positive integer, got %q", qh)
+		}
+		if cons == "primary" {
+			return false, 0, nil, errors.New("X-Read-Quorum conflicts with X-Consistency: primary")
+		}
+		return true, q, nil, nil
+	}
+	if cons == "quorum" {
+		q := 0
+		if g.ctl != nil && class != "" {
+			q = g.ctl.ReadQuorum(class)
+		}
+		return true, q, nil, nil
+	}
+	if class != "" {
+		opts = append(opts, core.WithLabel(class))
+	}
+	if g.ctl != nil {
+		// Unlabeled traffic rides the controller's default class, so the
+		// control loop steers every primary read even when the backing
+		// client was built with a fixed ReadStrategy.
+		name := class
+		if name == "" {
+			name = slo.DefaultClass
+		}
+		opts = append(opts, core.WithStrategyOverride(g.classStrategy(name)))
+	}
+	return false, 0, opts, nil
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if err := validKey(key); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	quorumRead, q, opts, err := g.readPlan(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var val []byte
+	if quorumRead {
+		var ver uint64
+		val, ver, err = g.client.GetQuorum(r.Context(), key, q)
+		if err == nil {
+			w.Header().Set("X-Version", strconv.FormatUint(ver, 10))
+		}
+	} else {
+		val, err = g.client.Get(r.Context(), key, opts...)
+	}
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(val)
+}
+
+func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if err := validKey(key); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var ttl time.Duration
+	if s := r.URL.Query().Get("ttl"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("invalid ttl %q", s))
+			return
+		}
+		ttl = d
+	}
+	expect, hasExpect := uint64(0), false
+	if eh := r.Header.Get("X-Expect-Version"); eh != "" {
+		v, err := strconv.ParseUint(eh, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("X-Expect-Version must be an unsigned integer, got %q", eh))
+			return
+		}
+		expect, hasExpect = v, true
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.maxValue))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	var version uint64
+	if hasExpect {
+		version, err = g.client.CAS(r.Context(), key, body, ttl, expect)
+	} else {
+		version, err = g.client.PutVersioned(r.Context(), key, body, ttl)
+	}
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"version": version})
+}
+
+// scanEntryJSON is one /scan result row; Value is base64 per Go's
+// []byte JSON convention.
+type scanEntryJSON struct {
+	Key     string `json:"key"`
+	Value   []byte `json:"value"`
+	Version uint64 `json:"version"`
+	TTLSecs uint32 `json:"ttl_secs,omitempty"`
+}
+
+func (g *Gateway) handleScan(w http.ResponseWriter, r *http.Request) {
+	after := r.URL.Query().Get("after")
+	limit := 100
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > 4096 {
+			writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("limit must be in [1, 4096], got %q", s))
+			return
+		}
+		limit = n
+	}
+	entries, more, err := g.client.ScanMerged(r.Context(), after, limit)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	out := struct {
+		Entries []scanEntryJSON `json:"entries"`
+		More    bool            `json:"more"`
+	}{Entries: make([]scanEntryJSON, 0, len(entries)), More: more}
+	for _, e := range entries {
+		out.Entries = append(out.Entries, scanEntryJSON{Key: e.Key, Value: e.Value, Version: e.Version, TTLSecs: e.TTLSecs})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// watchEventJSON is one SSE data payload.
+type watchEventJSON struct {
+	Key     string `json:"key"`
+	Value   []byte `json:"value,omitempty"`
+	Version uint64 `json:"version"`
+}
+
+func (g *Gateway) handleWatch(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	buf := 0
+	if s := r.URL.Query().Get("buf"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 || n > 1<<16 {
+			writeErr(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("buf must be in [1, 65536], got %q", s))
+			return
+		}
+		buf = n
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "internal", "response writer does not support streaming")
+		return
+	}
+	pw, err := g.client.WatchPrefix(r.Context(), prefix, buf)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	defer pw.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away: Close (deferred) tears down every shard
+			// subscription; no goroutine outlives the request.
+			return
+		case ev, ok := <-pw.Events():
+			if !ok {
+				return
+			}
+			data, _ := json.Marshal(watchEventJSON{Key: ev.Key, Value: ev.Value, Version: ev.Version})
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		}
+	}
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	type latencyJSON struct {
+		P50Ms float64 `json:"p50_ms"`
+		P90Ms float64 `json:"p90_ms"`
+		P99Ms float64 `json:"p99_ms"`
+	}
+	type labelJSON struct {
+		Label       string  `json:"label"`
+		Ops         int64   `json:"ops"`
+		Failures    int64   `json:"failures"`
+		CopiesPerOp float64 `json:"copies_per_op"`
+	}
+	type govJSON struct {
+		Utilization float64 `json:"utilization"`
+		Gated       bool    `json:"gated"`
+		Flips       int64   `json:"flips"`
+	}
+	out := struct {
+		Shards      []string         `json:"shards"`
+		Replication int              `json:"replication"`
+		WriteQuorum int              `json:"write_quorum"`
+		Ops         int64            `json:"ops"`
+		Failures    int64            `json:"failures"`
+		CopiesPerOp float64          `json:"copies_per_op"`
+		Cancelled   int64            `json:"cancelled_copies"`
+		Latency     *latencyJSON     `json:"latency,omitempty"`
+		Wins        map[string]int64 `json:"wins,omitempty"`
+		Labels      []labelJSON      `json:"labels,omitempty"`
+		Governor    *govJSON         `json:"governor,omitempty"`
+	}{
+		Shards:      g.client.ShardAddrs(),
+		Replication: g.client.Replication(),
+		WriteQuorum: g.client.WriteQuorum(),
+	}
+	if g.ctr != nil {
+		out.Ops = g.ctr.Ops()
+		out.Failures = g.ctr.Failures()
+		out.CopiesPerOp = g.ctr.CopiesPerOp()
+		out.Cancelled = g.ctr.CancelledCopies()
+		out.Wins = g.ctr.Wins()
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		if p50, ok := g.ctr.LatencyQuantile(0.50); ok {
+			p90, _ := g.ctr.LatencyQuantile(0.90)
+			p99, _ := g.ctr.LatencyQuantile(0.99)
+			out.Latency = &latencyJSON{P50Ms: ms(p50), P90Ms: ms(p90), P99Ms: ms(p99)}
+		}
+		for _, ls := range g.ctr.Labels() {
+			out.Labels = append(out.Labels, labelJSON{Label: ls.Label, Ops: ls.Ops, Failures: ls.Failures, CopiesPerOp: ls.CopiesPerOp})
+		}
+	}
+	if g.gov != nil {
+		gs := g.gov.Stats()
+		out.Governor = &govJSON{Utilization: gs.Utilization, Gated: gs.Gated, Flips: gs.Flips}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *Gateway) handleSLO(w http.ResponseWriter, r *http.Request) {
+	type classJSON struct {
+		Class             string  `json:"class"`
+		TargetP99Ms       float64 `json:"target_p99_ms"`
+		MaxExtraLoad      float64 `json:"max_extra_load"`
+		Fanout            int     `json:"fanout"`
+		Quantile          float64 `json:"quantile"`
+		ReadQuorum        int     `json:"read_quorum"`
+		ExpectedExtraLoad float64 `json:"expected_extra_load"`
+		WindowP99Ms       float64 `json:"window_p99_ms"`
+		WindowExtraLoad   float64 `json:"window_extra_load"`
+		LastReason        string  `json:"last_reason"`
+		Holds             int64   `json:"holds"`
+		Tightens          int64   `json:"tightens"`
+		Relaxes           int64   `json:"relaxes"`
+		Clamps            int64   `json:"clamps"`
+		Rejects           int64   `json:"rejects"`
+	}
+	out := struct {
+		Enabled bool        `json:"enabled"`
+		Classes []classJSON `json:"classes"`
+	}{Enabled: g.ctl != nil, Classes: []classJSON{}}
+	if g.ctl != nil {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		for _, cs := range g.ctl.Stats() {
+			out.Classes = append(out.Classes, classJSON{
+				Class:             cs.Class,
+				TargetP99Ms:       ms(cs.Target.P99),
+				MaxExtraLoad:      cs.Target.MaxExtraLoad,
+				Fanout:            cs.Config.Fanout,
+				Quantile:          cs.Config.Quantile,
+				ReadQuorum:        cs.Config.ReadQuorum,
+				ExpectedExtraLoad: cs.ExpectedExtraLoad,
+				WindowP99Ms:       ms(cs.WindowP99),
+				WindowExtraLoad:   cs.WindowExtraLoad,
+				LastReason:        cs.LastReason,
+				Holds:             cs.Holds,
+				Tightens:          cs.Tightens,
+				Relaxes:           cs.Relaxes,
+				Clamps:            cs.Clamps,
+				Rejects:           cs.Rejects,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,525 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"redundancy/internal/core"
+	"redundancy/internal/memkv"
+	"redundancy/internal/slo"
+)
+
+// fixture is a gateway over n live mux shards.
+type fixture struct {
+	ts      *httptest.Server
+	sc      *memkv.ShardedClient
+	ctl     *slo.Controller
+	ctr     *core.Counters
+	servers []*memkv.Server
+}
+
+func newFixture(t *testing.T, shards int) *fixture {
+	t.Helper()
+	f := &fixture{ctr: core.NewCounters()}
+	var backends []memkv.Backend
+	for i := 0; i < shards; i++ {
+		srv := memkv.NewServer(nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.servers = append(f.servers, srv)
+		t.Cleanup(func() { srv.Close() })
+		backends = append(backends, memkv.NewMuxClient(addr.String(), 2*time.Second))
+	}
+	f.ctl = slo.New(slo.Target{P99: 50 * time.Millisecond, MaxExtraLoad: 0.5}, slo.Config{
+		Counters:          f.ctr,
+		MinWindowSamples:  10,
+		DisableValidation: true,
+	})
+	f.sc = memkv.NewShardedClient(memkv.ShardedConfig{
+		Replication: 2,
+		Observer:    f.ctr,
+	}, backends...)
+	t.Cleanup(func() { f.sc.Close() })
+	gw := New(Config{Client: f.sc, Controller: f.ctl, Counters: f.ctr})
+	f.ts = httptest.NewServer(gw)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// do performs one request and returns status, headers, and body.
+func (f *fixture) do(t *testing.T, method, path, body string, hdr map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, f.ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// errOf decodes the documented JSON error body and fails on any other
+// shape.
+func errOf(t *testing.T, body []byte) string {
+	t.Helper()
+	var e struct {
+		Error  string `json:"error"`
+		Detail string `json:"detail"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("response body is not the documented error JSON: %q (%v)", body, err)
+	}
+	return e.Error
+}
+
+func versionOf(t *testing.T, body []byte) uint64 {
+	t.Helper()
+	var v struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil || v.Version == 0 {
+		t.Fatalf("response body is not a version JSON: %q (%v)", body, err)
+	}
+	return v.Version
+}
+
+// TestGetPutContract: the happy paths and the documented error statuses
+// for GET and PUT, including the CAS protocol via X-Expect-Version.
+func TestGetPutContract(t *testing.T) {
+	f := newFixture(t, 3)
+
+	st, _, body := f.do(t, "PUT", "/kv/alpha", "one", nil)
+	if st != http.StatusOK {
+		t.Fatalf("PUT = %d %s", st, body)
+	}
+	v1 := versionOf(t, body)
+
+	st, hdr, body := f.do(t, "GET", "/kv/alpha", "", nil)
+	if st != http.StatusOK || string(body) != "one" {
+		t.Fatalf("GET = %d %q", st, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("GET content-type = %q", ct)
+	}
+
+	st, _, body = f.do(t, "GET", "/kv/nope", "", nil)
+	if st != http.StatusNotFound || errOf(t, body) != "not_found" {
+		t.Fatalf("GET missing = %d %s", st, body)
+	}
+
+	// Quorum read: value plus its version in X-Version.
+	st, hdr, body = f.do(t, "GET", "/kv/alpha", "", map[string]string{"X-Consistency": "quorum"})
+	if st != http.StatusOK || string(body) != "one" {
+		t.Fatalf("quorum GET = %d %q", st, body)
+	}
+	if hdr.Get("X-Version") != fmt.Sprint(v1) {
+		t.Fatalf("quorum GET X-Version = %q, want %d", hdr.Get("X-Version"), v1)
+	}
+	st, _, body = f.do(t, "GET", "/kv/nope", "", map[string]string{"X-Read-Quorum": "2"})
+	if st != http.StatusNotFound || errOf(t, body) != "not_found" {
+		t.Fatalf("quorum GET missing = %d %s", st, body)
+	}
+
+	// CAS: create-only on an existing key conflicts; the right expected
+	// version applies and returns the new version.
+	st, _, body = f.do(t, "PUT", "/kv/alpha", "clobber", map[string]string{"X-Expect-Version": "0"})
+	if st != http.StatusConflict || errOf(t, body) != "cas_conflict" {
+		t.Fatalf("CAS create over existing = %d %s", st, body)
+	}
+	st, _, body = f.do(t, "PUT", "/kv/alpha", "two", map[string]string{"X-Expect-Version": fmt.Sprint(v1)})
+	if st != http.StatusOK {
+		t.Fatalf("CAS apply = %d %s", st, body)
+	}
+	v2 := versionOf(t, body)
+	if v2 <= v1 {
+		t.Fatalf("CAS version %d not newer than %d", v2, v1)
+	}
+	st, _, body = f.do(t, "PUT", "/kv/alpha", "stale", map[string]string{"X-Expect-Version": fmt.Sprint(v1)})
+	if st != http.StatusConflict || errOf(t, body) != "cas_conflict" {
+		t.Fatalf("stale CAS = %d %s", st, body)
+	}
+	if st, _, body = f.do(t, "GET", "/kv/alpha", "", nil); string(body) != "two" {
+		t.Fatalf("after CAS: GET = %d %q, want two", st, body)
+	}
+
+	// TTL is honored end to end.
+	if st, _, body = f.do(t, "PUT", "/kv/ephemeral?ttl=1h", "x", nil); st != http.StatusOK {
+		t.Fatalf("PUT ttl = %d %s", st, body)
+	}
+	if st, _, _ = f.do(t, "GET", "/kv/ephemeral", "", nil); st != http.StatusOK {
+		t.Fatalf("GET ttl'd key = %d", st)
+	}
+}
+
+// TestMalformedRequests: every malformed header/parameter the contract
+// documents is a 400 with error "bad_request" — never a 500, never a
+// silent fallback.
+func TestMalformedRequests(t *testing.T) {
+	f := newFixture(t, 2)
+	f.do(t, "PUT", "/kv/k", "v", nil)
+
+	cases := []struct {
+		name, method, path, body string
+		hdr                      map[string]string
+	}{
+		{"quorum-not-int", "GET", "/kv/k", "", map[string]string{"X-Read-Quorum": "banana"}},
+		{"quorum-negative", "GET", "/kv/k", "", map[string]string{"X-Read-Quorum": "-1"}},
+		{"quorum-zero", "GET", "/kv/k", "", map[string]string{"X-Read-Quorum": "0"}},
+		{"consistency-unknown", "GET", "/kv/k", "", map[string]string{"X-Consistency": "eventual"}},
+		{"quorum-vs-primary", "GET", "/kv/k", "", map[string]string{"X-Consistency": "primary", "X-Read-Quorum": "2"}},
+		{"get-key-whitespace", "GET", "/kv/a%20b", "", nil},
+		{"put-key-whitespace", "PUT", "/kv/a%20b", "v", nil},
+		{"expect-version-not-int", "PUT", "/kv/k", "v", map[string]string{"X-Expect-Version": "banana"}},
+		{"expect-version-negative", "PUT", "/kv/k", "v", map[string]string{"X-Expect-Version": "-3"}},
+		{"ttl-not-duration", "PUT", "/kv/k?ttl=banana", "v", nil},
+		{"ttl-negative", "PUT", "/kv/k?ttl=-5s", "v", nil},
+		{"scan-limit-not-int", "GET", "/scan?limit=banana", "", nil},
+		{"scan-limit-zero", "GET", "/scan?limit=0", "", nil},
+		{"scan-limit-huge", "GET", "/scan?limit=100000", "", nil},
+		{"watch-buf-not-int", "GET", "/watch?buf=banana", "", nil},
+		{"watch-buf-zero", "GET", "/watch?buf=0", "", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, _, body := f.do(t, tc.method, tc.path, tc.body, tc.hdr)
+			if st != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", st, body)
+			}
+			if code := errOf(t, body); code != "bad_request" {
+				t.Fatalf("error code = %q, want bad_request", code)
+			}
+		})
+	}
+}
+
+// TestQuorumUnreachable: with every shard down, quorum reads and writes
+// are 503 quorum_unreachable — not a hang, not a 500.
+func TestQuorumUnreachable(t *testing.T) {
+	f := newFixture(t, 2)
+	f.do(t, "PUT", "/kv/k", "v", nil)
+	for _, srv := range f.servers {
+		srv.Close()
+	}
+	st, _, body := f.do(t, "GET", "/kv/k", "", map[string]string{"X-Consistency": "quorum"})
+	if st != http.StatusServiceUnavailable || errOf(t, body) != "quorum_unreachable" {
+		t.Fatalf("quorum GET with shards down = %d %s", st, body)
+	}
+	st, _, body = f.do(t, "PUT", "/kv/k", "v2", nil)
+	if st != http.StatusServiceUnavailable || errOf(t, body) != "quorum_unreachable" {
+		t.Fatalf("PUT with shards down = %d %s", st, body)
+	}
+}
+
+// TestScanContract: /scan merges shards into one sorted, deduplicated,
+// paginated keyspace.
+func TestScanContract(t *testing.T) {
+	f := newFixture(t, 3)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if st, _, body := f.do(t, "PUT", fmt.Sprintf("/kv/scan/%02d", i), fmt.Sprintf("v%d", i), nil); st != http.StatusOK {
+			t.Fatalf("PUT %d = %d %s", i, st, body)
+		}
+	}
+	type page struct {
+		Entries []struct {
+			Key     string `json:"key"`
+			Value   []byte `json:"value"`
+			Version uint64 `json:"version"`
+		} `json:"entries"`
+		More bool `json:"more"`
+	}
+	var keys []string
+	after := ""
+	for pages := 0; ; pages++ {
+		if pages > n {
+			t.Fatal("pagination did not terminate")
+		}
+		st, _, body := f.do(t, "GET", "/scan?limit=4&after="+after, "", nil)
+		if st != http.StatusOK {
+			t.Fatalf("scan = %d %s", st, body)
+		}
+		var p page
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Fatalf("scan body %q: %v", body, err)
+		}
+		if len(p.Entries) > 4 {
+			t.Fatalf("page larger than limit: %d", len(p.Entries))
+		}
+		for _, e := range p.Entries {
+			if e.Version == 0 {
+				t.Fatalf("entry %q missing version", e.Key)
+			}
+			keys = append(keys, e.Key)
+			after = e.Key
+		}
+		if !p.More {
+			break
+		}
+	}
+	if len(keys) != n {
+		t.Fatalf("scan returned %d keys %v, want %d distinct", len(keys), keys, n)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("keys not strictly sorted: %v", keys)
+		}
+	}
+}
+
+// sseEvent reads one "event:"+"data:" pair from an SSE stream.
+func sseEvent(t *testing.T, sc *bufio.Scanner) (string, []byte) {
+	t.Helper()
+	event, data := "", []byte(nil)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && event != "":
+			return event, data
+		}
+	}
+	t.Fatalf("SSE stream ended early: %v", sc.Err())
+	return "", nil
+}
+
+// TestWatchSSE: the watch endpoint streams put and delete events for
+// the prefix as SSE, and tears down every shard subscription when the
+// client disconnects — no goroutine leaks (the satellite's
+// goroutine-count assertion).
+func TestWatchSSE(t *testing.T) {
+	f := newFixture(t, 3)
+
+	openWatch := func() (*http.Response, *bufio.Scanner) {
+		t.Helper()
+		resp, err := http.Get(f.ts.URL + "/watch?prefix=w/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("watch = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("watch content-type = %q", ct)
+		}
+		return resp, bufio.NewScanner(resp.Body)
+	}
+
+	resp, sc := openWatch()
+	f.do(t, "PUT", "/kv/w/one", "hello", nil)
+	event, data := sseEvent(t, sc)
+	var ev struct {
+		Key     string `json:"key"`
+		Value   []byte `json:"value"`
+		Version uint64 `json:"version"`
+	}
+	if err := json.Unmarshal(data, &ev); err != nil {
+		t.Fatalf("event data %q: %v", data, err)
+	}
+	if event != "put" || ev.Key != "w/one" || !bytes.Equal(ev.Value, []byte("hello")) || ev.Version == 0 {
+		t.Fatalf("event = %s %+v", event, ev)
+	}
+	// Keys outside the prefix are not delivered: write one, then a
+	// second prefixed key, and assert the next event is the latter.
+	f.do(t, "PUT", "/kv/other", "x", nil)
+	f.do(t, "PUT", "/kv/w/two", "y", nil)
+	if event, data = sseEvent(t, sc); event != "put" {
+		t.Fatalf("second event = %s %s", event, data)
+	}
+	_ = json.Unmarshal(data, &ev)
+	if ev.Key != "w/two" {
+		t.Fatalf("second event key = %q, want w/two (prefix filter)", ev.Key)
+	}
+	resp.Body.Close()
+
+	// The first watch cycle above warmed every persistent connection
+	// (mux sessions, HTTP keep-alives). Wait for its own teardown to
+	// finish, take that as the baseline, then churn more watches: a
+	// leaked PrefixWatch holds one goroutine per shard per watch, so
+	// the count after churn would sit well above this baseline.
+	baseline := stableGoroutines(t)
+	for i := 0; i < 5; i++ {
+		r, s := openWatch()
+		f.do(t, "PUT", fmt.Sprintf("/kv/w/churn%d", i), "z", nil)
+		sseEvent(t, s)
+		r.Body.Close()
+	}
+	if after := settleGoroutines(t, baseline+3); after > baseline+3 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines: baseline %d, now %d — watch subscriptions leaked\n%s",
+			baseline, after, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// stableGoroutines waits for in-flight teardown to finish: it polls
+// until the goroutine count stops shrinking for ten straight samples
+// and returns the settled count.
+func stableGoroutines(t *testing.T) int {
+	t.Helper()
+	n, stable := runtime.NumGoroutine(), 0
+	deadline := time.Now().Add(5 * time.Second)
+	for stable < 10 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		runtime.GC()
+		if m := runtime.NumGoroutine(); m < n {
+			n, stable = m, 0
+		} else {
+			stable++
+		}
+	}
+	return n
+}
+
+// settleGoroutines polls until the goroutine count drops to target or
+// stops shrinking, returning the settled count.
+func settleGoroutines(t *testing.T, target int) int {
+	t.Helper()
+	n := runtime.NumGoroutine()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if n = runtime.NumGoroutine(); n <= target {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return n
+}
+
+// TestStatsAndSLOEndpoints: the introspection surface reports the
+// traffic the gateway served, split by SLO class, and the controller's
+// live operating points.
+func TestStatsAndSLOEndpoints(t *testing.T) {
+	f := newFixture(t, 2)
+	f.do(t, "PUT", "/kv/s1", "v", nil)
+	for i := 0; i < 5; i++ {
+		f.do(t, "GET", "/kv/s1", "", map[string]string{"X-SLO-Class": "api"})
+	}
+	f.do(t, "GET", "/kv/s1", "", nil)
+
+	st, _, body := f.do(t, "GET", "/stats", "", nil)
+	if st != http.StatusOK {
+		t.Fatalf("stats = %d %s", st, body)
+	}
+	var stats struct {
+		Shards      []string `json:"shards"`
+		Replication int      `json:"replication"`
+		Ops         int64    `json:"ops"`
+		Labels      []struct {
+			Label string `json:"label"`
+			Ops   int64  `json:"ops"`
+		} `json:"labels"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats body %q: %v", body, err)
+	}
+	if len(stats.Shards) != 2 || stats.Replication != 2 || stats.Ops < 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	found := false
+	for _, l := range stats.Labels {
+		if l.Label == "api" && l.Ops == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stats labels = %+v, want api with 5 ops", stats.Labels)
+	}
+
+	st, _, body = f.do(t, "GET", "/slo", "", nil)
+	if st != http.StatusOK {
+		t.Fatalf("slo = %d %s", st, body)
+	}
+	var sl struct {
+		Enabled bool `json:"enabled"`
+		Classes []struct {
+			Class       string  `json:"class"`
+			TargetP99Ms float64 `json:"target_p99_ms"`
+			Fanout      int     `json:"fanout"`
+			ReadQuorum  int     `json:"read_quorum"`
+		} `json:"classes"`
+	}
+	if err := json.Unmarshal(body, &sl); err != nil {
+		t.Fatalf("slo body %q: %v", body, err)
+	}
+	if !sl.Enabled {
+		t.Fatal("slo endpoint reports disabled with a controller installed")
+	}
+	byName := map[string]bool{}
+	for _, c := range sl.Classes {
+		byName[c.Class] = true
+		if c.Fanout < 1 || c.TargetP99Ms <= 0 {
+			t.Fatalf("class %+v has invalid operating point", c)
+		}
+	}
+	if !byName["default"] || !byName["api"] {
+		t.Fatalf("slo classes = %+v, want default and api", sl.Classes)
+	}
+}
+
+// TestGatewayWithoutController: the gateway degrades gracefully — class
+// headers still label metrics, quorum reads fall back to the client's
+// default, and /slo reports disabled.
+func TestGatewayWithoutController(t *testing.T) {
+	ctr := core.NewCounters()
+	srv := memkv.NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	sc := memkv.NewShardedClient(memkv.ShardedConfig{Replication: 1, Observer: ctr},
+		memkv.NewMuxClient(addr.String(), 2*time.Second))
+	t.Cleanup(func() { sc.Close() })
+	ts := httptest.NewServer(New(Config{Client: sc, Counters: ctr}))
+	t.Cleanup(ts.Close)
+	f := &fixture{ts: ts}
+
+	f.do(t, "PUT", "/kv/k", "v", nil)
+	st, _, body := f.do(t, "GET", "/kv/k", "", map[string]string{"X-SLO-Class": "api", "X-Consistency": "quorum"})
+	if st != http.StatusOK || string(body) != "v" {
+		t.Fatalf("GET = %d %q", st, body)
+	}
+	if ctr.LabelOps("api") != 0 {
+		// Quorum reads bypass the labeled hedging path by design.
+		t.Fatalf("quorum read unexpectedly labeled")
+	}
+	st, _, _ = f.do(t, "GET", "/kv/k", "", map[string]string{"X-SLO-Class": "api"})
+	if st != http.StatusOK || ctr.LabelOps("api") != 1 {
+		t.Fatalf("labeled primary read: st=%d labelOps=%d, want 1", st, ctr.LabelOps("api"))
+	}
+	st, _, body = f.do(t, "GET", "/slo", "", nil)
+	var sl struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal(body, &sl); err != nil || st != http.StatusOK || sl.Enabled {
+		t.Fatalf("slo without controller = %d %s (err %v)", st, body, err)
+	}
+}

@@ -95,6 +95,12 @@ type ShardedConfig struct {
 	// VirtualNodes is the ring points per shard (0 means
 	// ring.DefaultVirtualNodes).
 	VirtualNodes int
+	// Observer, when set, receives per-operation metrics from every
+	// ring (reads, writes, versioned quorum reads) — the observation
+	// hook a feedback controller needs to watch per-class latency
+	// digests and copies launched. core.Counters is the ready-made
+	// implementation; tag calls with core.WithLabel to split classes.
+	Observer core.Observer
 }
 
 // NewShardedClient builds a sharded store over the given single-shard
@@ -121,6 +127,9 @@ func NewShardedClient(cfg ShardedConfig, clients ...Backend) *ShardedClient {
 	ropts := []ring.Option{
 		ring.WithReplication(cfg.Replication),
 		ring.WithVirtualNodes(cfg.VirtualNodes),
+	}
+	if cfg.Observer != nil {
+		ropts = append(ropts, ring.WithObserver(cfg.Observer))
 	}
 	sc.reads = ring.New[string, []byte](cfg.ReadStrategy, ropts...)
 	// Writes always fan out to the whole placement; WithQuorum decides

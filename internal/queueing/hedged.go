@@ -51,6 +51,17 @@ const (
 	// second copy is withheld and the system degrades to k=1 instead of
 	// collapsing. This is the model behind the ablcancel experiment.
 	HedgeGoverned
+	// HedgeSLO evaluates one candidate operating point of the SLO
+	// controller (internal/slo): hedge at the configured Quantile of the
+	// client's own observed response-time digest, like HedgeAdaptive, but
+	// spend against a declared extra-load budget — a token bucket
+	// refilled at MaxExtraLoad tokens per request caps the realized
+	// hedge rate, so a candidate whose quantile would overspend its
+	// declared budget degrades to single copies in the model exactly as
+	// the live controller's clamp would force it to. The controller runs
+	// this mode as its deterministic pre-flight: a knob move goes live
+	// only if the simulated operating point behaves.
+	HedgeSLO
 )
 
 func (m HedgeMode) String() string {
@@ -65,6 +76,8 @@ func (m HedgeMode) String() string {
 		return "full"
 	case HedgeGoverned:
 		return "governed"
+	case HedgeSLO:
+		return "slo"
 	default:
 		return fmt.Sprintf("HedgeMode(%d)", int(m))
 	}
@@ -101,6 +114,12 @@ type HedgedConfig struct {
 	// GovernOn); default 0.3 * GovernOn. The gap must absorb the load
 	// drop that gating itself causes, or the governor flaps.
 	GovernOff float64
+	// MaxExtraLoad is HedgeSLO's extra-load budget: hedge launches are
+	// paid from a token bucket refilled at MaxExtraLoad tokens per
+	// request, so the realized hedge rate cannot exceed it in steady
+	// state. Non-positive means uncapped (HedgeSLO then behaves like
+	// HedgeAdaptive).
+	MaxExtraLoad float64
 	// Requests is the number of measured requests.
 	Requests int
 	// Warmup is the number of initial requests discarded while queues
@@ -117,8 +136,9 @@ type HedgedResult struct {
 	// HedgeRate is the fraction of measured requests that launched a
 	// second copy (so mean copies per request is 1 + HedgeRate).
 	HedgeRate float64
-	// GatedRate is the fraction of measured requests that arrived while
-	// the governor withheld replication (HedgeGoverned only).
+	// GatedRate is the fraction of measured requests whose second copy
+	// was withheld by a load control: the governor's gate for
+	// HedgeGoverned, the extra-load budget for HedgeSLO.
 	GatedRate float64
 }
 
@@ -215,6 +235,13 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 	}
 	inflight := 0
 
+	// HedgeSLO's extra-load token bucket: refilled per arrival, spent
+	// per launched hedge, burst-capped so an idle stretch cannot bank
+	// unbounded hedges.
+	budget := 0.0
+	const budgetBurst = 8.0
+	budgeted := cfg.Mode == HedgeSLO && cfg.MaxExtraLoad > 0
+
 	// enqueue places one copy on server s at the current virtual time
 	// and returns its completion time (FCFS Lindley step). Events run in
 	// time order, so lastDep is always up to date when read. The copy
@@ -265,6 +292,27 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 					hedge, delay = true, float64(q)/digestUnit
 				}
 			}
+		case HedgeSLO:
+			if budgeted {
+				budget += cfg.MaxExtraLoad
+				if budget > budgetBurst {
+					budget = budgetBurst
+				}
+			}
+			if digest.Count() >= int64(minSamples) {
+				if q, ok := digest.Quantile(quantile); ok {
+					hedge, delay = true, float64(q)/digestUnit
+				}
+			}
+			if hedge && budgeted && budget < 1 {
+				// Budget exhausted: the candidate operating point is
+				// overspending its declared extra load; degrade this
+				// request to a single copy, the controller's clamp.
+				hedge = false
+				if i >= warmup {
+					gatedArrivals++
+				}
+			}
 		}
 
 		complete := func(resp float64, hedged bool) {
@@ -277,6 +325,9 @@ func RunHedged(cfg HedgedConfig) (HedgedResult, error) {
 			}
 		}
 		if hedge && c0-t > delay {
+			if budgeted {
+				budget--
+			}
 			// The second copy becomes visible to its server only at
 			// t+delay, after any earlier arrivals have enqueued there.
 			eng.At(t+delay, func() {

@@ -208,3 +208,90 @@ func TestHedgedGovernedValidation(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+// TestHedgeSLOBudgetCapsHedgeRate pins the HedgeSLO contract: the
+// realized hedge rate never exceeds the declared extra-load budget,
+// even when the configured quantile alone would spend far more.
+func TestHedgeSLOBudgetCapsHedgeRate(t *testing.T) {
+	svc := dist.Exponential{MeanV: 1}
+	// p50 hedging wants ~50% extra load; the budget allows 10%.
+	res, err := RunHedged(HedgedConfig{
+		Servers: 10, Load: 0.2, Service: svc,
+		Mode: HedgeSLO, Quantile: 0.5, MaxExtraLoad: 0.10,
+		Requests: 20000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bucket's burst allowance can push slightly past the refill
+	// rate transiently; steady state must sit at ~the budget.
+	if res.HedgeRate > 0.12 {
+		t.Errorf("hedge rate %.3f exceeds budget 0.10", res.HedgeRate)
+	}
+	if res.HedgeRate < 0.05 {
+		t.Errorf("hedge rate %.3f suspiciously low: budget should be spent", res.HedgeRate)
+	}
+	if res.GatedRate == 0 {
+		t.Error("no budget denials recorded despite p50 hedging under a 10%% budget")
+	}
+
+	// Uncapped, the same quantile spends ~1-p.
+	free, err := RunHedged(HedgedConfig{
+		Servers: 10, Load: 0.2, Service: svc,
+		Mode: HedgeSLO, Quantile: 0.5,
+		Requests: 20000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.HedgeRate < 0.3 {
+		t.Errorf("uncapped hedge rate %.3f, want ~0.5", free.HedgeRate)
+	}
+}
+
+// TestHedgeSLOMatchesAdaptiveWhenUncapped pins that HedgeSLO with no
+// budget is HedgeAdaptive: same seed, same quantile, same sample.
+func TestHedgeSLOMatchesAdaptiveWhenUncapped(t *testing.T) {
+	svc := dist.ParetoMean(2.1, 1)
+	base := HedgedConfig{
+		Servers: 8, Load: 0.25, Service: svc,
+		Quantile: 0.9, Requests: 5000, Seed: 7,
+	}
+	a := base
+	a.Mode = HedgeAdaptive
+	s := base
+	s.Mode = HedgeSLO // MaxExtraLoad 0 = uncapped
+	ra, err := RunHedged(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := RunHedged(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Sample.P99() != rs.Sample.P99() || ra.HedgeRate != rs.HedgeRate {
+		t.Errorf("uncapped slo (p99 %v, rate %v) != adaptive (p99 %v, rate %v)",
+			rs.Sample.P99(), rs.HedgeRate, ra.Sample.P99(), ra.HedgeRate)
+	}
+}
+
+// TestHedgeSLODeterministic pins that the controller's pre-flight is
+// reproducible: same config and seed, identical results.
+func TestHedgeSLODeterministic(t *testing.T) {
+	cfg := HedgedConfig{
+		Servers: 6, Load: 0.3, Service: dist.Exponential{MeanV: 1},
+		Mode: HedgeSLO, Quantile: 0.8, MaxExtraLoad: 0.25,
+		Requests: 3000, Seed: 99,
+	}
+	r1, err := RunHedged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunHedged(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Sample.P99() != r2.Sample.P99() || r1.HedgeRate != r2.HedgeRate || r1.GatedRate != r2.GatedRate {
+		t.Errorf("two identical runs diverged: %+v vs %+v", r1, r2)
+	}
+}

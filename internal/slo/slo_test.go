@@ -1,0 +1,368 @@
+package slo
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"redundancy/internal/core"
+)
+
+func testController(t *testing.T, tgt Target, mut func(*Config)) *Controller {
+	t.Helper()
+	cfg := Config{
+		Counters:          core.NewCounters(),
+		MinWindowSamples:  10,
+		DisableValidation: true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return New(tgt, cfg)
+}
+
+// hotWindow is a window loud enough to act on.
+func hotWindow(p99 time.Duration, extra float64) Window {
+	return Window{P99: p99, Mean: p99 / 4, Samples: 1000, ExtraLoad: extra, Utilization: -1}
+}
+
+// TestStepTightensOnMiss: a missed p99 must raise the fan-out above 1
+// on the first actionable window, visible immediately through every
+// data-path accessor.
+func TestStepTightensOnMiss(t *testing.T) {
+	tgt := Target{P99: 50 * time.Millisecond, MaxExtraLoad: 0.5}
+	c := testController(t, tgt, nil)
+	op, mv := c.Step(DefaultClass, hotWindow(200*time.Millisecond, 0))
+	if mv != MoveTighten || op.Fanout != 2 || op.Quantile != 0.99 {
+		t.Fatalf("first miss: op=%+v move=%v, want fanout 2 at p99", op, mv)
+	}
+	if k, _ := c.Fanout(); k != 2 {
+		t.Fatalf("Controller.Fanout = %d after tighten, want 2", k)
+	}
+	if !strings.Contains(c.String(), "k=2@p99") {
+		t.Fatalf("String() = %q, want tightened operating point", c.String())
+	}
+}
+
+// TestStepRelaxPatience: headroom must persist for RelaxPatience
+// consecutive windows before a relax is enacted, and any non-headroom
+// window resets the streak.
+func TestStepRelaxPatience(t *testing.T) {
+	tgt := Target{P99: 100 * time.Millisecond, MaxExtraLoad: 0.5}
+	c := testController(t, tgt, func(cfg *Config) { cfg.RelaxPatience = 3 })
+	// Climb two rungs first.
+	c.Step(DefaultClass, hotWindow(500*time.Millisecond, 0))
+	c.Step(DefaultClass, hotWindow(500*time.Millisecond, 0))
+	start, _ := c.ClassConfig(DefaultClass)
+	if start.Fanout != 2 || start.Quantile != 0.97 {
+		t.Fatalf("setup climbed to %+v, want fanout 2 at p97", start)
+	}
+
+	headroom := hotWindow(10*time.Millisecond, 0.02)
+	if op, mv := c.Step(DefaultClass, headroom); mv != MoveHold || op != start {
+		t.Fatalf("headroom window 1: move=%v op=%+v, want patient hold", mv, op)
+	}
+	if op, mv := c.Step(DefaultClass, headroom); mv != MoveHold || op != start {
+		t.Fatalf("headroom window 2: move=%v op=%+v, want patient hold", mv, op)
+	}
+	if op, mv := c.Step(DefaultClass, headroom); mv != MoveRelax || op.Quantile != 0.99 {
+		t.Fatalf("headroom window 3: move=%v op=%+v, want relax to p99", mv, op)
+	}
+
+	// A deadband window must reset the streak: two more headroom
+	// windows after it may not relax yet.
+	c.Step(DefaultClass, hotWindow(90*time.Millisecond, 0.02))
+	c.Step(DefaultClass, headroom)
+	if op, mv := c.Step(DefaultClass, headroom); mv != MoveHold {
+		t.Fatalf("streak not reset by deadband window: move=%v op=%+v", mv, op)
+	}
+	st := c.Stats()
+	if len(st) != 1 || st[0].LastReason != ReasonPatience.String() {
+		t.Fatalf("Stats = %+v, want patience as last reason", st)
+	}
+}
+
+// TestStepGovernorClamp: a gated window must drop any class straight to
+// no redundancy, quorum 1.
+func TestStepGovernorClamp(t *testing.T) {
+	tgt := Target{P99: 100 * time.Millisecond, MaxExtraLoad: 0.5}
+	c := testController(t, tgt, func(cfg *Config) { cfg.PreferredReadQuorum = 2 })
+	c.SetTarget("batch", tgt)
+	for i := 0; i < 4; i++ {
+		c.Step("batch", hotWindow(time.Second, 0))
+	}
+	if op, _ := c.ClassConfig("batch"); op.Fanout < 2 {
+		t.Fatalf("setup: batch did not tighten: %+v", op)
+	}
+	w := hotWindow(time.Second, 0)
+	w.Gated = true
+	op, mv := c.Step("batch", w)
+	if mv != MoveClamp || op.Fanout != 1 || op.ReadQuorum != 1 {
+		t.Fatalf("gated step: move=%v op=%+v, want clamp to k=1 rq=1", mv, op)
+	}
+	if c.ReadQuorum("batch") != 1 {
+		t.Fatalf("ReadQuorum after clamp = %d, want 1", c.ReadQuorum("batch"))
+	}
+}
+
+// TestValidationVetoesTightenUnderHighLoad: with validation enabled and
+// the offered load pinned near saturation, the queueing model must
+// predict that hedging hurts the tail and veto the climb; the same
+// controller at low load must let it through.
+func TestValidationVetoesTightenUnderHighLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the queueing model")
+	}
+	tgt := Target{P99: 50 * time.Millisecond, MaxExtraLoad: 1.5}
+	load := 0.9
+	mk := func() *Controller {
+		return testController(t, tgt, func(cfg *Config) {
+			cfg.DisableValidation = false
+			cfg.LoadEstimate = func() float64 { return load }
+			cfg.ValidateRequests = 4000
+			cfg.Seed = 7
+		})
+	}
+	// A long-tailed window: p50 well under target, p99 over it, so the
+	// controller wants to hedge.
+	w := hotWindow(200*time.Millisecond, 0)
+	w.Mean = 25 * time.Millisecond
+	w.QuantileFn = func(p float64) (time.Duration, bool) {
+		switch {
+		case p < 0.55:
+			return 10 * time.Millisecond, true
+		case p < 0.80:
+			return 25 * time.Millisecond, true
+		case p < 0.92:
+			return 60 * time.Millisecond, true
+		case p < 0.96:
+			return 120 * time.Millisecond, true
+		default:
+			return 250 * time.Millisecond, true
+		}
+	}
+
+	// Six consecutive misses try to climb six rungs (p99 down to p85).
+	// At 0.2 load the model accepts every step; at 0.9 load cheap p99
+	// hedging still helps (the model's own prediction) but the deeper
+	// quantiles flip to harmful, so the climb must freeze with at least
+	// one veto — the paper's threshold, enforced at decision time.
+	climb := func(c *Controller) ClassConfig {
+		for i := 0; i < 6; i++ {
+			c.Step(DefaultClass, w)
+		}
+		op, _ := c.ClassConfig(DefaultClass)
+		return op
+	}
+
+	load = 0.2
+	lo := mk()
+	loOp := climb(lo)
+	if st := lo.Stats(); st[0].Rejects != 0 || loOp.Quantile > 0.85 {
+		t.Fatalf("low load: op=%+v rejects=%d, want six accepted climbs", loOp, st[0].Rejects)
+	}
+
+	load = 0.9
+	hi := mk()
+	hiOp := climb(hi)
+	st := hi.Stats()
+	if st[0].Rejects == 0 || st[0].LastReason != ReasonRejected.String() {
+		t.Fatalf("high load: stats=%+v, want vetoed climbs", st[0])
+	}
+	if hiOp.Fanout != 2 || hiOp.Quantile <= loOp.Quantile {
+		t.Fatalf("high load froze at %+v vs low load %+v; want a shallower quantile", hiOp, loOp)
+	}
+}
+
+// TestTickWindows drives Tick from real Counters traffic: the first
+// tick only baselines, a tick over slow traffic tightens, and the
+// window really is a window — the tighten must key off recent
+// observations, not the all-time distribution.
+func TestTickWindows(t *testing.T) {
+	tgt := Target{P99: 50 * time.Millisecond, MaxExtraLoad: 0.5}
+	ctr := core.NewCounters()
+	c := testController(t, tgt, func(cfg *Config) { cfg.Counters = ctr })
+	c.SetTarget("reads", tgt)
+
+	obs := func(label string, d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			ctr.Observe(core.Observation{Winner: "a", Launched: 1, Latency: d, Label: label})
+		}
+	}
+
+	// A long fast history that would mask a recent regression if the
+	// controller read cumulative quantiles.
+	obs("reads", 5*time.Millisecond, 5000)
+	c.Tick() // baseline
+	if op, _ := c.ClassConfig("reads"); op.Fanout != 1 {
+		t.Fatalf("baseline tick moved the operating point: %+v", op)
+	}
+
+	obs("reads", 200*time.Millisecond, 100)
+	c.Tick()
+	op, _ := c.ClassConfig("reads")
+	if op.Fanout != 2 {
+		t.Fatalf("tick over slow window: op=%+v, want tighten to fanout 2", op)
+	}
+	st := c.Stats()
+	var reads ClassStats
+	for _, s := range st {
+		if s.Class == "reads" {
+			reads = s
+		}
+	}
+	if reads.Tightens != 1 || reads.WindowP99 < 100*time.Millisecond {
+		t.Fatalf("reads stats = %+v, want one tighten on a ~200ms window", reads)
+	}
+
+	// The default class watches overall traffic (it saw the same ops).
+	if def, ok := c.ClassConfig(DefaultClass); !ok || def.Fanout != 2 {
+		t.Fatalf("default class = %+v, want tightened from overall traffic", def)
+	}
+}
+
+// TestTickMeasuresExtraLoad: the windowed extra-load measurement must
+// reflect launched-over-ops deltas, driving the over-budget relax.
+func TestTickMeasuresExtraLoad(t *testing.T) {
+	tgt := Target{P99: time.Hour, MaxExtraLoad: 0.2}
+	ctr := core.NewCounters()
+	c := testController(t, tgt, func(cfg *Config) { cfg.Counters = ctr })
+	// Climb a rung so there is something to relax.
+	c.Step(DefaultClass, hotWindow(2*time.Hour, 0))
+	op, _ := c.ClassConfig(DefaultClass)
+	if op.Fanout != 2 {
+		t.Fatalf("setup: %+v", op)
+	}
+	c.Tick() // baseline
+	for i := 0; i < 200; i++ {
+		ctr.Observe(core.Observation{Winner: "a", Launched: 2, Latency: time.Millisecond})
+	}
+	c.Tick()
+	if op, _ = c.ClassConfig(DefaultClass); op.Fanout != 1 {
+		t.Fatalf("100%% measured extra load over a 0.2 budget did not relax: %+v", op)
+	}
+	if st := c.Stats(); st[0].LastReason != ReasonOverBudget.String() {
+		t.Fatalf("last reason = %q, want over-budget", st[0].LastReason)
+	}
+}
+
+// TestClassStrategySchedule: the per-class view hedges at the operating
+// point's quantile over warmed digests and launches immediately over
+// cold ones.
+func TestClassStrategySchedule(t *testing.T) {
+	tgt := Target{P99: 50 * time.Millisecond, MaxExtraLoad: 0.5}
+	c := testController(t, tgt, nil)
+	s := c.Class("reads")
+	c.Step("reads", hotWindow(200*time.Millisecond, 0)) // -> fanout 2 at p99
+
+	warm := &core.LatDigest{}
+	for i := 0; i < 100; i++ {
+		warm.Observe(10 * time.Millisecond)
+	}
+	d := core.DigestList{warm, &core.LatDigest{}}
+	delays := s.Schedule(d)
+	if len(delays) != 2 || delays[0] != 0 {
+		t.Fatalf("Schedule = %v", delays)
+	}
+	q, _ := warm.Quantile(0.99)
+	if delays[1] != q {
+		t.Fatalf("hedge delay = %v, want p99 of warm digest %v", delays[1], q)
+	}
+	cold := core.DigestList{&core.LatDigest{}, &core.LatDigest{}}
+	var buf [2]time.Duration
+	if got := s.ScheduleInto(cold, buf[:]); got[1] != 0 {
+		t.Fatalf("cold digest hedge delay = %v, want immediate", got[1])
+	}
+	if k, sel := s.Fanout(); k != 2 || sel != core.SelectRanked {
+		t.Fatalf("Fanout = (%d, %v)", k, sel)
+	}
+	// One operation's schedule never mixes operating points: a swap
+	// between Fanout and Schedule is seen as a consistent snapshot by
+	// the next call, and d.Len() governs the slice, not the new fanout.
+	if got := s.Schedule(core.DigestList{warm}); got != nil {
+		t.Fatalf("single-digest schedule = %v, want nil", got)
+	}
+}
+
+// TestControllerChurn swaps targets, steps windows, and reads the
+// data-path surface concurrently; run with -race -count=5. It pins the
+// guarantee that target swaps mid-call never tear an operating point:
+// every observed ClassConfig must be internally consistent (fanout 1
+// never hedges, hedging quantile always within [p50, p99]).
+func TestControllerChurn(t *testing.T) {
+	tgt := Target{P99: 50 * time.Millisecond, MaxExtraLoad: 0.5}
+	ctr := core.NewCounters()
+	c := testController(t, tgt, func(cfg *Config) {
+		cfg.Counters = ctr
+		cfg.Interval = time.Millisecond
+		cfg.PreferredReadQuorum = 2
+	})
+	c.Start()
+	defer c.Stop()
+
+	const classes = 3
+	names := []string{"a", "b", "default"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(150*time.Millisecond, func() { close(stop) })
+
+	for g := 0; g < classes; g++ {
+		name := names[g]
+		wg.Add(1)
+		go func() { // data path: schedule + observe
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(len(name))))
+			warm := &core.LatDigest{}
+			for i := 0; i < 64; i++ {
+				warm.Observe(time.Duration(1+rng.Intn(20)) * time.Millisecond)
+			}
+			d := core.DigestList{warm, warm, warm}
+			var buf [3]time.Duration
+			s := c.Class(name)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k, _ := s.Fanout()
+				op := *s.cl.op.Load()
+				if (op.Fanout == 1) != (op.Quantile == 1) || (op.Fanout > 1 && (op.Quantile < 0.5 || op.Quantile > 0.99)) {
+					panic("torn operating point")
+				}
+				s.ScheduleInto(d[:min(k, 3)], buf[:])
+				ctr.Observe(core.Observation{Winner: "a", Launched: k, Latency: time.Duration(1+rng.Intn(100)) * time.Millisecond, Label: name})
+			}
+		}()
+		wg.Add(1)
+		go func() { // control path: swap targets and force steps
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(len(name)) * 7))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.SetTarget(name, Target{P99: time.Duration(1+rng.Intn(200)) * time.Millisecond, MaxExtraLoad: float64(rng.Intn(10)) / 10})
+				c.Step(name, hotWindow(time.Duration(1+rng.Intn(300))*time.Millisecond, float64(rng.Intn(20))/10))
+				c.ReadQuorum(name)
+				c.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, name := range c.Classes() {
+		op, ok := c.ClassConfig(name)
+		if !ok || op.Fanout < 1 || op.ReadQuorum < 1 {
+			t.Fatalf("class %s ended in invalid state: %+v (ok=%v)", name, op, ok)
+		}
+	}
+	// Start is idempotent and restartable.
+	c.Stop()
+	c.Start()
+	c.Start()
+	c.Stop()
+}

@@ -78,6 +78,7 @@ import (
 	"redundancy/internal/core"
 	"redundancy/internal/repair"
 	"redundancy/internal/ring"
+	"redundancy/internal/slo"
 )
 
 // Replica is one way of performing an operation. See core.Replica.
@@ -463,3 +464,49 @@ type RebalanceStats = repair.RebalanceStats
 // RepairHintKeyPrefix marks durable hint records in shard keyspaces;
 // user keys must not start with it.
 const RepairHintKeyPrefix = repair.HintKeyPrefix
+
+// ---- SLO control loop (internal/slo) ----
+//
+// Every strategy above trades added load for tail latency with values
+// picked by hand. The SLO controller picks them instead: it watches
+// per-class windowed latency digests and hill-climbs fan-out, hedge
+// quantile, and read quorum toward the cheapest operating point whose
+// p99 meets a declared target within an extra-load budget. It is itself
+// a Strategy (and inline scheduler), so it drops in anywhere one goes.
+
+// SLOController adapts per-class operating points toward their targets.
+// Plug it in as a Strategy (it speaks for its default class) and call
+// Start for the periodic control loop; per-class views from Class
+// attach to individual calls via WithStrategyOverride + WithLabel.
+type SLOController = slo.Controller
+
+// SLOTarget declares what a traffic class is owed: a windowed p99 bound
+// and the extra-load budget (copies/op beyond the first) the controller
+// may spend meeting it.
+type SLOTarget = slo.Target
+
+// SLOConfig configures an SLOController (counters to observe, governor,
+// control interval, fan-out/quorum bounds, validation).
+type SLOConfig = slo.Config
+
+// SLOClassConfig is one operating point: fan-out, hedge quantile, and
+// read quorum for a traffic class.
+type SLOClassConfig = slo.ClassConfig
+
+// SLOClassStats reports a class's target, current operating point, last
+// observed window, and decision counters.
+type SLOClassStats = slo.ClassStats
+
+// SLOWindow is one control interval's observed statistics, the input to
+// the controller's pure decision step.
+type SLOWindow = slo.Window
+
+// SLODefaultClass is the traffic class unlabeled calls ride.
+const SLODefaultClass = slo.DefaultClass
+
+// NewSLOController returns a controller steering every class toward
+// target (classes appear on first use and can be retargeted with
+// SetTarget).
+func NewSLOController(target SLOTarget, cfg SLOConfig) *SLOController {
+	return slo.New(target, cfg)
+}

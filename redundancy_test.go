@@ -150,3 +150,51 @@ func TestPublicResultReportsCancelled(t *testing.T) {
 		t.Errorf("Cancelled = %d, want 1 (the blocked loser)", res.Cancelled)
 	}
 }
+
+func TestPublicSLOController(t *testing.T) {
+	ctr := redundancy.NewCounters()
+	ctl := redundancy.NewSLOController(
+		redundancy.SLOTarget{P99: 10 * time.Millisecond, MaxExtraLoad: 0.5},
+		redundancy.SLOConfig{Counters: ctr, MaxFanout: 2, MinWindowSamples: 1, DisableValidation: true},
+	)
+
+	// The controller is a Strategy: a group built on it serves calls at
+	// the default class's operating point (which starts at fan-out 1).
+	g := redundancy.NewStrategyGroup[int](ctl)
+	g.Add("a", func(ctx context.Context) (int, error) { return 1, nil })
+	g.Add("b", func(ctx context.Context) (int, error) { return 2, nil })
+	res, err := g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 1 {
+		t.Errorf("cold controller Do launched %d, want 1 (ladder starts at k=1)", res.Launched)
+	}
+
+	// Feed a missing window through the pure decision step: the
+	// controller must tighten off the k=1 rung.
+	cfg, _ := ctl.Step(redundancy.SLODefaultClass, redundancy.SLOWindow{
+		P99: 50 * time.Millisecond, Mean: 5 * time.Millisecond, Samples: 100,
+	})
+	if cfg.Fanout != 2 {
+		t.Errorf("after missed window Fanout = %d, want 2", cfg.Fanout)
+	}
+	res, err = g.Do(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launched != 2 {
+		t.Errorf("tightened controller Do launched %d, want 2", res.Launched)
+	}
+
+	var st redundancy.SLOClassStats
+	found := false
+	for _, s := range ctl.Stats() {
+		if s.Class == redundancy.SLODefaultClass {
+			st, found = s, true
+		}
+	}
+	if !found || st.Tightens < 1 || st.Config.Fanout != 2 {
+		t.Errorf("SLOClassStats = %+v, found=%v; want Tightens >= 1 at fan-out 2", st, found)
+	}
+}

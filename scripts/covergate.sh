@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# covergate.sh — per-package test-coverage regression gate. Runs
+# `go test -cover` across the module, compares each package's statement
+# coverage against the committed COVER_baseline.txt, and fails if any
+# package fell more than COVER_TOLERANCE_PTS points (default 2.0 — wide
+# enough for run-to-run jitter from timing-dependent paths, tight
+# enough that deleting a test file or gutting a test shows up).
+#
+# A package present in the baseline but missing from the run (tests
+# deleted, build broken) fails the gate. New packages are reported but
+# do not fail — ratchet them in by refreshing the baseline.
+#
+# Usage: scripts/covergate.sh              gate against COVER_baseline.txt
+#        scripts/covergate.sh -update      refresh the baseline in place
+# Env:   COVER_TOLERANCE_PTS (default 2.0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="COVER_baseline.txt"
+tolerance="${COVER_TOLERANCE_PTS:-2.0}"
+mode="gate"
+if [ "${1:-}" = "-update" ]; then
+    mode="update"
+fi
+
+raw="$(mktemp)"
+current="$(mktemp)"
+trap 'rm -f "$raw" "$current"' EXIT
+
+if ! go test -count=1 -cover ./... >"$raw" 2>&1; then
+    cat "$raw" >&2
+    echo "covergate: test run failed — fix tests before gating coverage" >&2
+    exit 1
+fi
+cat "$raw"
+
+# "ok  <pkg>  <time>  coverage: NN.N% of statements" -> "<pkg> NN.N"
+awk '$1 == "ok" {
+    for (i = 1; i <= NF; i++) {
+        if ($i == "coverage:") {
+            pct = $(i + 1)
+            sub(/%/, "", pct)
+            print $2, pct
+        }
+    }
+}' "$raw" | sort >"$current"
+
+if [ ! -s "$current" ]; then
+    echo "covergate: no coverage lines parsed — go test output format change?" >&2
+    exit 1
+fi
+
+if [ "$mode" = "update" ]; then
+    cp "$current" "$baseline"
+    echo "covergate: baseline refreshed ($(wc -l <"$baseline" | tr -d ' ') packages)"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "covergate: $baseline missing (generate with scripts/covergate.sh -update)" >&2
+    exit 1
+fi
+
+fail=0
+echo
+echo "covergate: package                                        base%   now%   delta  (floor -${tolerance})"
+while read -r pkg base_pct; do
+    now_pct=$(awk -v p="$pkg" '$1 == p { print $2 }' "$current")
+    if [ -z "$now_pct" ]; then
+        echo "covergate: FAIL — $pkg in baseline but produced no coverage (tests deleted?)" >&2
+        fail=1
+        continue
+    fi
+    verdict=$(awk -v b="$base_pct" -v n="$now_pct" -v t="$tolerance" \
+        'BEGIN { print (n + 0 < b - t) ? "FAIL" : "ok" }')
+    delta=$(awk -v b="$base_pct" -v n="$now_pct" 'BEGIN { printf "%+.1f", n - b }')
+    printf 'covergate: %-48s %6s %6s %7s  %s\n' "$pkg" "$base_pct" "$now_pct" "$delta" "$verdict"
+    if [ "$verdict" = "FAIL" ]; then
+        echo "covergate: FAIL — $pkg coverage ${now_pct}% fell more than ${tolerance} points below baseline ${base_pct}%" >&2
+        fail=1
+    fi
+done <"$baseline"
+
+# Surface packages the baseline has never seen.
+while read -r pkg now_pct; do
+    if ! awk -v p="$pkg" '$1 == p { found = 1 } END { exit !found }' "$baseline"; then
+        echo "covergate: note — new package $pkg at ${now_pct}% (ratchet in with scripts/covergate.sh -update)"
+    fi
+done <"$current"
+
+exit "$fail"
